@@ -1,0 +1,69 @@
+// Command prixbench regenerates the paper's evaluation artefacts (Tables
+// 2-9, Figure 6) and the ablation studies over the synthetic datasets.
+//
+// Usage:
+//
+//	prixbench -table all -scale 1
+//	prixbench -table 4            # DBLP: PRIX vs ViST
+//	prixbench -table fig6
+//	prixbench -table ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("prixbench: ")
+	var (
+		table = flag.String("table", "all", "artefact: 2..9, fig6, ablation or all")
+		scale = flag.Int("scale", 1, "dataset scale factor")
+		seed  = flag.Int64("seed", 1, "dataset generator seed")
+		pool  = flag.Int("pool", 0, "buffer pool pages (default 2000)")
+	)
+	flag.Parse()
+	s := bench.NewSession(bench.Config{Scale: *scale, Seed: *seed, PoolPages: *pool})
+	w := os.Stdout
+	run := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	switch *table {
+	case "2":
+		run(s.Table2(w))
+	case "3":
+		run(s.Table3(w))
+	case "4":
+		run(s.Table4(w))
+	case "5":
+		run(s.Table5(w))
+	case "6":
+		run(s.Table6(w))
+	case "7":
+		run(s.Table7(w))
+	case "8":
+		run(s.Table8(w))
+	case "9":
+		run(s.Table9(w))
+	case "fig6", "figure6":
+		run(s.Figure6(w))
+	case "ablation":
+		run(s.AblationMaxGap(w))
+		run(s.AblationExtended(w))
+		run(s.AblationBottomUp(w))
+		run(s.AblationPoolSize(w))
+		run(s.AblationCardinality(w))
+	case "all":
+		run(s.All(w))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown artefact %q\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,76 @@
+// Command prixquery runs twig queries against a persistent PRIX index
+// built by prixload.
+//
+// Usage:
+//
+//	prixquery -index /tmp/idx '//inproceedings[./author="Jim Gray"][./year="1990"]'
+//	prixquery -index /tmp/idx -unordered -count '//a[./c]/b'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("prixquery: ")
+	var (
+		dir       = flag.String("index", "", "index directory (required)")
+		unordered = flag.Bool("unordered", false, "find unordered twig matches (§5.7)")
+		nogap     = flag.Bool("nomaxgap", false, "disable MaxGap pruning (Theorem 4)")
+		countOnly = flag.Bool("count", false, "print only the match count")
+		limit     = flag.Int("limit", 20, "maximum matches to print")
+		pool      = flag.Int("pool", 0, "buffer pool pages (default 2000)")
+		recon     = flag.Int("reconstruct", -1, "instead of querying, rebuild document N from the index and print it")
+	)
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("usage: prixquery -index DIR 'XPATH'")
+	}
+	ix, err := core.OpenIndex(*dir, core.Options{BufferPoolPages: *pool})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *recon >= 0 {
+		doc, err := ix.ReconstructDocument(uint32(*recon))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := doc.WriteXML(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		return
+	}
+	if flag.NArg() != 1 {
+		log.Fatal("usage: prixquery -index DIR 'XPATH'")
+	}
+	q, err := core.ParseQuery(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, stats, err := ix.Match(q, core.MatchOptions{
+		Unordered:     *unordered,
+		DisableMaxGap: *nogap,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d matches in %v (%d range queries, %d candidates, %d pages read)\n",
+		len(ms), stats.Elapsed, stats.RangeQueries, stats.Candidates, stats.PagesRead)
+	if *countOnly {
+		return
+	}
+	for i, m := range ms {
+		if i >= *limit {
+			fmt.Printf("... and %d more\n", len(ms)-*limit)
+			break
+		}
+		fmt.Printf("doc %d: images %v\n", m.DocID, m.Images)
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "PRIX: Indexing And
+// Querying XML Using Prüfer Sequences" (Rao & Moon, ICDE 2004): the PRIX
+// engine itself (internal/prix, surfaced through internal/core), the ViST
+// and TwigStack/TwigStackXB baselines it is evaluated against, the storage
+// substrates they share (pager, B+-trees, virtual trie, document store),
+// synthetic versions of the paper's datasets, and a benchmark harness that
+// regenerates every table and figure of the paper's evaluation. See
+// README.md for a tour and DESIGN.md for the system inventory.
+package repro

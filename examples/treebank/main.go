@@ -1,0 +1,82 @@
+// Treebank: wildcard queries over deeply recursive parse trees — the
+// workload where the paper shows PRIX's bottom-up transformation paying
+// off most against ViST and TwigStackXB. Runs Q7-Q9 on the RPIndex and
+// compares against the TwigStackXB baseline on identical data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/docstore"
+	"repro/internal/pager"
+	"repro/internal/twigstack"
+)
+
+func main() {
+	ds := datagen.Treebank(1, 1)
+	stats := ds.Summarize()
+	fmt.Printf("generated %d parse trees, max depth %d (values stripped as in the paper)\n",
+		stats.Documents, stats.MaxDepth)
+
+	ix, err := core.BuildIndex(ds.Docs, core.Options{Extended: false})
+	if err != nil {
+		log.Fatal(err)
+	}
+	streams, err := twigstack.Build(ds.Docs,
+		pager.NewBufferPool(pager.NewMemFile(), pager.DefaultPoolPages), &docstore.Dict{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, qs := range ds.Queries {
+		ms, ps, err := ix.Match(qs.Query(), core.MatchOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, ts, err := streams.Match(qs.Query(), twigstack.TwigStackXB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s %-34s PRIX: %d matches / %4d pages   TwigStackXB: %d matches / %4d pages\n",
+			qs.ID, qs.XPath, len(ms), ps.PagesRead, n, ts.PagesRead)
+		if len(ms) != qs.Want || n != qs.Want {
+			log.Fatalf("%s: engines disagree with the paper's count %d", qs.ID, qs.Want)
+		}
+	}
+
+	// Wildcards cost PRIX nothing extra during subsequence matching
+	// (§4.5): compare a child-axis and a descendant-axis variant.
+	for _, src := range []string{`//VP/SYM`, `//S//VP/SYM`, `//S/*/VP/VB`} {
+		q, err := core.ParseQuery(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms, st, err := ix.Match(q, core.MatchOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s -> %5d matches, %d range queries\n", src, len(ms), st.RangeQueries)
+	}
+
+	// A descendant edge directly above a twig leaf needs the EPIndex
+	// (§5.6); the RPIndex refuses it with a helpful error.
+	q, err := core.ParseQuery(`//VP//SYM`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := ix.Match(q, core.MatchOptions{}); err != nil {
+		fmt.Printf("RPIndex restriction: %v\n", err)
+	}
+	epix, err := core.BuildIndex(ds.Docs, core.Options{Extended: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, _, err := epix.Match(q, core.MatchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("//VP//SYM on the EPIndex -> %d matches\n", len(ms))
+}

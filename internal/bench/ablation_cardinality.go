@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/datagen"
+	"repro/internal/prix"
+	"repro/internal/twigstack"
+)
+
+// AblationCardinality measures how query cost scales with the result-set
+// cardinality — the experiment the paper's §7 leaves as future work. A
+// fixed value twig is planted 1, 10, 100 and 1000 times in otherwise
+// identical collections; PRIX (EPIndex) and TwigStackXB answer each. The
+// expectation from the paper's cost argument: PRIX's work is proportional
+// to the number of matching subsequences (so it grows with the result
+// set), while the stack algorithms' stream scans are dominated by the
+// filler and stay nearly flat — so a crossover appears as selectivity
+// falls.
+func (s *Session) AblationCardinality(w io.Writer) error {
+	fmt.Fprintf(w, "\nAblation: result-set cardinality sweep (//paper[./key=\"needle\"]/venue)\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Matches\tEngine\tTime(ms)\tDisk IO(pages)\tDetail")
+	for _, want := range []int{1, 10, 100, 1000} {
+		ds := datagen.Cardinality(s.cfg.scale(), s.cfg.Seed, want)
+		e, err := BuildEngines(ds, s.cfg)
+		if err != nil {
+			return err
+		}
+		qs := ds.Queries[0]
+		pr, err := e.RunPRIX(qs, prix.MatchOptions{})
+		if err != nil {
+			return err
+		}
+		if pr.Count != want {
+			return fmt.Errorf("bench: cardinality %d: PRIX found %d", want, pr.Count)
+		}
+		xr, err := e.RunTwigStack(qs, twigstack.TwigStackXB)
+		if err != nil {
+			return err
+		}
+		if xr.Count != want {
+			return fmt.Errorf("bench: cardinality %d: XB found %d", want, xr.Count)
+		}
+		fmt.Fprintf(tw, "%d\tPRIX(EP)\t%s\t%d\t%s\n", want, pr.timeMS(), pr.Pages, pr.Note)
+		fmt.Fprintf(tw, "%d\tTwigStackXB\t%s\t%d\t%s\n", want, xr.timeMS(), xr.Pages, xr.Note)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTablesSmoke runs every table, the figure and the cheap ablations at
+// the smallest scale, checking they render and that engine counts agree
+// with the planted Table 3 values (the runners themselves assert counts).
+func TestTablesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds twelve engines; skipped in -short")
+	}
+	s := NewSession(Config{Scale: 1, Seed: 1, PoolPages: 256})
+	var buf bytes.Buffer
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"Table4", func() error { return s.Table4(&buf) }},
+		{"Table5", func() error { return s.Table5(&buf) }},
+		{"Table6", func() error { return s.Table6(&buf) }},
+		{"Table7", func() error { return s.Table7(&buf) }},
+		{"Table8", func() error { return s.Table8(&buf) }},
+		{"Table9", func() error { return s.Table9(&buf) }},
+		{"Figure6", func() error { return s.Figure6(&buf) }},
+		{"AblationMaxGap", func() error { return s.AblationMaxGap(&buf) }},
+		{"AblationExtended", func() error { return s.AblationExtended(&buf) }},
+		{"AblationBottomUp", func() error { return s.AblationBottomUp(&buf) }},
+	}
+	for _, st := range steps {
+		if err := st.fn(); err != nil {
+			t.Fatalf("%s: %v", st.name, err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table 4", "Table 9", "Figure 6", "PRIX(EP)", "ViST", "TwigStackXB",
+		"MaxGap", "bottom-up",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The session must have reused engines rather than rebuilding: three
+	// datasets, three engine sets.
+	if len(s.engines) != 3 {
+		t.Errorf("session cached %d engine sets, want 3", len(s.engines))
+	}
+}
+
+func TestExpensiveAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds many engines; skipped in -short")
+	}
+	s := NewSession(Config{Scale: 1, Seed: 1, PoolPages: 256})
+	var buf bytes.Buffer
+	if err := s.AblationPoolSize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AblationCardinality(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pool=8") || !strings.Contains(out, "cardinality") {
+		t.Errorf("ablation output incomplete:\n%s", out)
+	}
+}

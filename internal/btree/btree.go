@@ -1,0 +1,441 @@
+// Package btree implements the disk-based B+-trees the PRIX system stores
+// all its indexes in (§5.2 of the paper: Trie-Symbol indexes, Docid index;
+// the ViST baseline's D-Ancestorship index uses the same trees).
+//
+// Multiple named trees share one page file through a Forest, mirroring how
+// the paper keeps one B+-tree per element tag. Keys and values are
+// arbitrary byte strings ordered by bytes.Compare; duplicate keys are
+// allowed and kept in insertion order. Pages are pager.PageSize bytes and
+// travel through the buffer pool, so every traversal is accounted in the
+// pool's physical-read counter. Reads binary-search pages in place through
+// a slot directory; only the write path materialises pages into memory.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/pager"
+)
+
+const (
+	leafNode     = byte(1)
+	internalNode = byte(2)
+
+	headerSize   = 7 // kind(1) + numKeys(2) + extra(4)
+	slotSize     = 2 // per-cell offset
+	leafCellHdr  = 4 // keyLen(2) + valLen(2)
+	innerCellHdr = 6 // keyLen(2) + child(4)
+)
+
+// MaxEntrySize bounds len(key)+len(value) so that any page can hold at
+// least four cells, keeping splits well defined.
+const MaxEntrySize = (pager.PageSize-headerSize)/4 - leafCellHdr - slotSize
+
+// Tree is one B+-tree inside a Forest.
+type Tree struct {
+	forest *Forest
+	name   string
+	root   pager.PageID
+	count  uint64 // number of entries
+}
+
+// Name returns the tree's name within its forest.
+func (t *Tree) Name() string { return t.name }
+
+// Len returns the number of entries in the tree.
+func (t *Tree) Len() uint64 { return t.count }
+
+// decoded page representations (write path only) -------------------------------
+
+type leafCell struct {
+	key, val []byte
+}
+
+type innerCell struct {
+	key   []byte
+	child pager.PageID
+}
+
+type nodePage struct {
+	kind  byte
+	extra uint32 // leaf: next-leaf page id; internal: leftmost child
+	leaf  []leafCell
+	inner []innerCell
+}
+
+func decodePage(data []byte) (*nodePage, error) {
+	n := &nodePage{kind: pageKind(data), extra: pageExtra(data)}
+	num := pageNumKeys(data)
+	switch n.kind {
+	case leafNode:
+		n.leaf = make([]leafCell, 0, num)
+		for i := 0; i < num; i++ {
+			k, v := leafCellAt(data, i)
+			n.leaf = append(n.leaf, leafCell{
+				key: append([]byte(nil), k...),
+				val: append([]byte(nil), v...),
+			})
+		}
+	case internalNode:
+		n.inner = make([]innerCell, 0, num)
+		for i := 0; i < num; i++ {
+			k, child := innerCellAt(data, i)
+			n.inner = append(n.inner, innerCell{key: append([]byte(nil), k...), child: child})
+		}
+	default:
+		return nil, fmt.Errorf("btree: unknown node kind %d", n.kind)
+	}
+	return n, nil
+}
+
+func (n *nodePage) size() int {
+	sz := headerSize
+	for _, c := range n.leaf {
+		sz += slotSize + leafCellHdr + len(c.key) + len(c.val)
+	}
+	for _, c := range n.inner {
+		sz += slotSize + innerCellHdr + len(c.key)
+	}
+	return sz
+}
+
+func (n *nodePage) encode(data []byte) {
+	for i := range data {
+		data[i] = 0
+	}
+	data[0] = n.kind
+	binary.LittleEndian.PutUint32(data[3:7], n.extra)
+	num := len(n.leaf) + len(n.inner)
+	binary.LittleEndian.PutUint16(data[1:3], uint16(num))
+	off := headerSize + slotSize*num
+	switch n.kind {
+	case leafNode:
+		for i, c := range n.leaf {
+			binary.LittleEndian.PutUint16(data[headerSize+slotSize*i:], uint16(off))
+			binary.LittleEndian.PutUint16(data[off:off+2], uint16(len(c.key)))
+			binary.LittleEndian.PutUint16(data[off+2:off+4], uint16(len(c.val)))
+			off += leafCellHdr
+			off += copy(data[off:], c.key)
+			off += copy(data[off:], c.val)
+		}
+	case internalNode:
+		for i, c := range n.inner {
+			binary.LittleEndian.PutUint16(data[headerSize+slotSize*i:], uint16(off))
+			binary.LittleEndian.PutUint16(data[off:off+2], uint16(len(c.key)))
+			binary.LittleEndian.PutUint32(data[off+2:off+6], uint32(c.child))
+			off += innerCellHdr
+			off += copy(data[off:], c.key)
+		}
+	}
+}
+
+// read/write helpers -----------------------------------------------------------
+
+func (t *Tree) readNode(id pager.PageID) (*nodePage, error) {
+	p, err := t.forest.bp.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	n, err := decodePage(p.Data)
+	p.Unpin(false)
+	return n, err
+}
+
+func (t *Tree) writeNode(id pager.PageID, n *nodePage) error {
+	p, err := t.forest.bp.Get(id)
+	if err != nil {
+		return err
+	}
+	n.encode(p.Data)
+	p.Unpin(true)
+	return nil
+}
+
+func (t *Tree) allocNode(n *nodePage) (pager.PageID, error) {
+	p, err := t.forest.bp.NewPage()
+	if err != nil {
+		return pager.InvalidPage, err
+	}
+	n.encode(p.Data)
+	id := p.ID
+	p.Unpin(true)
+	return id, nil
+}
+
+// Insert adds one (key, value) entry. Duplicate keys are allowed; equal keys
+// keep their insertion order under Scan.
+func (t *Tree) Insert(key, val []byte) error {
+	if len(key)+len(val) > MaxEntrySize {
+		return fmt.Errorf("btree: entry of %d bytes exceeds MaxEntrySize %d", len(key)+len(val), MaxEntrySize)
+	}
+	promoted, right, err := t.insertRec(t.root, key, val)
+	if err != nil {
+		return err
+	}
+	if right != pager.InvalidPage {
+		// Root split: make a new root with two children.
+		newRoot := &nodePage{
+			kind:  internalNode,
+			extra: uint32(t.root),
+			inner: []innerCell{{key: promoted, child: right}},
+		}
+		id, err := t.allocNode(newRoot)
+		if err != nil {
+			return err
+		}
+		t.root = id
+	}
+	t.count++
+	t.forest.markDirty(t)
+	return nil
+}
+
+// insertRec inserts under page id; on split it returns the promoted key and
+// new right sibling page, else (nil, InvalidPage). The descent reads raw
+// pages; only mutated nodes are decoded.
+func (t *Tree) insertRec(id pager.PageID, key, val []byte) ([]byte, pager.PageID, error) {
+	p, err := t.forest.bp.Get(id)
+	if err != nil {
+		return nil, pager.InvalidPage, err
+	}
+	if pageKind(p.Data) == internalNode {
+		ci := innerChildIndex(p.Data, key)
+		child := pageChildAt(p.Data, ci)
+		p.Unpin(false)
+		promoted, rightChild, err := t.insertRec(child, key, val)
+		if err != nil || rightChild == pager.InvalidPage {
+			return nil, pager.InvalidPage, err
+		}
+		// A child split: decode, insert the separator, maybe split too.
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, pager.InvalidPage, err
+		}
+		cell := innerCell{key: promoted, child: rightChild}
+		n.inner = append(n.inner, innerCell{})
+		copy(n.inner[ci+1:], n.inner[ci:])
+		n.inner[ci] = cell
+		if n.size() <= pager.PageSize {
+			return nil, pager.InvalidPage, t.writeNode(id, n)
+		}
+		mid := len(n.inner) / 2
+		up := n.inner[mid]
+		right := &nodePage{
+			kind:  internalNode,
+			extra: uint32(up.child),
+			inner: append([]innerCell(nil), n.inner[mid+1:]...),
+		}
+		n.inner = n.inner[:mid]
+		rid, err := t.allocNode(right)
+		if err != nil {
+			return nil, pager.InvalidPage, err
+		}
+		if err := t.writeNode(id, n); err != nil {
+			return nil, pager.InvalidPage, err
+		}
+		return up.key, rid, nil
+	}
+	// Leaf: decode, insert after all equal keys (stable duplicates).
+	n, err := decodePage(p.Data)
+	p.Unpin(false)
+	if err != nil {
+		return nil, pager.InvalidPage, err
+	}
+	pos := upperBoundLeaf(n.leaf, key)
+	n.leaf = append(n.leaf, leafCell{})
+	copy(n.leaf[pos+1:], n.leaf[pos:])
+	n.leaf[pos] = leafCell{key: append([]byte(nil), key...), val: append([]byte(nil), val...)}
+	if n.size() <= pager.PageSize {
+		return nil, pager.InvalidPage, t.writeNode(id, n)
+	}
+	// Split: move the upper half to a fresh right sibling.
+	mid := len(n.leaf) / 2
+	right := &nodePage{kind: leafNode, extra: n.extra, leaf: append([]leafCell(nil), n.leaf[mid:]...)}
+	n.leaf = n.leaf[:mid]
+	rid, err := t.allocNode(right)
+	if err != nil {
+		return nil, pager.InvalidPage, err
+	}
+	n.extra = uint32(rid)
+	if err := t.writeNode(id, n); err != nil {
+		return nil, pager.InvalidPage, err
+	}
+	return right.leaf[0].key, rid, nil
+}
+
+// upperBoundLeaf returns the first index whose key is strictly greater than
+// key (insertion point after duplicates) in a decoded leaf.
+func upperBoundLeaf(cells []leafCell, key []byte) int {
+	lo, hi := 0, len(cells)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(cells[mid].key, key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lowerBoundLeaf returns the first index whose key is >= key in a decoded
+// leaf.
+func lowerBoundLeaf(cells []leafCell, key []byte) int {
+	lo, hi := 0, len(cells)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(cells[mid].key, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns all values stored under exactly key, in insertion order.
+func (t *Tree) Get(key []byte) ([][]byte, error) {
+	var out [][]byte
+	err := t.Scan(key, key, true, true, func(k, v []byte) bool {
+		out = append(out, append([]byte(nil), v...))
+		return true
+	})
+	return out, err
+}
+
+// Scan visits entries with lo <= k <= hi in key order (duplicates in
+// insertion order), honouring the inclusivity flags. A nil lo means
+// unbounded below; a nil hi means unbounded above. fn returns false to
+// stop. The key and value slices alias buffer-pool memory and are only
+// valid for the duration of the callback; copy them to retain them.
+func (t *Tree) Scan(lo, hi []byte, loIncl, hiIncl bool, fn func(key, val []byte) bool) error {
+	id := t.root
+	for {
+		p, err := t.forest.bp.Get(id)
+		if err != nil {
+			return err
+		}
+		if pageKind(p.Data) == leafNode {
+			return t.scanLeaves(p, lo, hi, loIncl, hiIncl, fn)
+		}
+		switch {
+		case lo == nil:
+			id = pageChildAt(p.Data, 0)
+		case loIncl:
+			id = pageChildAt(p.Data, innerChildIndexLower(p.Data, lo))
+		default:
+			id = pageChildAt(p.Data, innerChildIndex(p.Data, lo))
+		}
+		p.Unpin(false)
+	}
+}
+
+// scanLeaves iterates leaf pages starting at the pinned page p (ownership
+// of the pin transfers to scanLeaves).
+func (t *Tree) scanLeaves(p *pager.Page, lo, hi []byte, loIncl, hiIncl bool, fn func(k, v []byte) bool) error {
+	for {
+		data := p.Data
+		start := 0
+		if lo != nil {
+			if loIncl {
+				start = leafLowerBound(data, lo)
+			} else {
+				start = leafUpperBound(data, lo)
+			}
+		}
+		num := pageNumKeys(data)
+		for i := start; i < num; i++ {
+			k, v := leafCellAt(data, i)
+			if hi != nil {
+				cmp := bytes.Compare(k, hi)
+				if cmp > 0 || (cmp == 0 && !hiIncl) {
+					p.Unpin(false)
+					return nil
+				}
+			}
+			if !fn(k, v) {
+				p.Unpin(false)
+				return nil
+			}
+		}
+		next := pageExtra(data)
+		p.Unpin(false)
+		if next == 0 {
+			// Page 0 is the forest meta page, never a leaf, so zero
+			// means "no next leaf".
+			return nil
+		}
+		var err error
+		p, err = t.forest.bp.Get(pager.PageID(next))
+		if err != nil {
+			return err
+		}
+		lo = nil // subsequent leaves start from their beginning
+	}
+}
+
+// Delete removes the first entry equal to (key, val); with val == nil it
+// removes the first entry with the given key. It returns whether an entry
+// was removed. Deletion is lazy: pages are never merged, matching the
+// load-then-query workloads in the paper.
+func (t *Tree) Delete(key, val []byte) (bool, error) {
+	id := t.root
+	for {
+		p, err := t.forest.bp.Get(id)
+		if err != nil {
+			return false, err
+		}
+		if pageKind(p.Data) == internalNode {
+			next := pageChildAt(p.Data, innerChildIndexLower(p.Data, key))
+			p.Unpin(false)
+			id = next
+			continue
+		}
+		p.Unpin(false)
+		for {
+			n, err := t.readNode(id)
+			if err != nil {
+				return false, err
+			}
+			for i := lowerBoundLeaf(n.leaf, key); i < len(n.leaf); i++ {
+				if !bytes.Equal(n.leaf[i].key, key) {
+					return false, nil
+				}
+				if val == nil || bytes.Equal(n.leaf[i].val, val) {
+					n.leaf = append(n.leaf[:i], n.leaf[i+1:]...)
+					if err := t.writeNode(id, n); err != nil {
+						return false, err
+					}
+					t.count--
+					t.forest.markDirty(t)
+					return true, nil
+				}
+			}
+			if n.extra == 0 {
+				return false, nil
+			}
+			id = pager.PageID(n.extra)
+		}
+	}
+}
+
+// Height returns the number of levels in the tree (1 = a single leaf).
+func (t *Tree) Height() (int, error) {
+	h := 1
+	id := t.root
+	for {
+		p, err := t.forest.bp.Get(id)
+		if err != nil {
+			return 0, err
+		}
+		if pageKind(p.Data) == leafNode {
+			p.Unpin(false)
+			return h, nil
+		}
+		h++
+		id = pageChildAt(p.Data, 0)
+		p.Unpin(false)
+	}
+}

@@ -1,0 +1,125 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"repro/internal/pager"
+)
+
+// On-page format (v2, with a slot directory so searches touch only the
+// cells they compare against instead of decoding whole pages):
+//
+//	header:  kind(1) numKeys(2) extra(4)
+//	slots:   numKeys × uint16 cell offsets (from page start), in key order
+//	cells:   leaf:  keyLen(2) valLen(2) key val
+//	         inner: keyLen(2) child(4) key
+//
+// extra is the next-leaf page id on leaves and the leftmost child on
+// internal nodes. The write path still materialises pages into nodePage
+// values (insertion reshuffles cells anyway); the read path uses the
+// accessors below directly on pinned page bytes, copying nothing.
+
+// pageKind returns the node kind byte.
+func pageKind(data []byte) byte { return data[0] }
+
+// pageNumKeys returns the number of cells.
+func pageNumKeys(data []byte) int { return int(binary.LittleEndian.Uint16(data[1:3])) }
+
+// pageExtra returns the extra field (next leaf / leftmost child).
+func pageExtra(data []byte) uint32 { return binary.LittleEndian.Uint32(data[3:7]) }
+
+func slotOffset(data []byte, i int) int {
+	return int(binary.LittleEndian.Uint16(data[headerSize+2*i : headerSize+2*i+2]))
+}
+
+// leafCellAt returns the i-th leaf cell's key and value, aliasing the page.
+func leafCellAt(data []byte, i int) (key, val []byte) {
+	off := slotOffset(data, i)
+	kl := int(binary.LittleEndian.Uint16(data[off : off+2]))
+	vl := int(binary.LittleEndian.Uint16(data[off+2 : off+4]))
+	off += leafCellHdr
+	return data[off : off+kl], data[off+kl : off+kl+vl]
+}
+
+// innerCellAt returns the i-th internal cell's key and child page id,
+// aliasing the page.
+func innerCellAt(data []byte, i int) (key []byte, child pager.PageID) {
+	off := slotOffset(data, i)
+	kl := int(binary.LittleEndian.Uint16(data[off : off+2]))
+	child = pager.PageID(binary.LittleEndian.Uint32(data[off+2 : off+6]))
+	off += innerCellHdr
+	return data[off : off+kl], child
+}
+
+// pageChildAt returns the page id of the i-th child (0 = leftmost) of an
+// internal page.
+func pageChildAt(data []byte, i int) pager.PageID {
+	if i == 0 {
+		return pager.PageID(pageExtra(data))
+	}
+	_, child := innerCellAt(data, i-1)
+	return child
+}
+
+// leafLowerBound returns the first index whose key is >= key.
+func leafLowerBound(data []byte, key []byte) int {
+	lo, hi := 0, pageNumKeys(data)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		k, _ := leafCellAt(data, mid)
+		if bytes.Compare(k, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// leafUpperBound returns the first index whose key is > key.
+func leafUpperBound(data []byte, key []byte) int {
+	lo, hi := 0, pageNumKeys(data)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		k, _ := leafCellAt(data, mid)
+		if bytes.Compare(k, key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// innerChildIndex returns the child to descend into for key, biased right
+// (duplicates go after equal keys).
+func innerChildIndex(data []byte, key []byte) int {
+	lo, hi := 0, pageNumKeys(data)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		k, _ := innerCellAt(data, mid)
+		if bytes.Compare(k, key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// innerChildIndexLower is innerChildIndex biased left (first child that can
+// contain key), used when descending for scans.
+func innerChildIndexLower(data []byte, key []byte) int {
+	lo, hi := 0, pageNumKeys(data)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		k, _ := innerCellAt(data, mid)
+		if bytes.Compare(k, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

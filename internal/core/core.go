@@ -1,0 +1,84 @@
+// Package core is the public facade of the PRIX reproduction: it re-exports
+// the types a downstream user needs — index building/opening, query parsing
+// and matching — without requiring them to know the internal package split.
+// The primary contribution (Prüfer-sequence indexing and holistic twig
+// matching, §3-§5 of the paper) lives in internal/prix; the substrates it
+// depends on are internal/{xmltree,prufer,pager,btree,vtrie,docstore,twig}.
+package core
+
+import (
+	"io"
+
+	"repro/internal/prix"
+	"repro/internal/twig"
+	"repro/internal/xmltree"
+)
+
+// Document is an ordered labeled XML tree.
+type Document = xmltree.Document
+
+// Index is a PRIX index (RPIndex or EPIndex per Options.Extended).
+type Index = prix.Index
+
+// Options configures index construction.
+type Options = prix.Options
+
+// MatchOptions tunes query execution.
+type MatchOptions = prix.MatchOptions
+
+// Match is one twig occurrence.
+type Match = prix.Match
+
+// QueryStats reports per-query work (range queries, candidates, pages).
+type QueryStats = prix.QueryStats
+
+// Query is a parsed twig query.
+type Query = twig.Query
+
+// ParseXML parses one XML document (attributes become subelements, values
+// become leaf nodes) and assigns the postorder numbering PRIX relies on.
+func ParseXML(id int, r io.Reader) (*Document, error) {
+	return xmltree.Parse(id, r, xmltree.ParseOptions{})
+}
+
+// ParseXMLString is ParseXML over a string.
+func ParseXMLString(id int, s string) (*Document, error) {
+	return xmltree.ParseString(id, s)
+}
+
+// ParseQuery parses the XPath subset of the paper (child and descendant
+// axes, '*' steps, equality value predicates): //a[./b="v"][.//c]/d.
+func ParseQuery(src string) (*Query, error) { return twig.Parse(src) }
+
+// BuildIndex indexes a document collection. Use Options.Extended for an
+// EPIndex (recommended when queries contain values, §5.6); Options.Dir for
+// a persistent on-disk index.
+func BuildIndex(docs []*Document, opts Options) (*Index, error) {
+	return prix.Build(docs, opts)
+}
+
+// OpenIndex opens a previously built on-disk index.
+func OpenIndex(dir string, opts Options) (*Index, error) {
+	return prix.Open(dir, opts)
+}
+
+// Dual bundles an RPIndex and EPIndex with the §5.6 query optimizer that
+// routes each query to the appropriate variant.
+type Dual = prix.Dual
+
+// DynamicIndex accepts document insertions after construction using the
+// §5.2.1 dynamic labeling scheme.
+type DynamicIndex = prix.DynamicIndex
+
+// DynamicOptions tunes the dynamic labeler (prefix depth, scope spread).
+type DynamicOptions = prix.DynamicOptions
+
+// BuildDualIndex builds both index variants plus the optimizer.
+func BuildDualIndex(docs []*Document, opts Options) (*Dual, error) {
+	return prix.BuildDual(docs, opts)
+}
+
+// NewDynamicIndex builds an insertable index seeded with initial documents.
+func NewDynamicIndex(initial []*Document, opts Options, dopts DynamicOptions) (*DynamicIndex, error) {
+	return prix.NewDynamicIndex(initial, opts, dopts)
+}

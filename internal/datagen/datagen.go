@@ -1,0 +1,525 @@
+// Package datagen generates the synthetic document collections the
+// benchmark harness uses in place of the University of Washington XML
+// repository datasets the paper evaluated on (DBLP, SWISSPROT, TREEBANK).
+//
+// Each generator reproduces its dataset's structural character as described
+// in §6.2 — DBLP: many shallow records with high structural similarity;
+// SWISSPROT: bushy and shallow; TREEBANK: skinny with deep recursion — and
+// plants the exact match counts of the paper's Table 3 queries, independent
+// of the scale factor. Filler vocabulary is chosen so no accidental matches
+// arise; the test suite verifies the planted counts against the brute-force
+// matcher.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/twig"
+	"repro/internal/xmltree"
+)
+
+// Dataset is a generated collection plus its benchmark queries.
+type Dataset struct {
+	// Name is "DBLP", "SWISSPROT" or "TREEBANK".
+	Name string
+	// Docs is the document collection; IDs are sequential from 0.
+	Docs []*xmltree.Document
+	// Queries are the paper's Table 3 queries targeting this dataset.
+	Queries []QuerySpec
+}
+
+// QuerySpec is one Table 3 query with its planted match count.
+type QuerySpec struct {
+	// ID is the paper's query name (Q1..Q9).
+	ID string
+	// XPath is the query text, parseable by twig.Parse.
+	XPath string
+	// Want is the planted number of twig occurrences.
+	Want int
+	// Extended selects the index the paper's optimizer would use: true
+	// for queries with values (EPIndex), false otherwise (RPIndex).
+	Extended bool
+}
+
+// Query parses the XPath.
+func (qs QuerySpec) Query() *twig.Query { return twig.MustParse(qs.XPath) }
+
+// ByName builds a dataset by name ("dblp", "swissprot", "treebank").
+func ByName(name string, scale int, seed int64) (*Dataset, error) {
+	switch name {
+	case "dblp", "DBLP":
+		return DBLP(scale, seed), nil
+	case "swissprot", "SWISSPROT":
+		return SwissProt(scale, seed), nil
+	case "treebank", "TREEBANK":
+		return Treebank(scale, seed), nil
+	}
+	return nil, fmt.Errorf("datagen: unknown dataset %q", name)
+}
+
+// Names lists the available datasets.
+func Names() []string { return []string{"DBLP", "SWISSPROT", "TREEBANK"} }
+
+// Stats summarises a collection for the Table 2 report.
+type Stats struct {
+	Documents int
+	Elements  int
+	Values    int
+	MaxDepth  int
+	XMLBytes  int64
+}
+
+// Summarize computes the dataset statistics.
+func (d *Dataset) Summarize() Stats {
+	var s Stats
+	s.Documents = len(d.Docs)
+	for _, doc := range d.Docs {
+		s.Elements += doc.CountElements()
+		s.Values += doc.CountValues()
+		if dep := doc.MaxDepth(); dep > s.MaxDepth {
+			s.MaxDepth = dep
+		}
+		s.XMLBytes += doc.XMLSize()
+	}
+	return s
+}
+
+// el and val are terse tree-building helpers.
+func el(label string, children ...*xmltree.Node) *xmltree.Node {
+	n := &xmltree.Node{Label: label}
+	for _, c := range children {
+		n.AddChild(c)
+	}
+	return n
+}
+
+func val(text string) *xmltree.Node { return &xmltree.Node{Label: text, IsValue: true} }
+
+func elv(label, value string) *xmltree.Node { return el(label, val(value)) }
+
+// pool draws a pseudo-word from a themed pool.
+func pool(rng *rand.Rand, prefix string, size int) string {
+	return fmt.Sprintf("%s%03d", prefix, rng.Intn(size))
+}
+
+// DBLP generates a bibliography collection: shallow, highly similar records
+// (inproceedings, article, proceedings, www). The planted matches are:
+//
+//	Q1 //inproceedings[./author="Jim Gray"][./year="1990"]  -> 6
+//	Q2 //www[./editor]/url                                   -> 21
+//	Q3 //title[text()="Semantic Analysis Patterns"]          -> 1
+//
+// Near-miss decoys stress the engines: "Jim Gray" papers from other years,
+// 1990 papers by other authors, www records with only one of editor/url,
+// and editor/url elements occurring frequently in neighbouring records
+// (the §6.4.2 scenario that forces TwigStackXB to drill down).
+func DBLP(scale int, seed int64) *Dataset {
+	if scale < 1 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 2000 * scale
+	ds := &Dataset{Name: "DBLP"}
+	plantEvery := n / 21 // scatter the 21 Q2 matches evenly
+	if plantEvery == 0 {
+		plantEvery = 1
+	}
+	var q1Planted, q2Planted, q3Planted int
+	for i := 0; i < n; i++ {
+		var root *xmltree.Node
+		switch {
+		case q2Planted < 21 && i%plantEvery == plantEvery/2:
+			// Planted www with both editor and url, scattered.
+			root = el("www",
+				elv("editor", pool(rng, "editor", 50)),
+				elv("url", "http://site.example/"+pool(rng, "page", 500)),
+			)
+			q2Planted++
+		case i%97 == 13:
+			// Filler www without editor (url only).
+			root = el("www",
+				elv("title", pool(rng, "wtitle", 400)),
+				elv("url", "http://site.example/"+pool(rng, "page", 500)),
+			)
+		case i%97 == 31:
+			// Filler www with editor but no url.
+			root = el("www",
+				elv("editor", pool(rng, "editor", 50)),
+				elv("title", pool(rng, "wtitle", 400)),
+			)
+		case i%11 == 5:
+			// proceedings: frequent editor elements near www records.
+			root = el("proceedings",
+				elv("editor", pool(rng, "editor", 50)),
+				elv("title", pool(rng, "ptitle", 400)),
+				elv("year", fmt.Sprintf("%d", 1960+rng.Intn(45))),
+				elv("publisher", pool(rng, "pub", 30)),
+			)
+		default:
+			// inproceedings/article records.
+			tag := "inproceedings"
+			if i%5 == 2 {
+				tag = "article"
+			}
+			author := pool(rng, "author", 800)
+			year := fmt.Sprintf("%d", 1960+rng.Intn(45))
+			title := pool(rng, "title", 4000)
+			switch {
+			case q1Planted < 6 && tag == "inproceedings" && i%(n/7+1) == 1:
+				author, year = "Jim Gray", "1990"
+				q1Planted++
+			case i%53 == 7:
+				// Decoy: Jim Gray in another year.
+				author = "Jim Gray"
+				if year == "1990" {
+					year = "1991"
+				}
+			case i%17 == 3:
+				// Decoy: someone else in 1990.
+				year = "1990"
+			}
+			if q3Planted < 1 && i == n/2 {
+				title = "Semantic Analysis Patterns"
+				q3Planted++
+			}
+			kids := []*xmltree.Node{elv("author", author)}
+			for extra := rng.Intn(3); extra > 0; extra-- {
+				kids = append(kids, elv("author", pool(rng, "author", 800)))
+			}
+			kids = append(kids, elv("title", title), elv("year", year))
+			if rng.Intn(2) == 0 {
+				// Frequent url elements near www records (§6.4.2).
+				kids = append(kids, elv("url", "http://dl.example/"+pool(rng, "doi", 2000)))
+			}
+			if rng.Intn(4) == 0 {
+				kids = append(kids, elv("pages", fmt.Sprintf("%d-%d", rng.Intn(400), 400+rng.Intn(400))))
+			}
+			root = el(tag, kids...)
+		}
+		ds.Docs = append(ds.Docs, xmltree.NewDocument(len(ds.Docs), root))
+	}
+	// Guarantee the planted counts even at tiny scales.
+	for q1Planted < 6 {
+		ds.Docs = append(ds.Docs, xmltree.NewDocument(len(ds.Docs),
+			el("inproceedings", elv("author", "Jim Gray"), elv("title", pool(rng, "title", 4000)), elv("year", "1990"))))
+		q1Planted++
+	}
+	for q2Planted < 21 {
+		ds.Docs = append(ds.Docs, xmltree.NewDocument(len(ds.Docs),
+			el("www", elv("editor", pool(rng, "editor", 50)), elv("url", "http://site.example/x"))))
+		q2Planted++
+	}
+	if q3Planted < 1 {
+		ds.Docs = append(ds.Docs, xmltree.NewDocument(len(ds.Docs),
+			el("article", elv("author", pool(rng, "author", 800)), elv("title", "Semantic Analysis Patterns"), elv("year", "2001"))))
+	}
+	ds.Queries = []QuerySpec{
+		{ID: "Q1", XPath: `//inproceedings[./author="Jim Gray"][./year="1990"]`, Want: 6, Extended: true},
+		{ID: "Q2", XPath: `//www[./editor]/url`, Want: 21, Extended: false},
+		{ID: "Q3", XPath: `//title[text()="Semantic Analysis Patterns"]`, Want: 1, Extended: true},
+	}
+	return ds
+}
+
+// SwissProt generates protein entries: bushy, shallow documents. Planted:
+//
+//	Q4 //Entry[./Keyword="Rhizomelic"]                          -> 3
+//	Q5 //Entry/Ref[./Author="Mueller P"][./Author="Keller M"]   -> 5
+//	Q6 //Entry[./Org="Piroplasmida"][.//Author]//from           -> 158
+//
+// Q6's 158 embeddings come from two planted entries (10 authors × 10 froms
+// and 2 × 29); additional Piroplasmida entries scattered through the
+// collection lack either authors or froms, reproducing the §6.4.2 scenario
+// where TwigStackXB repeatedly drills down to discard partial matches.
+func SwissProt(scale int, seed int64) *Dataset {
+	if scale < 1 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 600 * scale
+	ds := &Dataset{Name: "SWISSPROT"}
+	var q4, q5 int
+	q6Slots := map[int]int{n / 3: 1, 2 * n / 3: 2} // planted positions
+	decoyEvery := n / 40
+	if decoyEvery == 0 {
+		decoyEvery = 1
+	}
+	filler := func() []*xmltree.Node {
+		// A bushy entry body: accessions, keywords, refs with authors.
+		var kids []*xmltree.Node
+		kids = append(kids, elv("Ac", pool(rng, "P", 90000)))
+		for k := rng.Intn(4); k > 0; k-- {
+			kids = append(kids, elv("Keyword", pool(rng, "kw", 300)))
+		}
+		kids = append(kids, elv("Org", pool(rng, "org", 200)))
+		for r := 1 + rng.Intn(3); r > 0; r-- {
+			ref := el("Ref")
+			for a := 1 + rng.Intn(3); a > 0; a-- {
+				ref.AddChild(elv("Author", pool(rng, "auth", 900)))
+			}
+			if rng.Intn(2) == 0 {
+				ref.AddChild(elv("Cite", pool(rng, "cite", 2000)))
+			}
+			if rng.Intn(3) == 0 {
+				ref.AddChild(elv("from", pool(rng, "src", 100)))
+			}
+			kids = append(kids, ref)
+		}
+		return kids
+	}
+	for i := 0; i < n; i++ {
+		var kids []*xmltree.Node
+		switch {
+		case q6Slots[i] == 1:
+			// Planted Q6 entry: 10 authors in a Ref, then 10 froms as
+			// Entry children after the Ref -> 100 (author, from) pairs.
+			ref := el("Ref")
+			for a := 0; a < 10; a++ {
+				ref.AddChild(elv("Author", pool(rng, "auth", 900)))
+			}
+			cited := el("Cited")
+			for f := 0; f < 10; f++ {
+				cited.AddChild(elv("from", pool(rng, "src", 100)))
+			}
+			kids = []*xmltree.Node{elv("Org", "Piroplasmida"), ref, cited}
+		case q6Slots[i] == 2:
+			// Planted Q6 entry: 2 authors then 29 froms -> 58 pairs.
+			ref := el("Ref")
+			ref.AddChild(elv("Author", pool(rng, "auth", 900)))
+			ref.AddChild(elv("Author", pool(rng, "auth", 900)))
+			cited := el("Cited")
+			for f := 0; f < 29; f++ {
+				cited.AddChild(elv("from", pool(rng, "src", 100)))
+			}
+			kids = []*xmltree.Node{elv("Org", "Piroplasmida"), ref, cited}
+		case i%decoyEvery == 1:
+			// Scattered Piroplasmida decoys missing authors or froms.
+			if rng.Intn(2) == 0 {
+				// No from anywhere.
+				ref := el("Ref", elv("Author", pool(rng, "auth", 900)))
+				kids = []*xmltree.Node{elv("Org", "Piroplasmida"), ref}
+			} else {
+				// No author anywhere (Cite-only ref with a from).
+				ref := el("Ref", elv("Cite", pool(rng, "cite", 2000)), elv("from", pool(rng, "src", 100)))
+				kids = []*xmltree.Node{elv("Org", "Piroplasmida"), ref}
+			}
+		default:
+			kids = filler()
+			switch {
+			case q4 < 3 && i%(n/4+1) == 2:
+				kids = append([]*xmltree.Node{elv("Keyword", "Rhizomelic")}, kids...)
+				q4++
+			case q5 < 5 && i%(n/6+1) == 3:
+				ref := el("Ref", elv("Author", "Mueller P"), elv("Author", "Keller M"))
+				if rng.Intn(2) == 0 {
+					ref.AddChild(elv("Cite", pool(rng, "cite", 2000)))
+				}
+				kids = append(kids, ref)
+				q5++
+			case i%29 == 11:
+				// Decoy: only one of the Q5 authors.
+				name := "Mueller P"
+				if rng.Intn(2) == 0 {
+					name = "Keller M"
+				}
+				kids = append(kids, el("Ref", elv("Author", name), elv("Author", pool(rng, "auth", 900))))
+			}
+		}
+		ds.Docs = append(ds.Docs, xmltree.NewDocument(len(ds.Docs), el("Entry", kids...)))
+	}
+	for q4 < 3 {
+		ds.Docs = append(ds.Docs, xmltree.NewDocument(len(ds.Docs),
+			el("Entry", elv("Keyword", "Rhizomelic"), elv("Org", pool(rng, "org", 200)))))
+		q4++
+	}
+	for q5 < 5 {
+		ds.Docs = append(ds.Docs, xmltree.NewDocument(len(ds.Docs),
+			el("Entry", el("Ref", elv("Author", "Mueller P"), elv("Author", "Keller M")))))
+		q5++
+	}
+	ds.Queries = []QuerySpec{
+		{ID: "Q4", XPath: `//Entry[./Keyword="Rhizomelic"]`, Want: 3, Extended: true},
+		{ID: "Q5", XPath: `//Entry/Ref[./Author="Mueller P"][./Author="Keller M"]`, Want: 5, Extended: true},
+		{ID: "Q6", XPath: `//Entry[./Org="Piroplasmida"][.//Author]//from`, Want: 158, Extended: true},
+	}
+	return ds
+}
+
+// Treebank generates parse trees: skinny documents with deep tag recursion
+// (maximum depth around 36, mirroring Table 2). Values are omitted — the
+// paper's TREEBANK values were encrypted and its queries value-free.
+// Planted:
+//
+//	Q7 //S//NP/SYM                    -> 9 (3 documents × 3 stacked S)
+//	Q8 //NP[./RBR_OR_JJR]/PP          -> 1
+//	Q9 //NP/PP/NP[./NNS_OR_NN][./NN]  -> 6
+//
+// Scattered decoys give NP an RBR_OR_JJR descendant (not child) next to a
+// PP child — the parent-child sub-optimality scenario of §6.4.2.
+func Treebank(scale int, seed int64) *Dataset {
+	if scale < 1 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 400 * scale
+	ds := &Dataset{Name: "TREEBANK"}
+
+	// Filler grammar. SYM never appears under NP; RBR_OR_JJR never as an
+	// NP child; PP children of NP never lead to NP(NNS_OR_NN, NN).
+	// SYM is excluded from the generic leaf pool so NP/SYM edges exist
+	// only where planted; filler SYMs hang under VP instead.
+	leafTags := []string{"DT", "JJ", "IN", "VB", "NN", "NNS_OR_NN", "CD"}
+	var gen func(depth, budget int) *xmltree.Node
+	gen = func(depth, budget int) *xmltree.Node {
+		if depth <= 1 || budget <= 1 || rng.Intn(100) < 12 {
+			return el(leafTags[rng.Intn(len(leafTags))])
+		}
+		switch rng.Intn(5) {
+		case 0:
+			return el("S", gen(depth-1, budget/2), gen(depth-1, budget/2))
+		case 1:
+			// NP children avoid SYM and RBR_OR_JJR (planted-only shapes).
+			return el("NP", el("DT"), gen(depth-1, budget-2))
+		case 2:
+			if rng.Intn(4) == 0 {
+				return el("VP", el("SYM"), gen(depth-1, budget-2))
+			}
+			return el("VP", el("VB"), gen(depth-1, budget-2))
+		case 3:
+			// PP under anything gets an IN and a non-NP phrase.
+			return el("PP", el("IN"), el("VP", el("VB"), gen(depth-1, budget-3)))
+		default:
+			return el("S", el("VP", gen(depth-1, budget-2)))
+		}
+	}
+	deepChain := func() *xmltree.Node {
+		// A skinny, deeply recursive spine: S/VP/S/VP/... down to ~36.
+		depth := 24 + rng.Intn(13)
+		node := el(leafTags[rng.Intn(len(leafTags))])
+		for i := 0; i < depth-1; i++ {
+			if i%2 == 0 {
+				node = el("VP", node)
+			} else {
+				node = el("S", node)
+			}
+		}
+		return el("S", node)
+	}
+	q7Slots := map[int]bool{n / 5: true, 2 * n / 5: true, 4 * n / 5: true}
+	q9Every := n / 6
+	if q9Every == 0 {
+		q9Every = 1
+	}
+	var q7, q8, q9 int
+	decoyEvery := n / 30
+	if decoyEvery == 0 {
+		decoyEvery = 1
+	}
+	for i := 0; i < n; i++ {
+		var root *xmltree.Node
+		switch {
+		case q7Slots[i]:
+			// 3 stacked S above NP(SYM): 3 embeddings each.
+			root = el("S", el("S", el("VP", el("S", el("NP", el("SYM"))))))
+			q7 += 3
+		case q8 < 1 && i == n/2:
+			root = el("S", el("NP", el("RBR_OR_JJR"), el("PP", el("IN"))))
+			q8++
+		case q9 < 6 && i%q9Every == 4:
+			root = el("S", el("NP",
+				el("PP", el("NP", el("NNS_OR_NN"), el("NN"))),
+			))
+			q9++
+		case i%decoyEvery == 2:
+			// §6.4.2 decoy: NP ancestor (not parent) of RBR_OR_JJR and PP.
+			root = el("S", el("NP",
+				el("JJ", el("RBR_OR_JJR")),
+				el("VP", el("PP", el("IN"))),
+			))
+		case i%7 == 3:
+			root = deepChain()
+		default:
+			root = el("S", gen(8+rng.Intn(6), 40))
+		}
+		ds.Docs = append(ds.Docs, xmltree.NewDocument(len(ds.Docs), root))
+	}
+	for q7 < 9 {
+		ds.Docs = append(ds.Docs, xmltree.NewDocument(len(ds.Docs),
+			el("S", el("S", el("VP", el("S", el("NP", el("SYM"))))))))
+		q7 += 3
+	}
+	if q8 < 1 {
+		ds.Docs = append(ds.Docs, xmltree.NewDocument(len(ds.Docs),
+			el("S", el("NP", el("RBR_OR_JJR"), el("PP", el("IN"))))))
+	}
+	for q9 < 6 {
+		ds.Docs = append(ds.Docs, xmltree.NewDocument(len(ds.Docs),
+			el("S", el("NP", el("PP", el("NP", el("NNS_OR_NN"), el("NN")))))))
+		q9++
+	}
+	// The paper ran Q7-Q9 on the RPIndex with §4.4's "special treatment
+	// of leaf nodes" so leaf labels appear in the sequences; on a
+	// value-free dataset that treatment coincides exactly with the
+	// Extended-Prüfer index, which is what Extended selects here. It is
+	// what makes these queries start from rare labels (SYM, RBR_OR_JJR)
+	// instead of the ubiquitous NP.
+	ds.Queries = []QuerySpec{
+		{ID: "Q7", XPath: `//S//NP/SYM`, Want: 9, Extended: true},
+		{ID: "Q8", XPath: `//NP[./RBR_OR_JJR]/PP`, Want: 1, Extended: true},
+		{ID: "Q9", XPath: `//NP/PP/NP[./NNS_OR_NN][./NN]`, Want: 6, Extended: true},
+	}
+	return ds
+}
+
+// Cardinality generates a DBLP-like collection planting exactly `want`
+// matches of the fixed twig //paper[./key="needle"]/venue, scattered evenly
+// through the filler. It supports the result-cardinality experiment the
+// paper's §7 lists as future work ("explore the behavior of the PRIX
+// system for different query characteristics such as the cardinality of
+// result sets").
+func Cardinality(scale int, seed int64, want int) *Dataset {
+	if scale < 1 {
+		scale = 1
+	}
+	if want < 0 {
+		want = 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 2000 * scale
+	if n < 2*want {
+		n = 2 * want
+	}
+	ds := &Dataset{Name: fmt.Sprintf("CARDINALITY-%d", want)}
+	every := n
+	if want > 0 {
+		every = n / want
+	}
+	planted := 0
+	for i := 0; i < n; i++ {
+		key := pool(rng, "key", 5000)
+		hasVenue := rng.Intn(2) == 0
+		if planted < want && every > 0 && i%every == every/2 {
+			key = "needle"
+			hasVenue = true
+			planted++
+		}
+		kids := []*xmltree.Node{
+			elv("key", key),
+			elv("title", pool(rng, "title", 4000)),
+		}
+		if hasVenue {
+			kids = append(kids, elv("venue", pool(rng, "venue", 200)))
+		}
+		ds.Docs = append(ds.Docs, xmltree.NewDocument(len(ds.Docs), el("paper", kids...)))
+	}
+	for planted < want {
+		ds.Docs = append(ds.Docs, xmltree.NewDocument(len(ds.Docs),
+			el("paper", elv("key", "needle"), elv("title", pool(rng, "title", 4000)), elv("venue", pool(rng, "venue", 200)))))
+		planted++
+	}
+	ds.Queries = []QuerySpec{
+		{ID: fmt.Sprintf("C%d", want), XPath: `//paper[./key="needle"]/venue`, Want: want, Extended: true},
+	}
+	return ds
+}

@@ -1,0 +1,112 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/twig"
+)
+
+// TestPlantedCountsMatchTable3 is the authoritative check that every
+// generated dataset contains exactly the paper's Table 3 match counts,
+// verified with the brute-force oracle, at two scales and two seeds.
+func TestPlantedCountsMatchTable3(t *testing.T) {
+	for _, scale := range []int{1, 2} {
+		for _, seed := range []int64{1, 99} {
+			for _, name := range Names() {
+				ds, err := ByName(name, scale, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, qs := range ds.Queries {
+					got := twig.CountBruteForce(qs.Query(), ds.Docs)
+					if got != qs.Want {
+						t.Errorf("%s scale=%d seed=%d %s: brute force %d, want %d",
+							name, scale, seed, qs.ID, got, qs.Want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDatasetShapes(t *testing.T) {
+	dblp := DBLP(1, 1)
+	sp := SwissProt(1, 1)
+	tb := Treebank(1, 1)
+
+	sd := dblp.Summarize()
+	if sd.MaxDepth > 4 {
+		t.Errorf("DBLP must be shallow, depth = %d", sd.MaxDepth)
+	}
+	if sd.Documents < 2000 {
+		t.Errorf("DBLP documents = %d", sd.Documents)
+	}
+	ss := sp.Summarize()
+	if ss.MaxDepth > 5 {
+		t.Errorf("SWISSPROT must be shallow, depth = %d", ss.MaxDepth)
+	}
+	// Bushy: average fanout of an Entry is large (many elements per doc).
+	if ss.Elements/ss.Documents < 5 {
+		t.Errorf("SWISSPROT not bushy: %d elements over %d docs", ss.Elements, ss.Documents)
+	}
+	st := tb.Summarize()
+	if st.MaxDepth < 25 || st.MaxDepth > 40 {
+		t.Errorf("TREEBANK depth = %d, want deep recursion (~36)", st.MaxDepth)
+	}
+	if st.Values != 0 {
+		t.Errorf("TREEBANK must be value-free, got %d values", st.Values)
+	}
+	if sd.XMLBytes == 0 || ss.XMLBytes == 0 || st.XMLBytes == 0 {
+		t.Error("XML sizes not computed")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := DBLP(1, 7), DBLP(1, 7)
+	if len(a.Docs) != len(b.Docs) {
+		t.Fatal("nondeterministic document count")
+	}
+	for i := range a.Docs {
+		if a.Docs[i].String() != b.Docs[i].String() {
+			t.Fatalf("doc %d differs between runs", i)
+		}
+	}
+	c := DBLP(1, 8)
+	same := 0
+	for i := range a.Docs {
+		if i < len(c.Docs) && a.Docs[i].String() == c.Docs[i].String() {
+			same++
+		}
+	}
+	if same == len(a.Docs) {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestScaleGrowsFiller(t *testing.T) {
+	s1, s3 := Treebank(1, 1).Summarize(), Treebank(3, 1).Summarize()
+	if s3.Documents < 2*s1.Documents {
+		t.Errorf("scale 3 not larger: %d vs %d docs", s3.Documents, s1.Documents)
+	}
+	// Match counts stay fixed regardless of scale (checked in the Table 3
+	// test); here just confirm query specs are scale-independent.
+	if len(Treebank(3, 1).Queries) != 3 {
+		t.Error("query specs changed with scale")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", 1, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestCardinalityPlanting(t *testing.T) {
+	for _, want := range []int{0, 1, 7, 100} {
+		ds := Cardinality(1, 3, want)
+		got := twig.CountBruteForce(ds.Queries[0].Query(), ds.Docs)
+		if got != want {
+			t.Errorf("Cardinality(%d): brute force found %d", want, got)
+		}
+	}
+}

@@ -1,0 +1,551 @@
+// Package docstore persists the per-document side data PRIX needs during
+// the refinement phases (§4.2–§4.4 of the paper): the Numbered Prüfer
+// sequence, the Labeled Prüfer sequence (as interned symbols), and the
+// (label, postorder) list of leaf nodes. It also owns the symbol dictionary
+// shared with the virtual trie and the MaxGap catalog of §5.4.
+//
+// Records live in a heap of pager pages and are read back through the
+// buffer pool, so refinement I/O is accounted exactly like index I/O.
+package docstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/pager"
+	"repro/internal/vtrie"
+)
+
+// Dict interns strings (element tags and values) as vtrie symbols.
+// The zero value is ready to use. Dict is safe for concurrent reads after
+// loading; interning is mutex-protected.
+type Dict struct {
+	mu     sync.Mutex
+	byName map[string]vtrie.Symbol
+	names  []string
+}
+
+// Intern returns the symbol for s, assigning a fresh one on first use.
+func (d *Dict) Intern(s string) vtrie.Symbol {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.byName == nil {
+		d.byName = make(map[string]vtrie.Symbol)
+	}
+	if sym, ok := d.byName[s]; ok {
+		return sym
+	}
+	sym := vtrie.Symbol(len(d.names))
+	d.byName[s] = sym
+	d.names = append(d.names, s)
+	return sym
+}
+
+// Lookup returns the symbol for s without interning.
+func (d *Dict) Lookup(s string) (vtrie.Symbol, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sym, ok := d.byName[s]
+	return sym, ok
+}
+
+// Name returns the string for a symbol; it panics on unknown symbols.
+func (d *Dict) Name(sym vtrie.Symbol) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.names[sym]
+}
+
+// Names returns all interned strings in symbol order. The returned slice
+// is a copy.
+func (d *Dict) Names() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.names...)
+}
+
+// Len returns the number of interned symbols.
+func (d *Dict) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.names)
+}
+
+// Leaf is one leaf node of a document: its postorder number and label.
+type Leaf struct {
+	Post int32
+	Sym  vtrie.Symbol
+}
+
+// Record is the per-document data consulted during refinement.
+type Record struct {
+	DocID uint32
+	// NumNodes is n, the node count of the (possibly extended) tree.
+	NumNodes int32
+	// NPS[i] is the postorder number of the parent of node i+1 (len n-1).
+	NPS []int32
+	// LPS[i] is the interned label of that parent (len n-1).
+	LPS []vtrie.Symbol
+	// Leaves lists the document's leaf nodes in postorder.
+	Leaves []Leaf
+}
+
+// encode appends the record's serialized form to buf.
+func (r *Record) encode(buf *bytes.Buffer) {
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+	}
+	put(uint64(r.DocID))
+	put(uint64(r.NumNodes))
+	put(uint64(len(r.NPS)))
+	for _, v := range r.NPS {
+		put(uint64(v))
+	}
+	for _, v := range r.LPS {
+		put(uint64(v))
+	}
+	put(uint64(len(r.Leaves)))
+	for _, l := range r.Leaves {
+		put(uint64(l.Post))
+		put(uint64(l.Sym))
+	}
+}
+
+func decodeRecord(data []byte) (*Record, error) {
+	r := &Record{}
+	br := bytes.NewReader(data)
+	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+	v, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("docstore: decode docID: %w", err)
+	}
+	r.DocID = uint32(v)
+	if v, err = get(); err != nil {
+		return nil, fmt.Errorf("docstore: decode numNodes: %w", err)
+	}
+	r.NumNodes = int32(v)
+	n, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("docstore: decode len: %w", err)
+	}
+	if n > 0 {
+		r.NPS = make([]int32, n)
+		r.LPS = make([]vtrie.Symbol, n)
+	}
+	for i := range r.NPS {
+		if v, err = get(); err != nil {
+			return nil, fmt.Errorf("docstore: decode NPS[%d]: %w", i, err)
+		}
+		r.NPS[i] = int32(v)
+	}
+	for i := range r.LPS {
+		if v, err = get(); err != nil {
+			return nil, fmt.Errorf("docstore: decode LPS[%d]: %w", i, err)
+		}
+		r.LPS[i] = vtrie.Symbol(v)
+	}
+	if v, err = get(); err != nil {
+		return nil, fmt.Errorf("docstore: decode leaf count: %w", err)
+	}
+	if v > 0 {
+		r.Leaves = make([]Leaf, v)
+	}
+	for i := range r.Leaves {
+		if v, err = get(); err != nil {
+			return nil, fmt.Errorf("docstore: decode leaf post: %w", err)
+		}
+		r.Leaves[i].Post = int32(v)
+		if v, err = get(); err != nil {
+			return nil, fmt.Errorf("docstore: decode leaf sym: %w", err)
+		}
+		r.Leaves[i].Sym = vtrie.Symbol(v)
+	}
+	return r, nil
+}
+
+// ParentOf returns the postorder number of node post's parent, or 0 for the
+// root. It is the NPS lookup N_T[i] used by the wildcard chase of §4.5.
+func (r *Record) ParentOf(post int32) int32 {
+	if post < 1 || post > r.NumNodes {
+		return 0
+	}
+	if post == r.NumNodes {
+		return 0
+	}
+	return r.NPS[post-1]
+}
+
+// dirEntry locates a record in the heap.
+type dirEntry struct {
+	page   pager.PageID
+	offset uint16
+	length uint32
+}
+
+// Store is a collection of records plus catalogs, persisted through a
+// buffer pool. Records must be Put in strictly increasing DocID order with
+// no gaps (datasets are loaded sequentially).
+type Store struct {
+	mu   sync.Mutex
+	bp   *pager.BufferPool
+	dict *Dict
+	dir  []dirEntry
+	// Catalogs holds named per-symbol integer catalogs; PRIX stores
+	// MaxGap here (§5.4), keyed by "maxgap".
+	catalogs map[string]map[vtrie.Symbol]int64
+	// Stats holds named dataset statistics (Table 2 feed).
+	stats map[string]int64
+
+	// append cursor
+	curPage pager.PageID
+	curOff  int
+}
+
+var storeMagic = []byte("PRIXDOC1")
+
+// NewStore initialises an empty store over an empty page file.
+func NewStore(bp *pager.BufferPool, dict *Dict) (*Store, error) {
+	if bp.File().NumPages() != 0 {
+		return nil, fmt.Errorf("docstore: NewStore over non-empty file; use Open")
+	}
+	s := &Store{
+		bp: bp, dict: dict,
+		catalogs: map[string]map[vtrie.Symbol]int64{},
+		stats:    map[string]int64{},
+		curPage:  pager.InvalidPage,
+	}
+	// Page 0 is reserved for the meta header written by Flush.
+	p, err := bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	copy(p.Data, storeMagic)
+	p.Unpin(true)
+	return s, nil
+}
+
+// Dict returns the symbol dictionary.
+func (s *Store) Dict() *Dict { return s.dict }
+
+// BufferPool returns the pool the store performs all I/O through.
+func (s *Store) BufferPool() *pager.BufferPool { return s.bp }
+
+// NumDocs returns the number of stored records.
+func (s *Store) NumDocs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.dir)
+}
+
+// Put appends a record. rec.DocID must equal NumDocs().
+func (s *Store) Put(rec *Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(rec.DocID) != len(s.dir) {
+		return fmt.Errorf("docstore: Put docID %d out of order (next is %d)", rec.DocID, len(s.dir))
+	}
+	var buf bytes.Buffer
+	rec.encode(&buf)
+	data := buf.Bytes()
+	// Start a fresh page if none is open or the current one is full.
+	if s.curPage == pager.InvalidPage || s.curOff == pager.PageSize {
+		p, err := s.bp.NewPage()
+		if err != nil {
+			return err
+		}
+		s.curPage = p.ID
+		s.curOff = 0
+		p.Unpin(true)
+	}
+	entry := dirEntry{page: s.curPage, offset: uint16(s.curOff), length: uint32(len(data))}
+	for len(data) > 0 {
+		if s.curOff == pager.PageSize {
+			p, err := s.bp.NewPage()
+			if err != nil {
+				return err
+			}
+			s.curPage = p.ID
+			s.curOff = 0
+			p.Unpin(true)
+		}
+		p, err := s.bp.Get(s.curPage)
+		if err != nil {
+			return err
+		}
+		n := copy(p.Data[s.curOff:], data)
+		p.Unpin(true)
+		s.curOff += n
+		data = data[n:]
+	}
+	s.dir = append(s.dir, entry)
+	return nil
+}
+
+// Get reads the record for docID.
+func (s *Store) Get(docID uint32) (*Record, error) {
+	s.mu.Lock()
+	if int(docID) >= len(s.dir) {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("docstore: no record for document %d", docID)
+	}
+	e := s.dir[docID]
+	s.mu.Unlock()
+	data := make([]byte, 0, e.length)
+	page, off := e.page, int(e.offset)
+	for uint32(len(data)) < e.length {
+		p, err := s.bp.Get(page)
+		if err != nil {
+			return nil, err
+		}
+		need := int(e.length) - len(data)
+		avail := pager.PageSize - off
+		if need < avail {
+			avail = need
+		}
+		data = append(data, p.Data[off:off+avail]...)
+		p.Unpin(false)
+		page++
+		off = 0
+	}
+	return decodeRecord(data)
+}
+
+// SetCatalog stores a named per-symbol catalog (e.g. "maxgap").
+func (s *Store) SetCatalog(name string, m map[vtrie.Symbol]int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make(map[vtrie.Symbol]int64, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	s.catalogs[name] = cp
+}
+
+// Catalog returns a named catalog (nil if absent). The returned map must
+// not be mutated.
+func (s *Store) Catalog(name string) map[vtrie.Symbol]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.catalogs[name]
+}
+
+// SetStat records a named dataset statistic.
+func (s *Store) SetStat(name string, v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats[name] = v
+}
+
+// Stat returns a named statistic and whether it was set.
+func (s *Store) Stat(name string) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.stats[name]
+	return v, ok
+}
+
+// meta serialisation -----------------------------------------------------------
+
+// Flush persists the directory, dictionary, catalogs and stats, then writes
+// all pages back. The meta payload lives in pages appended at flush time;
+// page 0 records where it starts.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { buf.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
+	putStr := func(x string) { put(uint64(len(x))); buf.WriteString(x) }
+	// Directory.
+	put(uint64(len(s.dir)))
+	for _, e := range s.dir {
+		put(uint64(e.page))
+		put(uint64(e.offset))
+		put(uint64(e.length))
+	}
+	// Dictionary.
+	s.dict.mu.Lock()
+	put(uint64(len(s.dict.names)))
+	for _, n := range s.dict.names {
+		putStr(n)
+	}
+	s.dict.mu.Unlock()
+	// Catalogs, sorted for determinism.
+	catNames := make([]string, 0, len(s.catalogs))
+	for n := range s.catalogs {
+		catNames = append(catNames, n)
+	}
+	sort.Strings(catNames)
+	put(uint64(len(catNames)))
+	for _, n := range catNames {
+		putStr(n)
+		m := s.catalogs[n]
+		syms := make([]vtrie.Symbol, 0, len(m))
+		for k := range m {
+			syms = append(syms, k)
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+		put(uint64(len(syms)))
+		for _, k := range syms {
+			put(uint64(k))
+			put(uint64(m[k]))
+		}
+	}
+	// Stats.
+	statNames := make([]string, 0, len(s.stats))
+	for n := range s.stats {
+		statNames = append(statNames, n)
+	}
+	sort.Strings(statNames)
+	put(uint64(len(statNames)))
+	for _, n := range statNames {
+		putStr(n)
+		put(uint64(s.stats[n]))
+	}
+	payload := buf.Bytes()
+	// Write the payload across fresh pages.
+	first := pager.InvalidPage
+	for off := 0; off < len(payload); off += pager.PageSize {
+		p, err := s.bp.NewPage()
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		if first == pager.InvalidPage {
+			first = p.ID
+		}
+		end := off + pager.PageSize
+		if end > len(payload) {
+			end = len(payload)
+		}
+		copy(p.Data, payload[off:end])
+		p.Unpin(true)
+	}
+	// Header in page 0.
+	p, err := s.bp.Get(0)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	copy(p.Data, storeMagic)
+	binary.LittleEndian.PutUint32(p.Data[8:12], uint32(first))
+	binary.LittleEndian.PutUint64(p.Data[12:20], uint64(len(payload)))
+	p.Unpin(true)
+	s.mu.Unlock()
+	return s.bp.FlushAll()
+}
+
+// Open loads a store previously persisted by Flush.
+func Open(bp *pager.BufferPool) (*Store, error) {
+	s := &Store{
+		bp: bp, dict: &Dict{},
+		catalogs: map[string]map[vtrie.Symbol]int64{},
+		stats:    map[string]int64{},
+		curPage:  pager.InvalidPage,
+	}
+	p, err := bp.Get(0)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(p.Data[:8], storeMagic) {
+		p.Unpin(false)
+		return nil, fmt.Errorf("docstore: page 0 is not a docstore header")
+	}
+	first := pager.PageID(binary.LittleEndian.Uint32(p.Data[8:12]))
+	length := int(binary.LittleEndian.Uint64(p.Data[12:20]))
+	p.Unpin(false)
+	if first == pager.InvalidPage {
+		return nil, fmt.Errorf("docstore: store was never flushed")
+	}
+	payload := make([]byte, 0, length)
+	for page := first; len(payload) < length; page++ {
+		p, err := bp.Get(page)
+		if err != nil {
+			return nil, err
+		}
+		need := length - len(payload)
+		if need > pager.PageSize {
+			need = pager.PageSize
+		}
+		payload = append(payload, p.Data[:need]...)
+		p.Unpin(false)
+	}
+	br := bytes.NewReader(payload)
+	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getStr := func() (string, error) {
+		n, err := get()
+		if err != nil {
+			return "", err
+		}
+		b := make([]byte, n)
+		if _, err := br.Read(b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	n, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("docstore: meta: %w", err)
+	}
+	s.dir = make([]dirEntry, n)
+	for i := range s.dir {
+		pg, err1 := get()
+		of, err2 := get()
+		ln, err3 := get()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("docstore: meta directory truncated at %d", i)
+		}
+		s.dir[i] = dirEntry{page: pager.PageID(pg), offset: uint16(of), length: uint32(ln)}
+	}
+	if n, err = get(); err != nil {
+		return nil, fmt.Errorf("docstore: meta dict: %w", err)
+	}
+	for i := uint64(0); i < n; i++ {
+		name, err := getStr()
+		if err != nil {
+			return nil, fmt.Errorf("docstore: meta dict entry %d: %w", i, err)
+		}
+		s.dict.Intern(name)
+	}
+	if n, err = get(); err != nil {
+		return nil, fmt.Errorf("docstore: meta catalogs: %w", err)
+	}
+	for i := uint64(0); i < n; i++ {
+		name, err := getStr()
+		if err != nil {
+			return nil, err
+		}
+		sz, err := get()
+		if err != nil {
+			return nil, err
+		}
+		m := make(map[vtrie.Symbol]int64, sz)
+		for j := uint64(0); j < sz; j++ {
+			k, err1 := get()
+			v, err2 := get()
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("docstore: catalog %s truncated", name)
+			}
+			m[vtrie.Symbol(k)] = int64(v)
+		}
+		s.catalogs[name] = m
+	}
+	if n, err = get(); err != nil {
+		return nil, fmt.Errorf("docstore: meta stats: %w", err)
+	}
+	for i := uint64(0); i < n; i++ {
+		name, err := getStr()
+		if err != nil {
+			return nil, err
+		}
+		v, err := get()
+		if err != nil {
+			return nil, err
+		}
+		s.stats[name] = int64(v)
+	}
+	return s, nil
+}

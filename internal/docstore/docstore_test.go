@@ -1,0 +1,264 @@
+package docstore
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/pager"
+	"repro/internal/vtrie"
+)
+
+func newStore(t testing.TB) *Store {
+	t.Helper()
+	s, err := NewStore(pager.NewBufferPool(pager.NewMemFile(), 64), &Dict{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDictIntern(t *testing.T) {
+	d := &Dict{}
+	a := d.Intern("author")
+	b := d.Intern("book")
+	if a == b {
+		t.Fatal("distinct strings share a symbol")
+	}
+	if d.Intern("author") != a {
+		t.Error("re-intern changed symbol")
+	}
+	if d.Name(a) != "author" || d.Name(b) != "book" {
+		t.Error("Name round trip failed")
+	}
+	if sym, ok := d.Lookup("book"); !ok || sym != b {
+		t.Error("Lookup failed")
+	}
+	if _, ok := d.Lookup("absent"); ok {
+		t.Error("Lookup invented a symbol")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func randomRecord(rng *rand.Rand, id uint32, size int) *Record {
+	r := &Record{DocID: id, NumNodes: int32(size)}
+	for i := 1; i < size; i++ {
+		r.NPS = append(r.NPS, int32(i+1+rng.Intn(size-i)))
+		r.LPS = append(r.LPS, vtrie.Symbol(rng.Intn(50)))
+	}
+	for i := 0; i < size/3; i++ {
+		r.Leaves = append(r.Leaves, Leaf{Post: int32(rng.Intn(size) + 1), Sym: vtrie.Symbol(rng.Intn(50))})
+	}
+	return r
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newStore(t)
+	rng := rand.New(rand.NewSource(1))
+	var want []*Record
+	for i := 0; i < 200; i++ {
+		r := randomRecord(rng, uint32(i), 2+rng.Intn(100))
+		want = append(want, r)
+		if err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.NumDocs() != 200 {
+		t.Fatalf("NumDocs = %d", s.NumDocs())
+	}
+	// Random access order.
+	for _, i := range rng.Perm(200) {
+		got, err := s.Get(uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got, want[i])
+		}
+	}
+	if _, err := s.Get(999); err == nil {
+		t.Error("Get of absent record succeeded")
+	}
+}
+
+func TestPutOutOfOrderRejected(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put(&Record{DocID: 5}); err == nil {
+		t.Error("out-of-order Put accepted")
+	}
+}
+
+func TestLargeRecordSpansPages(t *testing.T) {
+	s := newStore(t)
+	rng := rand.New(rand.NewSource(2))
+	// ~40k nodes: several pages of varints.
+	big := randomRecord(rng, 0, 40000)
+	if err := s.Put(big); err != nil {
+		t.Fatal(err)
+	}
+	small := randomRecord(rng, 1, 5)
+	if err := s.Put(small); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, big) {
+		t.Error("big record mangled")
+	}
+	got, err = s.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, small) {
+		t.Error("record after big record mangled")
+	}
+}
+
+func TestParentOf(t *testing.T) {
+	// Chain 1<-2<-3: NPS = [2, 3].
+	r := &Record{NumNodes: 3, NPS: []int32{2, 3}}
+	if r.ParentOf(1) != 2 || r.ParentOf(2) != 3 {
+		t.Error("ParentOf wrong for chain")
+	}
+	if r.ParentOf(3) != 0 {
+		t.Error("root must have parent 0")
+	}
+	if r.ParentOf(0) != 0 || r.ParentOf(99) != 0 {
+		t.Error("out-of-range posts must return 0")
+	}
+}
+
+func TestCatalogsAndStats(t *testing.T) {
+	s := newStore(t)
+	s.SetCatalog("maxgap", map[vtrie.Symbol]int64{1: 6, 2: 0})
+	s.SetStat("elements", 12345)
+	if m := s.Catalog("maxgap"); m[1] != 6 || m[2] != 0 {
+		t.Errorf("catalog = %v", m)
+	}
+	if s.Catalog("nope") != nil {
+		t.Error("absent catalog not nil")
+	}
+	if v, ok := s.Stat("elements"); !ok || v != 12345 {
+		t.Errorf("stat = %d %v", v, ok)
+	}
+	if _, ok := s.Stat("nope"); ok {
+		t.Error("absent stat reported present")
+	}
+}
+
+func TestFlushOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	file, err := pager.OpenOSFile(filepath.Join(dir, "docs.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := &Dict{}
+	bp := pager.NewBufferPool(file, 32)
+	s, err := NewStore(bp, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var want []*Record
+	for i := 0; i < 50; i++ {
+		r := randomRecord(rng, uint32(i), 2+rng.Intn(300))
+		want = append(want, r)
+		if err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		dict.Intern(fmt.Sprintf("tag%02d", i))
+	}
+	s.SetCatalog("maxgap", map[vtrie.Symbol]int64{3: 42})
+	s.SetStat("docs", 50)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	file.Close()
+
+	file2, err := pager.OpenOSFile(filepath.Join(dir, "docs.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file2.Close()
+	s2, err := Open(pager.NewBufferPool(file2, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumDocs() != 50 {
+		t.Fatalf("NumDocs after reopen = %d", s2.NumDocs())
+	}
+	for i := range want {
+		got, err := s2.Get(uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("record %d mismatch after reopen", i)
+		}
+	}
+	if s2.Dict().Name(s2.mustLookup(t, "tag42")) != "tag42" {
+		t.Error("dictionary lost")
+	}
+	if m := s2.Catalog("maxgap"); m[3] != 42 {
+		t.Errorf("catalog lost: %v", m)
+	}
+	if v, _ := s2.Stat("docs"); v != 50 {
+		t.Errorf("stat lost: %d", v)
+	}
+}
+
+func (s *Store) mustLookup(t *testing.T, name string) vtrie.Symbol {
+	t.Helper()
+	sym, ok := s.Dict().Lookup(name)
+	if !ok {
+		t.Fatalf("symbol %q missing", name)
+	}
+	return sym
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	bp := pager.NewBufferPool(pager.NewMemFile(), 8)
+	p, _ := bp.NewPage()
+	copy(p.Data, "NOTADOCS")
+	p.Unpin(true)
+	if _, err := Open(bp); err == nil {
+		t.Error("Open accepted garbage header")
+	}
+}
+
+func TestIOAccountingThroughPool(t *testing.T) {
+	s := newStore(t)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		if err := s.Put(randomRecord(rng, uint32(i), 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bp := s.bp
+	if err := bp.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	bp.ResetStats()
+	if _, err := s.Get(50); err != nil {
+		t.Fatal(err)
+	}
+	st := bp.Stats()
+	if st.PhysicalReads == 0 {
+		t.Error("cold Get performed no physical reads")
+	}
+	if _, err := s.Get(50); err != nil {
+		t.Fatal(err)
+	}
+	st2 := bp.Stats()
+	if st2.PhysicalReads != st.PhysicalReads {
+		t.Error("warm Get re-read pages physically")
+	}
+}

@@ -1,0 +1,112 @@
+package pager
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FaultFile wraps a File and fails operations on command. It exists for
+// failure-injection tests across the storage stack (btree, docstore, prix):
+// a database layered on a flaky disk must surface errors, not corrupt
+// state or panic.
+type FaultFile struct {
+	mu    sync.Mutex
+	inner File
+	// failReadAfter / failWriteAfter count down; when they reach zero the
+	// corresponding operation fails until the budget is reset. Negative
+	// means "never fail".
+	failReadAfter  int
+	failWriteAfter int
+}
+
+// ErrInjected is the error returned by scheduled failures.
+var ErrInjected = fmt.Errorf("pager: injected fault")
+
+// NewFaultFile wraps inner with no failures scheduled.
+func NewFaultFile(inner File) *FaultFile {
+	return &FaultFile{inner: inner, failReadAfter: -1, failWriteAfter: -1}
+}
+
+// FailReadsAfter schedules the n+1-th subsequent read to fail (0 = next).
+func (f *FaultFile) FailReadsAfter(n int) {
+	f.mu.Lock()
+	f.failReadAfter = n
+	f.mu.Unlock()
+}
+
+// FailWritesAfter schedules the n+1-th subsequent write or allocation to
+// fail (0 = next).
+func (f *FaultFile) FailWritesAfter(n int) {
+	f.mu.Lock()
+	f.failWriteAfter = n
+	f.mu.Unlock()
+}
+
+// Heal clears all scheduled failures.
+func (f *FaultFile) Heal() {
+	f.mu.Lock()
+	f.failReadAfter, f.failWriteAfter = -1, -1
+	f.mu.Unlock()
+}
+
+func (f *FaultFile) readFault() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failReadAfter == 0 {
+		return ErrInjected
+	}
+	if f.failReadAfter > 0 {
+		f.failReadAfter--
+	}
+	return nil
+}
+
+func (f *FaultFile) writeFault() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failWriteAfter == 0 {
+		return ErrInjected
+	}
+	if f.failWriteAfter > 0 {
+		f.failWriteAfter--
+	}
+	return nil
+}
+
+// ReadPage implements File.
+func (f *FaultFile) ReadPage(id PageID, buf []byte) error {
+	if err := f.readFault(); err != nil {
+		return err
+	}
+	return f.inner.ReadPage(id, buf)
+}
+
+// WritePage implements File.
+func (f *FaultFile) WritePage(id PageID, buf []byte) error {
+	if err := f.writeFault(); err != nil {
+		return err
+	}
+	return f.inner.WritePage(id, buf)
+}
+
+// Allocate implements File.
+func (f *FaultFile) Allocate() (PageID, error) {
+	if err := f.writeFault(); err != nil {
+		return InvalidPage, err
+	}
+	return f.inner.Allocate()
+}
+
+// NumPages implements File.
+func (f *FaultFile) NumPages() uint32 { return f.inner.NumPages() }
+
+// Sync implements File.
+func (f *FaultFile) Sync() error {
+	if err := f.writeFault(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Close implements File.
+func (f *FaultFile) Close() error { return f.inner.Close() }

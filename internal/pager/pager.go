@@ -1,0 +1,382 @@
+// Package pager provides the paged storage layer every index in the repo is
+// built on: fixed-size 8 KiB pages, file- or memory-backed, fronted by an
+// LRU buffer pool that counts logical and physical page reads. The physical
+// read counter is the "Disk IO (pages)" metric reported in the paper's
+// Tables 4-9; the paper obtained it via Solaris direct I/O with a fixed
+// 2000-page pool, which the pool reproduces by bounding its capacity and
+// starting queries cold.
+package pager
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageSize is the size of every page in bytes, matching the paper's setup.
+const PageSize = 8192
+
+// PageID identifies a page within one File. The first page of a file is 0.
+type PageID uint32
+
+// InvalidPage is a sentinel PageID that never identifies a real page.
+const InvalidPage = PageID(^uint32(0))
+
+// DefaultPoolPages is the paper's buffer pool size (2000 pages of 8 KiB).
+const DefaultPoolPages = 2000
+
+// File is the raw page I/O interface beneath a BufferPool.
+type File interface {
+	// ReadPage fills buf (len PageSize) with the page's content.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage persists buf (len PageSize) as the page's content.
+	WritePage(id PageID, buf []byte) error
+	// Allocate extends the file by one zeroed page and returns its id.
+	Allocate() (PageID, error)
+	// NumPages returns the number of allocated pages.
+	NumPages() uint32
+	// Sync flushes the backing store.
+	Sync() error
+	// Close releases resources; the file must not be used afterwards.
+	Close() error
+}
+
+// MemFile is an in-memory File used by tests and by benchmark runs that
+// want deterministic page-count accounting without filesystem noise.
+type MemFile struct {
+	mu    sync.Mutex
+	pages [][]byte
+}
+
+// NewMemFile returns an empty in-memory page file.
+func NewMemFile() *MemFile { return &MemFile{} }
+
+// ReadPage implements File.
+func (f *MemFile) ReadPage(id PageID, buf []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if int(id) >= len(f.pages) {
+		return fmt.Errorf("pager: read of unallocated page %d (have %d)", id, len(f.pages))
+	}
+	copy(buf, f.pages[id])
+	return nil
+}
+
+// WritePage implements File.
+func (f *MemFile) WritePage(id PageID, buf []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if int(id) >= len(f.pages) {
+		return fmt.Errorf("pager: write of unallocated page %d (have %d)", id, len(f.pages))
+	}
+	copy(f.pages[id], buf)
+	return nil
+}
+
+// Allocate implements File.
+func (f *MemFile) Allocate() (PageID, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.pages) >= int(InvalidPage) {
+		return InvalidPage, fmt.Errorf("pager: file full")
+	}
+	f.pages = append(f.pages, make([]byte, PageSize))
+	return PageID(len(f.pages) - 1), nil
+}
+
+// NumPages implements File.
+func (f *MemFile) NumPages() uint32 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return uint32(len(f.pages))
+}
+
+// Sync implements File.
+func (f *MemFile) Sync() error { return nil }
+
+// Close implements File.
+func (f *MemFile) Close() error { return nil }
+
+// OSFile is a File backed by an operating-system file.
+type OSFile struct {
+	mu   sync.Mutex
+	f    *os.File
+	next uint32
+}
+
+// OpenOSFile opens (creating if needed) a page file at path.
+func OpenOSFile(path string) (*OSFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: stat %s: %w", path, err)
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("pager: %s size %d not a multiple of page size", path, st.Size())
+	}
+	return &OSFile{f: f, next: uint32(st.Size() / PageSize)}, nil
+}
+
+// ReadPage implements File.
+func (f *OSFile) ReadPage(id PageID, buf []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if uint32(id) >= f.next {
+		return fmt.Errorf("pager: read of unallocated page %d (have %d)", id, f.next)
+	}
+	if _, err := f.f.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil && err != io.EOF {
+		return fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// WritePage implements File.
+func (f *OSFile) WritePage(id PageID, buf []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if uint32(id) >= f.next {
+		return fmt.Errorf("pager: write of unallocated page %d (have %d)", id, f.next)
+	}
+	if _, err := f.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("pager: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Allocate implements File.
+func (f *OSFile) Allocate() (PageID, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	id := PageID(f.next)
+	var zero [PageSize]byte
+	if _, err := f.f.WriteAt(zero[:], int64(id)*PageSize); err != nil {
+		return InvalidPage, fmt.Errorf("pager: allocate page %d: %w", id, err)
+	}
+	f.next++
+	return id, nil
+}
+
+// NumPages implements File.
+func (f *OSFile) NumPages() uint32 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next
+}
+
+// Sync implements File.
+func (f *OSFile) Sync() error { return f.f.Sync() }
+
+// Close implements File.
+func (f *OSFile) Close() error { return f.f.Close() }
+
+// Stats holds the buffer pool's I/O counters. PhysicalReads is the number
+// the paper reports as "Disk IO (pages read from disk)".
+type Stats struct {
+	LogicalReads  uint64 // Get calls
+	PhysicalReads uint64 // Get calls that missed the pool
+	Writes        uint64 // pages written back to the file
+	Evictions     uint64 // frames evicted to make room
+	Allocations   uint64 // NewPage calls
+}
+
+// Hits returns the number of Get calls served from the pool.
+func (s Stats) Hits() uint64 { return s.LogicalReads - s.PhysicalReads }
+
+// Page is a pinned buffer-pool frame. Data aliases the frame's buffer, so
+// it is valid only until Unpin; mutate it only if you pass dirty=true.
+type Page struct {
+	ID   PageID
+	Data []byte
+	fr   *frame
+	bp   *BufferPool
+}
+
+// Unpin releases the page back to the pool. dirty marks the frame for
+// write-back before eviction. Unpin panics if called twice on one Page.
+func (p *Page) Unpin(dirty bool) {
+	if p.fr == nil {
+		panic("pager: double Unpin")
+	}
+	p.bp.unpin(p.fr, dirty)
+	p.fr = nil
+	p.Data = nil
+}
+
+type frame struct {
+	id    PageID
+	data  [PageSize]byte
+	pins  int
+	dirty bool
+	elem  *list.Element // position in the LRU list when unpinned
+}
+
+// BufferPool caches up to capacity pages of one File with LRU replacement.
+// All methods are safe for concurrent use.
+type BufferPool struct {
+	mu       sync.Mutex
+	file     File
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // front = most recently used; holds unpinned frames only
+	stats    Stats
+}
+
+// NewBufferPool wraps file with a pool of the given capacity (in pages).
+// A capacity below 1 panics: the pool could not pin a single page.
+func NewBufferPool(file File, capacity int) *BufferPool {
+	if capacity < 1 {
+		panic("pager: buffer pool capacity must be at least 1")
+	}
+	return &BufferPool{
+		file:     file,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// File exposes the underlying page file.
+func (bp *BufferPool) File() File { return bp.file }
+
+// Capacity returns the pool capacity in pages.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// Stats returns a snapshot of the I/O counters.
+func (bp *BufferPool) Stats() Stats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the I/O counters (e.g. between benchmark queries).
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = Stats{}
+}
+
+// Get pins the page with the given id, reading it from the file on a miss.
+func (bp *BufferPool) Get(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats.LogicalReads++
+	if fr, ok := bp.frames[id]; ok {
+		bp.pinLocked(fr)
+		return &Page{ID: id, Data: fr.data[:], fr: fr, bp: bp}, nil
+	}
+	bp.stats.PhysicalReads++
+	fr, err := bp.newFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.file.ReadPage(id, fr.data[:]); err != nil {
+		delete(bp.frames, id)
+		return nil, err
+	}
+	return &Page{ID: id, Data: fr.data[:], fr: fr, bp: bp}, nil
+}
+
+// NewPage allocates a fresh zeroed page in the file and returns it pinned.
+func (bp *BufferPool) NewPage() (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	id, err := bp.file.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	bp.stats.Allocations++
+	fr, err := bp.newFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	fr.dirty = true
+	return &Page{ID: id, Data: fr.data[:], fr: fr, bp: bp}, nil
+}
+
+// newFrameLocked finds room for a new pinned frame, evicting if needed.
+func (bp *BufferPool) newFrameLocked(id PageID) (*frame, error) {
+	for len(bp.frames) >= bp.capacity {
+		victim := bp.lru.Back()
+		if victim == nil {
+			return nil, fmt.Errorf("pager: buffer pool exhausted: all %d frames pinned", bp.capacity)
+		}
+		vf := victim.Value.(*frame)
+		if vf.dirty {
+			if err := bp.file.WritePage(vf.id, vf.data[:]); err != nil {
+				return nil, err
+			}
+			bp.stats.Writes++
+		}
+		bp.lru.Remove(victim)
+		delete(bp.frames, vf.id)
+		bp.stats.Evictions++
+	}
+	fr := &frame{id: id, pins: 1}
+	bp.frames[id] = fr
+	return fr, nil
+}
+
+func (bp *BufferPool) pinLocked(fr *frame) {
+	if fr.pins == 0 && fr.elem != nil {
+		bp.lru.Remove(fr.elem)
+		fr.elem = nil
+	}
+	fr.pins++
+}
+
+func (bp *BufferPool) unpin(fr *frame, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr.pins <= 0 {
+		panic("pager: unpin of unpinned frame")
+	}
+	fr.dirty = fr.dirty || dirty
+	fr.pins--
+	if fr.pins == 0 {
+		fr.elem = bp.lru.PushFront(fr)
+	}
+}
+
+// FlushAll writes every dirty frame back to the file and syncs it.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	for _, fr := range bp.frames {
+		if fr.dirty {
+			if err := bp.file.WritePage(fr.id, fr.data[:]); err != nil {
+				bp.mu.Unlock()
+				return err
+			}
+			fr.dirty = false
+			bp.stats.Writes++
+		}
+	}
+	bp.mu.Unlock()
+	return bp.file.Sync()
+}
+
+// DropAll flushes and then discards every unpinned frame, returning the
+// pool to a cold state. Benchmarks call it before each query so physical
+// read counts are comparable to the paper's direct-I/O numbers. It returns
+// an error if any frame is still pinned.
+func (bp *BufferPool) DropAll() error {
+	if err := bp.FlushAll(); err != nil {
+		return err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, fr := range bp.frames {
+		if fr.pins > 0 {
+			return fmt.Errorf("pager: DropAll with page %d still pinned", fr.id)
+		}
+	}
+	bp.frames = make(map[PageID]*frame, bp.capacity)
+	bp.lru.Init()
+	return nil
+}

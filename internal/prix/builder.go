@@ -1,0 +1,105 @@
+package prix
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/btree"
+	"repro/internal/docstore"
+	"repro/internal/pager"
+	"repro/internal/vtrie"
+	"repro/internal/xmltree"
+)
+
+// Builder constructs an Index incrementally, one document at a time, so
+// large collections can be indexed without holding every parsed document
+// in memory simultaneously. Build is a convenience wrapper around it.
+//
+//	b, _ := prix.NewBuilder(prix.Options{Extended: true, Dir: dir})
+//	for doc := range stream {
+//	    if err := b.Add(doc); err != nil { ... }
+//	}
+//	ix, err := b.Finalize()
+type Builder struct {
+	ix      *Index
+	trie    *vtrie.Builder
+	stats   buildStats
+	nextID  uint32
+	done    bool
+	buildEr error
+}
+
+// NewBuilder prepares an empty index per the options.
+func NewBuilder(opts Options) (*Builder, error) {
+	ix, err := newEmptyIndex(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Builder{ix: ix, trie: vtrie.NewBuilder()}, nil
+}
+
+// newEmptyIndex sets up storage for a fresh index.
+func newEmptyIndex(opts Options) (*Index, error) {
+	var forestBP, docsBP *pager.BufferPool
+	if opts.Dir == "" {
+		forestBP = pager.NewBufferPool(pager.NewMemFile(), opts.pool())
+		docsBP = pager.NewBufferPool(pager.NewMemFile(), opts.pool())
+	} else {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("prix: %w", err)
+		}
+		ff, err := pager.OpenOSFile(filepath.Join(opts.Dir, forestFile))
+		if err != nil {
+			return nil, err
+		}
+		df, err := pager.OpenOSFile(filepath.Join(opts.Dir, docsFile))
+		if err != nil {
+			return nil, err
+		}
+		forestBP = pager.NewBufferPool(ff, opts.pool())
+		docsBP = pager.NewBufferPool(df, opts.pool())
+	}
+	forest, err := btree.Open(forestBP)
+	if err != nil {
+		return nil, err
+	}
+	store, err := docstore.NewStore(docsBP, &docstore.Dict{})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{opts: opts, forest: forest, store: store, maxGap: map[vtrie.Symbol]int64{}}, nil
+}
+
+// Add stages one document. Documents receive sequential ids in Add order,
+// ignoring any id already on the document.
+func (b *Builder) Add(doc *xmltree.Document) error {
+	if b.done {
+		return fmt.Errorf("prix: Add after Finalize")
+	}
+	if err := b.ix.addDocument(b.trie, b.nextID, doc, &b.stats); err != nil {
+		b.buildEr = err
+		return err
+	}
+	b.nextID++
+	return nil
+}
+
+// NumAdded returns how many documents have been staged.
+func (b *Builder) NumAdded() int { return int(b.nextID) }
+
+// Finalize labels the virtual trie, writes all index structures and returns
+// the queryable Index. The builder cannot be reused afterwards.
+func (b *Builder) Finalize() (*Index, error) {
+	if b.done {
+		return nil, fmt.Errorf("prix: Finalize called twice")
+	}
+	if b.buildEr != nil {
+		return nil, fmt.Errorf("prix: Finalize after failed Add: %w", b.buildEr)
+	}
+	b.done = true
+	if err := b.ix.finish(b.trie, &b.stats); err != nil {
+		return nil, err
+	}
+	return b.ix, nil
+}

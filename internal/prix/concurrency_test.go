@@ -1,0 +1,88 @@
+package prix
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/twig"
+	"repro/internal/xmltree"
+)
+
+// A built index is read-only; concurrent Match calls with WarmCache must
+// be safe and return identical results.
+func TestConcurrentQueries(t *testing.T) {
+	var docs []*xmltree.Document
+	for i := 0; i < 100; i++ {
+		docs = append(docs, xmltree.MustFromSExpr(i, `(a (b (c)) (d (e)))`))
+	}
+	ix := build(t, false, docs...)
+	queries := []string{`//a[./b/c]/d`, `//a//d/e`, `//d/e`, `//a/b`}
+	wants := map[string]int{}
+	for _, qs := range queries {
+		ms, _, err := ix.Match(twig.MustParse(qs), MatchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[qs] = len(ms)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				for _, qs := range queries {
+					ms, _, err := ix.Match(twig.MustParse(qs), MatchOptions{WarmCache: true})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(ms) != wants[qs] {
+						errs <- errMismatch(qs, len(ms), wants[qs])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type mismatchError struct {
+	q         string
+	got, want int
+}
+
+func errMismatch(q string, got, want int) error { return &mismatchError{q, got, want} }
+
+func (e *mismatchError) Error() string {
+	return e.q + ": concurrent result mismatch"
+}
+
+func TestWarmCacheReusesPages(t *testing.T) {
+	var docs []*xmltree.Document
+	for i := 0; i < 200; i++ {
+		docs = append(docs, xmltree.MustFromSExpr(i, `(a (b (c)) (d))`))
+	}
+	ix := build(t, false, docs...)
+	q := twig.MustParse(`//a[./b/c]/d`)
+	_, cold, err := ix.Match(q, MatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, warm, err := ix.Match(q, MatchOptions{WarmCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.PagesRead == 0 {
+		t.Fatal("cold run read no pages")
+	}
+	if warm.PagesRead != 0 {
+		t.Errorf("warm rerun read %d pages, want 0 (fully cached)", warm.PagesRead)
+	}
+}

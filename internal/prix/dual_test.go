@@ -1,0 +1,94 @@
+package prix
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/twig"
+	"repro/internal/xmltree"
+)
+
+func dualDocs() []*xmltree.Document {
+	return []*xmltree.Document{
+		xmltree.MustFromSExpr(0, `(Entry (Org "Piroplasmida") (Ref (Author "A")) (Cited (from "x")))`),
+		xmltree.MustFromSExpr(1, `(Entry (Org "Other") (Ref (Author "B")))`),
+		xmltree.MustFromSExpr(2, `(a (b (c)) (d))`),
+	}
+}
+
+func TestDualRouting(t *testing.T) {
+	d, err := BuildDual(dualDocs(), Options{BufferPoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		query    string
+		extended bool
+	}{
+		{`//a[./b/c]/d`, false},                                  // element-only, exact leaves -> RP
+		{`//Entry[./Org="Piroplasmida"]`, true},                  // value -> EP
+		{`//Entry[./Ref]//from`, true},                           // wildcard leaf edge -> EP
+		{`//Entry//Ref/Author`, false},                           // wildcard above internal node -> RP
+		{`//Entry[./Org="Piroplasmida"][.//Author]//from`, true}, // Q6 shape -> EP
+	}
+	for _, c := range cases {
+		got := d.Choose(twig.MustParse(c.query))
+		if got.Extended() != c.extended {
+			t.Errorf("Choose(%s): extended = %v, want %v", c.query, got.Extended(), c.extended)
+		}
+	}
+}
+
+func TestDualMatchesAgreeWithBruteForce(t *testing.T) {
+	docs := dualDocs()
+	d, err := BuildDual(docs, Options{BufferPoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`//a[./b/c]/d`,
+		`//Entry[./Org="Piroplasmida"]`,
+		`//Entry[./Ref]//from`,
+		`//Entry//Ref/Author`,
+		`//Entry[./Org="Piroplasmida"][.//Author]//from`,
+	}
+	for _, qs := range queries {
+		q := twig.MustParse(qs)
+		want := twig.CountBruteForce(q, docs)
+		ms, _, err := d.Match(q, MatchOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		if len(ms) != want {
+			t.Errorf("%s: dual = %d, brute force = %d", qs, len(ms), want)
+		}
+		ex, _, err := d.MatchExhaustive(q, MatchOptions{})
+		if err != nil {
+			t.Fatalf("%s exhaustive: %v", qs, err)
+		}
+		if len(ex) != want {
+			t.Errorf("%s: exhaustive dual = %d, brute force = %d", qs, len(ex), want)
+		}
+	}
+}
+
+func TestDualPersistence(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "dual")
+	if _, err := BuildDual(dualDocs(), Options{Dir: dir, BufferPoolPages: 32}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDual(dir, Options{BufferPoolPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RP().Extended() || !d.EP().Extended() {
+		t.Error("halves mixed up after reopen")
+	}
+	ms, _, err := d.Match(twig.MustParse(`//Entry[./Org="Piroplasmida"]`), MatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Errorf("matches after reopen = %d", len(ms))
+	}
+}

@@ -1,0 +1,203 @@
+package prix
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/docstore"
+	"repro/internal/prufer"
+	"repro/internal/vtrie"
+	"repro/internal/xmltree"
+)
+
+// DynamicIndex is an Index that keeps accepting documents after
+// construction, using the paper's dynamic labeling scheme (§5.2.1): trie
+// node ranges are carved out of their parents' scopes as sequences arrive,
+// so only the postings of newly created trie nodes need to be written —
+// no global relabeling. The price is the possibility of scope underflow on
+// pathological insertion orders, surfaced as ErrScopeUnderflow; the remedy
+// is a rebuild with exact labeling (Build) or a deeper prepared prefix.
+type DynamicIndex struct {
+	mu      sync.Mutex
+	ix      *Index
+	labeler *vtrie.DynamicLabeler
+	trees   map[vtrie.Symbol]*btree.Tree
+	nextID  uint32
+}
+
+// DynamicOptions tunes the labeler.
+type DynamicOptions struct {
+	// Alpha is the depth of the pre-allocated prefix trie built from the
+	// initial documents (§5.2.1). Deeper prefixes reduce underflows.
+	Alpha int
+	// Spread is the number of range slots reserved per expected future
+	// symbol (default 1 << 20).
+	Spread uint64
+}
+
+// NewDynamicIndex builds an insertable index. The initial documents seed
+// the α-prefix pre-allocation pass and are inserted immediately; more can
+// follow via Insert at any time.
+func NewDynamicIndex(initial []*xmltree.Document, opts Options, dopts DynamicOptions) (*DynamicIndex, error) {
+	ix, err := newEmptyIndex(opts)
+	if err != nil {
+		return nil, err
+	}
+	if dopts.Spread == 0 {
+		dopts.Spread = 1 << 20
+	}
+	di := &DynamicIndex{
+		ix:      ix,
+		labeler: vtrie.NewDynamicLabeler(dopts.Alpha, dopts.Spread),
+		trees:   map[vtrie.Symbol]*btree.Tree{},
+	}
+	if di.ix.docid, err = ix.forest.Tree(docidTreeName); err != nil {
+		return nil, err
+	}
+	// Preparatory pass over the initial documents' sequences (the id
+	// passed here is irrelevant: no state is stored during Prepare).
+	for _, doc := range initial {
+		_, syms, err := ix.prepareDocument(0, doc)
+		if err != nil {
+			return nil, err
+		}
+		di.labeler.Prepare(syms)
+	}
+	di.labeler.Finalize()
+	// The prepared prefix trie's postings must be written once; Add only
+	// reports nodes it creates below (or beside) the prefix.
+	err = di.labeler.EmitPrefix(func(p vtrie.Posting) error {
+		return di.writePosting(p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, doc := range initial {
+		if err := di.Insert(doc); err != nil {
+			return nil, err
+		}
+	}
+	return di, nil
+}
+
+// Insert adds one document to the index; it becomes queryable immediately.
+func (di *DynamicIndex) Insert(doc *xmltree.Document) error {
+	di.mu.Lock()
+	defer di.mu.Unlock()
+	id := di.nextID
+	rec, syms, err := di.ix.prepareDocument(id, doc)
+	if err != nil {
+		return err
+	}
+	if len(syms) == 0 {
+		if err := di.ix.store.Put(rec); err != nil {
+			return err
+		}
+		di.nextID++
+		return nil
+	}
+	created, terminal, err := di.labeler.AddReport(syms, id)
+	if err != nil {
+		return fmt.Errorf("prix: dynamic insert of document %d: %w", id, err)
+	}
+	for _, p := range created {
+		if err := di.writePosting(p); err != nil {
+			return err
+		}
+	}
+	if err := di.ix.docid.Insert(btree.KeyUint64(terminal.Left), encodeDocID(id)); err != nil {
+		return err
+	}
+	if err := di.ix.store.Put(rec); err != nil {
+		return err
+	}
+	di.nextID++
+	return nil
+}
+
+// writePosting inserts one trie-node posting into its Trie-Symbol tree.
+func (di *DynamicIndex) writePosting(p vtrie.Posting) error {
+	t, ok := di.trees[p.Symbol]
+	if !ok {
+		var err error
+		if t, err = di.ix.forest.Tree(symTreeName(p.Symbol)); err != nil {
+			return err
+		}
+		di.trees[p.Symbol] = t
+	}
+	return t.Insert(btree.KeyUint64(p.Left), encodePosting(p.Right, p.Level))
+}
+
+// Index returns the queryable index. Concurrent queries must use
+// MatchOptions.WarmCache; Insert and Match must not run concurrently.
+func (di *DynamicIndex) Index() *Index { return di.ix }
+
+// Underflows reports how many insertions failed with scope underflow.
+func (di *DynamicIndex) Underflows() int { return di.labeler.Underflows() }
+
+// Flush persists all structures, including the MaxGap catalog accumulated
+// so far.
+func (di *DynamicIndex) Flush() error {
+	di.mu.Lock()
+	defer di.mu.Unlock()
+	di.ix.store.SetCatalog("maxgap", di.ix.maxGap)
+	ext := int64(0)
+	if di.ix.opts.Extended {
+		ext = 1
+	}
+	di.ix.store.SetStat("extended", ext)
+	di.ix.store.SetStat("sequences", int64(di.labeler.Sequences()))
+	if err := di.ix.store.Flush(); err != nil {
+		return err
+	}
+	return di.ix.forest.Flush()
+}
+
+// prepareDocument computes the docstore record and interned sequence of a
+// document, updating the in-memory MaxGap catalog and build statistics. It
+// is shared by the static builder and the dynamic index.
+func (ix *Index) prepareDocument(id uint32, doc *xmltree.Document) (*docstore.Record, []vtrie.Symbol, error) {
+	if err := doc.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("prix: document %d: %w", id, err)
+	}
+	seqTree := doc
+	if ix.opts.Extended {
+		seqTree = prufer.ExtendTree(doc)
+	}
+	seq := prufer.Build(seqTree)
+	dict := ix.store.Dict()
+	rec := &docstore.Record{
+		DocID:    id,
+		NumNodes: int32(seqTree.Size()),
+		NPS:      make([]int32, seq.Len()),
+		LPS:      make([]vtrie.Symbol, seq.Len()),
+	}
+	syms := make([]vtrie.Symbol, seq.Len())
+	for i := 0; i < seq.Len(); i++ {
+		parent := seqTree.Node(seq.Numbers[i])
+		sym := SymbolFor(dict, parent.Label, parent.IsValue)
+		rec.NPS[i] = int32(seq.Numbers[i])
+		rec.LPS[i] = sym
+		syms[i] = sym
+	}
+	for _, n := range seqTree.Nodes {
+		if n.IsLeaf() {
+			rec.Leaves = append(rec.Leaves, docstore.Leaf{
+				Post: int32(n.Post),
+				Sym:  SymbolFor(dict, n.Label, n.IsValue),
+			})
+		}
+	}
+	for _, n := range seqTree.Nodes {
+		if len(n.Children) == 0 {
+			continue
+		}
+		sym := SymbolFor(dict, n.Label, n.IsValue)
+		gap := int64(n.Children[len(n.Children)-1].Post - n.Children[0].Post)
+		if gap > ix.maxGap[sym] {
+			ix.maxGap[sym] = gap
+		}
+	}
+	return rec, syms, nil
+}

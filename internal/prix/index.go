@@ -1,0 +1,275 @@
+// Package prix implements the PRIX system of Rao & Moon (ICDE 2004):
+// indexing XML documents as Prüfer sequences and answering twig queries by
+// subsequence matching over a virtual trie followed by refinement phases.
+//
+// An Index is either an RPIndex (Regular-Prüfer sequences, §3.2) or an
+// EPIndex (Extended-Prüfer sequences, §5.6, recommended for queries with
+// values). Indexes persist as two page files — a B+-tree forest holding the
+// Trie-Symbol and Docid indexes, and a document store holding per-document
+// NPS/LPS/leaf data — or live in memory for tests.
+package prix
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/btree"
+	"repro/internal/docstore"
+	"repro/internal/pager"
+	"repro/internal/vtrie"
+	"repro/internal/xmltree"
+)
+
+// Options configures an index build.
+type Options struct {
+	// Extended selects Extended-Prüfer sequences (EPIndex). The paper's
+	// optimizer uses an EPIndex for queries with values and an RPIndex
+	// otherwise; both can coexist over the same documents.
+	Extended bool
+	// BufferPoolPages is the per-file buffer pool capacity; 0 means the
+	// paper's 2000 pages.
+	BufferPoolPages int
+	// Dir is where the two page files are created. Empty means in-memory.
+	Dir string
+}
+
+func (o *Options) pool() int {
+	if o.BufferPoolPages <= 0 {
+		return pager.DefaultPoolPages
+	}
+	return o.BufferPoolPages
+}
+
+// file names within Options.Dir.
+const (
+	forestFile = "seq.idx"
+	docsFile   = "docs.db"
+)
+
+// Index is a built PRIX index ready for queries.
+type Index struct {
+	opts   Options
+	forest *btree.Forest
+	store  *docstore.Store
+	docid  *btree.Tree
+	maxGap map[vtrie.Symbol]int64
+}
+
+// valuePrefix namespaces value strings away from element tags in the
+// shared symbol dictionary (a tag can never start with NUL).
+const valuePrefix = "\x00"
+
+// SymbolFor interns a label in the dictionary with value namespacing.
+func SymbolFor(dict *docstore.Dict, label string, isValue bool) vtrie.Symbol {
+	if isValue {
+		return dict.Intern(valuePrefix + label)
+	}
+	return dict.Intern(label)
+}
+
+// LookupSymbol resolves a label without interning.
+func LookupSymbol(dict *docstore.Dict, label string, isValue bool) (vtrie.Symbol, bool) {
+	if isValue {
+		return dict.Lookup(valuePrefix + label)
+	}
+	return dict.Lookup(label)
+}
+
+// symTreeName returns the forest tree name of a Trie-Symbol index.
+func symTreeName(s vtrie.Symbol) string { return fmt.Sprintf("s%d", s) }
+
+// docidTreeName is the forest tree name of the Docid index.
+const docidTreeName = "docid"
+
+// Build constructs an index over the documents. Document IDs are assigned
+// sequentially from 0 in slice order, ignoring the IDs already present.
+// For streaming construction use NewBuilder.
+func Build(docs []*xmltree.Document, opts Options) (*Index, error) {
+	b, err := NewBuilder(opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, doc := range docs {
+		if err := b.Add(doc); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finalize()
+}
+
+type buildStats struct {
+	elements int64
+	values   int64
+	maxDepth int64
+	seqLen   int64
+}
+
+// addDocument transforms one document and stages it for indexing.
+func (ix *Index) addDocument(builder *vtrie.Builder, id uint32, doc *xmltree.Document, bs *buildStats) error {
+	rec, syms, err := ix.prepareDocument(id, doc)
+	if err != nil {
+		return err
+	}
+	bs.elements += int64(doc.CountElements())
+	bs.values += int64(doc.CountValues())
+	if d := int64(doc.MaxDepth()); d > bs.maxDepth {
+		bs.maxDepth = d
+	}
+	bs.seqLen += int64(len(syms))
+	if len(syms) == 0 {
+		// A single-node document has no sequence; it is still stored so
+		// single-tag fallbacks can see it, but cannot join the trie.
+		return ix.store.Put(rec)
+	}
+	if err := builder.Add(syms, id); err != nil {
+		return err
+	}
+	return ix.store.Put(rec)
+}
+
+// finish labels the trie, writes all postings and persists the store.
+func (ix *Index) finish(builder *vtrie.Builder, bs *buildStats) error {
+	builder.Label()
+	if err := builder.Validate(); err != nil {
+		return fmt.Errorf("prix: trie labeling: %w", err)
+	}
+	docid, err := ix.forest.Tree(docidTreeName)
+	if err != nil {
+		return err
+	}
+	ix.docid = docid
+	trees := map[vtrie.Symbol]*btree.Tree{}
+	var emitErr error
+	err = builder.Emit(func(p vtrie.Posting, docs []uint32) error {
+		t, ok := trees[p.Symbol]
+		if !ok {
+			t, emitErr = ix.forest.Tree(symTreeName(p.Symbol))
+			if emitErr != nil {
+				return emitErr
+			}
+			trees[p.Symbol] = t
+		}
+		if err := t.Insert(btree.KeyUint64(p.Left), encodePosting(p.Right, p.Level)); err != nil {
+			return err
+		}
+		for _, d := range docs {
+			if err := docid.Insert(btree.KeyUint64(p.Left), encodeDocID(d)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	ix.store.SetCatalog("maxgap", ix.maxGap)
+	ix.store.SetStat("elements", bs.elements)
+	ix.store.SetStat("values", bs.values)
+	ix.store.SetStat("maxdepth", bs.maxDepth)
+	ix.store.SetStat("seqlen", bs.seqLen)
+	ix.store.SetStat("trienodes", int64(builder.Nodes()))
+	ix.store.SetStat("sequences", int64(builder.Sequences()))
+	extended := int64(0)
+	if ix.opts.Extended {
+		extended = 1
+	}
+	ix.store.SetStat("extended", extended)
+	if err := ix.store.Flush(); err != nil {
+		return err
+	}
+	return ix.forest.Flush()
+}
+
+// Open loads a previously built on-disk index.
+func Open(dir string, opts Options) (*Index, error) {
+	opts.Dir = dir
+	ff, err := pager.OpenOSFile(filepath.Join(dir, forestFile))
+	if err != nil {
+		return nil, err
+	}
+	df, err := pager.OpenOSFile(filepath.Join(dir, docsFile))
+	if err != nil {
+		return nil, err
+	}
+	forest, err := btree.Open(pager.NewBufferPool(ff, opts.pool()))
+	if err != nil {
+		return nil, err
+	}
+	store, err := docstore.Open(pager.NewBufferPool(df, opts.pool()))
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{opts: opts, forest: forest, store: store}
+	if ext, _ := store.Stat("extended"); (ext == 1) != opts.Extended {
+		ix.opts.Extended = ext == 1
+	}
+	ix.docid = forest.Lookup(docidTreeName)
+	if ix.docid == nil {
+		return nil, fmt.Errorf("prix: %s has no docid index", dir)
+	}
+	ix.maxGap = map[vtrie.Symbol]int64{}
+	for k, v := range store.Catalog("maxgap") {
+		ix.maxGap[k] = v
+	}
+	return ix, nil
+}
+
+// Extended reports whether this is an EPIndex.
+func (ix *Index) Extended() bool { return ix.opts.Extended }
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int { return ix.store.NumDocs() }
+
+// Store exposes the document store (read-only use).
+func (ix *Index) Store() *docstore.Store { return ix.store }
+
+// MaxGap returns the catalog value for a symbol (0 if unseen).
+func (ix *Index) MaxGap(s vtrie.Symbol) int64 { return ix.maxGap[s] }
+
+// Stat proxies a named build statistic.
+func (ix *Index) Stat(name string) (int64, bool) { return ix.store.Stat(name) }
+
+// ResetIOStats zeroes both buffer pools' counters and drops cached pages,
+// giving every query the paper's cold-cache start.
+func (ix *Index) ResetIOStats() error {
+	if err := ix.forest.BufferPool().DropAll(); err != nil {
+		return err
+	}
+	if err := ix.store.BufferPool().DropAll(); err != nil {
+		return err
+	}
+	ix.forest.BufferPool().ResetStats()
+	ix.store.BufferPool().ResetStats()
+	return nil
+}
+
+// PagesRead returns the physical pages read since the last reset, summed
+// over the forest and document-store pools.
+func (ix *Index) PagesRead() uint64 {
+	return ix.forest.BufferPool().Stats().PhysicalReads +
+		ix.store.BufferPool().Stats().PhysicalReads
+}
+
+func encodePosting(right uint64, level uint32) []byte {
+	var b [12]byte
+	copy(b[:8], btree.KeyUint64(right))
+	b[8] = byte(level)
+	b[9] = byte(level >> 8)
+	b[10] = byte(level >> 16)
+	b[11] = byte(level >> 24)
+	return b[:]
+}
+
+func decodePosting(v []byte) (right uint64, level uint32) {
+	right = btree.Uint64Key(v[:8])
+	level = uint32(v[8]) | uint32(v[9])<<8 | uint32(v[10])<<16 | uint32(v[11])<<24
+	return
+}
+
+func encodeDocID(d uint32) []byte {
+	return []byte{byte(d), byte(d >> 8), byte(d >> 16), byte(d >> 24)}
+}
+
+func decodeDocID(v []byte) uint32 {
+	return uint32(v[0]) | uint32(v[1])<<8 | uint32(v[2])<<16 | uint32(v[3])<<24
+}

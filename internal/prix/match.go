@@ -1,0 +1,578 @@
+package prix
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/docstore"
+	"repro/internal/prufer"
+	"repro/internal/twig"
+	"repro/internal/vtrie"
+)
+
+// Match is one twig occurrence (an embedding of the query into a document).
+type Match struct {
+	// DocID identifies the document.
+	DocID uint32
+	// Positions is S — the 1-based positions in LPS(D) where LPS(Q)
+	// matched (one witness; wildcard queries can have several witnesses
+	// per embedding, all reduced to the same Images).
+	Positions []int32
+	// Images is the canonical embedding: Images[i] is the postorder
+	// number (in the sequenced, possibly extended tree) of the image of
+	// query node i+1. Matches are deduplicated by (DocID, Images).
+	Images []int32
+	// Root is the postorder number of the query root's image.
+	Root int32
+}
+
+// Mapping returns the full embedding, an alias of Images.
+func (m *Match) Mapping() []int32 { return m.Images }
+
+// QueryStats reports the work one Match call performed.
+type QueryStats struct {
+	// RangeQueries counts B+-tree range queries issued by Algorithm 1.
+	RangeQueries int
+	// TriePathsPruned counts candidates discarded by the MaxGap metric.
+	TriePathsPruned int
+	// Candidates counts (document, subsequence) pairs entering refinement.
+	Candidates int
+	// Matches counts surviving twig occurrences.
+	Matches int
+	// PagesRead is the physical page reads during the query (cold start).
+	PagesRead uint64
+	// Elapsed is wall-clock query time.
+	Elapsed time.Duration
+}
+
+// ErrNeedsExtendedIndex marks queries an RPIndex cannot filter: a
+// descendant or star edge directly above a twig leaf (the leaf's parent
+// label cannot appear at the required sequence position in regular
+// sequences). Use an EPIndex, or MatchExhaustive which falls back to a
+// document-store pass.
+var ErrNeedsExtendedIndex = errors.New("query needs an EPIndex")
+
+// MatchOptions tunes query processing.
+type MatchOptions struct {
+	// DisableMaxGap turns off the Theorem 4 pruning (ablation).
+	DisableMaxGap bool
+	// Unordered finds unordered twig matches by running every branch
+	// arrangement (§5.7) and deduplicating by image set.
+	Unordered bool
+	// ArrangementLimit caps unordered arrangements (default 720).
+	ArrangementLimit int
+	// WarmCache runs the query against whatever the buffer pools already
+	// hold instead of dropping them first. The default (cold) start
+	// reproduces the paper's per-query "Disk IO" accounting but mutates
+	// shared pool state, so concurrent Match calls must set WarmCache.
+	// PagesRead is then a best-effort delta across concurrent queries.
+	WarmCache bool
+}
+
+// Match finds all ordered (or unordered, per opts) occurrences of the query.
+// Results are sorted by (DocID, Positions).
+func (ix *Index) Match(q *twig.Query, opts MatchOptions) ([]Match, *QueryStats, error) {
+	start := time.Now()
+	var pagesBefore uint64
+	if opts.WarmCache {
+		pagesBefore = ix.PagesRead()
+	} else if err := ix.ResetIOStats(); err != nil {
+		return nil, nil, err
+	}
+	stats := &QueryStats{}
+	if q.Size() == 1 {
+		ms, err := ix.matchSingleNode(q, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.Matches = len(ms)
+		stats.PagesRead = ix.PagesRead() - pagesBefore
+		stats.Elapsed = time.Since(start)
+		return ms, stats, nil
+	}
+	queries := []*twig.Query{q}
+	if opts.Unordered {
+		limit := opts.ArrangementLimit
+		if limit <= 0 {
+			limit = 720
+		}
+		arr, truncated := q.Arrangements(limit)
+		if truncated {
+			return nil, nil, fmt.Errorf("prix: too many branch arrangements for unordered match of %q", q)
+		}
+		queries = arr
+	}
+	var out []Match
+	seen := map[string]bool{}
+	for _, qq := range queries {
+		ms, err := ix.matchOrdered(qq, opts, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, m := range ms {
+			if opts.Unordered {
+				k := imageSetKey(m)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+			}
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DocID != out[j].DocID {
+			return out[i].DocID < out[j].DocID
+		}
+		a, b := out[i].Positions, out[j].Positions
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	stats.Matches = len(out)
+	stats.PagesRead = ix.PagesRead() - pagesBefore
+	stats.Elapsed = time.Since(start)
+	return out, stats, nil
+}
+
+// Count is Match returning only the number of occurrences.
+func (ix *Index) Count(q *twig.Query, opts MatchOptions) (int, *QueryStats, error) {
+	ms, stats, err := ix.Match(q, opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	return len(ms), stats, nil
+}
+
+func imageSetKey(m Match) string {
+	imgs := append([]int32(nil), m.Images...)
+	sort.Slice(imgs, func(i, j int) bool { return imgs[i] < imgs[j] })
+	b := make([]byte, 0, 4+len(imgs)*5)
+	b = append(b, byte(m.DocID), byte(m.DocID>>8), byte(m.DocID>>16), byte(m.DocID>>24))
+	for _, v := range imgs {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), ',')
+	}
+	return string(b)
+}
+
+// plan is a query compiled against this index's dictionary.
+type plan struct {
+	pat *twig.Pattern
+	// syms[i] is the interned symbol of LPS(Q)[i].
+	syms []vtrie.Symbol
+	// npsQ[i] = NPS(Q)[i] as int32.
+	npsQ []int32
+	// edges[p-1] is the constraint for query node p's edge to its parent.
+	edges []twig.Edge
+	// lastOcc[i] is true when position i is the last occurrence of
+	// npsQ[i] within NPS(Q).
+	lastOcc []bool
+	// prune[i] describes the Theorem 4 rule for the pair (i-1, i).
+	prune []pruneRule
+	// leaves lists query leaves for the refinement-by-leaf phase.
+	leaves []docstore.Leaf
+	// dummy[p-1] marks extended-pattern dummy nodes (excluded from the
+	// canonical embedding: their matched positions are proxies).
+	dummy []bool
+	// anchored queries must map the root onto the document root.
+	anchored bool
+	// rootEdge constrains the query root's depth (leading stars).
+	rootEdge twig.Edge
+	m        int // number of query nodes
+}
+
+type pruneRule struct {
+	kind byte // 0 none, 1 child rule, 2 ancestor rule
+	sym  vtrie.Symbol
+}
+
+// compile prepares the query against the index. A nil plan with no error
+// means the query provably has no matches (a label is absent from the
+// dictionary).
+func (ix *Index) compile(q *twig.Query) (*plan, error) {
+	pat, err := q.Prepare(ix.opts.Extended)
+	if err != nil {
+		return nil, err
+	}
+	if !ix.opts.Extended {
+		// Regular-Prüfer matching verifies a twig leaf's edge implicitly
+		// as a parent-child edge; descendant edges above leaves need the
+		// EPIndex (§5.6 makes every node internal).
+		for _, n := range pat.Doc.Nodes {
+			if n.Parent != nil && n.IsLeaf() && !pat.Edges[n.Post-1].Exact() {
+				return nil, fmt.Errorf(
+					"prix: query %q has a wildcard edge above leaf %q (%w)", q, n.Label, ErrNeedsExtendedIndex)
+			}
+		}
+	}
+	dict := ix.store.Dict()
+	p := &plan{
+		pat:      pat,
+		anchored: pat.Anchored,
+		rootEdge: q.RootEdge,
+		m:        pat.Doc.Size(),
+		edges:    pat.Edges,
+	}
+	p.dummy = make([]bool, pat.Doc.Size())
+	for _, n := range pat.Doc.Nodes {
+		if prufer.IsDummy(n) {
+			p.dummy[n.Post-1] = true
+		}
+	}
+	p.syms = make([]vtrie.Symbol, pat.Seq.Len())
+	p.npsQ = make([]int32, pat.Seq.Len())
+	for i := 0; i < pat.Seq.Len(); i++ {
+		parent := pat.Doc.Node(pat.Seq.Numbers[i])
+		sym, ok := LookupSymbol(dict, parent.Label, parent.IsValue)
+		if !ok {
+			return nil, nil // label absent from the collection: no matches
+		}
+		p.syms[i] = sym
+		p.npsQ[i] = int32(pat.Seq.Numbers[i])
+	}
+	p.lastOcc = make([]bool, len(p.npsQ))
+	for i := range p.npsQ {
+		last := true
+		for j := i + 1; j < len(p.npsQ); j++ {
+			if p.npsQ[j] == p.npsQ[i] {
+				last = false
+				break
+			}
+		}
+		p.lastOcc[i] = last
+	}
+	p.prune = make([]pruneRule, len(p.npsQ))
+	for i := 1; i < len(p.npsQ); i++ {
+		a := int(p.npsQ[i-1]) // query node whose label is LPS(Q)[i-1]
+		// The rules require the deleted node at step i-1 (query node i,
+		// 1-based: node i-1+1 = i) to be attached to a by an exact edge,
+		// so its image is a true child of a's image.
+		deleted := i // node deleted at step i-1 (0-based) is node i
+		if !p.edges[deleted-1].Exact() {
+			continue
+		}
+		aNode := pat.Doc.Node(a)
+		bNode := pat.Doc.Node(int(p.npsQ[i]))
+		switch {
+		case a == i+1 && p.edges[a-1].Exact():
+			// Case 1: the node deleted at step i (node i+1, by Lemma 1)
+			// is a itself, so a is a child of b and the pair spans at
+			// most MaxGap(A)+1 in the data. a's own edge must be exact:
+			// under a wildcard edge the matched position is a proxy
+			// deletion that can trail arbitrarily far behind.
+			p.prune[i] = pruneRule{kind: 1, sym: p.syms[i-1]}
+		case a != int(p.npsQ[i]) && aNode.Left < bNode.Left && bNode.Right < aNode.Right:
+			// Case 2: a is a proper ancestor of b; the pair stays
+			// strictly inside a's image's children span.
+			p.prune[i] = pruneRule{kind: 2, sym: p.syms[i-1]}
+		}
+	}
+	for _, n := range pat.Doc.Nodes {
+		if n.IsLeaf() && n.Parent != nil && !prufer.IsDummy(n) {
+			// Dummy leaves of extended patterns carry no label constraint:
+			// they are witnesses that the parent's image has a child (and
+			// the extended data tree guarantees one). Real leaves keep the
+			// §4.4 label check.
+			sym, ok := LookupSymbol(dict, n.Label, n.IsValue)
+			if !ok {
+				return nil, nil
+			}
+			p.leaves = append(p.leaves, docstore.Leaf{Post: int32(n.Post), Sym: sym})
+		}
+	}
+	return p, nil
+}
+
+// matchOrdered runs filtering + refinement for one (arranged) query.
+func (ix *Index) matchOrdered(q *twig.Query, opts MatchOptions, stats *QueryStats) ([]Match, error) {
+	p, err := ix.compile(q)
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, nil
+	}
+	var out []Match
+	// Wildcard edges make the matched subsequence a proxy witness: one
+	// embedding can be witnessed by several position lists, so matches
+	// are deduplicated by their canonical image tuple.
+	seen := map[string]bool{}
+	S := make([]int32, len(p.syms))
+	err = ix.findSubsequence(p, opts, stats, 0, 0, vtrie.MaxRange, S, func(docID uint32) error {
+		stats.Candidates++
+		m, ok, err := ix.refine(p, docID, S)
+		if err != nil {
+			return err
+		}
+		if ok {
+			k := embeddingKey(m)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, m)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// findSubsequence is Algorithm 1: a range query per query-sequence element,
+// descending through the virtual trie.
+func (ix *Index) findSubsequence(p *plan, opts MatchOptions, stats *QueryStats,
+	i int, ql, qr uint64, S []int32, emit func(docID uint32) error) error {
+	tree := ix.forest.Lookup(symTreeName(p.syms[i]))
+	if tree == nil {
+		return nil
+	}
+	stats.RangeQueries++
+	type hit struct {
+		left, right uint64
+		level       uint32
+	}
+	var hits []hit
+	err := tree.Scan(btree.KeyUint64(ql), btree.KeyUint64(qr), false, true, func(k, v []byte) bool {
+		r, lvl := decodePosting(v)
+		hits = append(hits, hit{left: btree.Uint64Key(k), right: r, level: lvl})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, h := range hits {
+		S[i] = int32(h.level)
+		if i > 0 && !opts.DisableMaxGap {
+			if rule := p.prune[i]; rule.kind != 0 {
+				gap := int64(S[i] - S[i-1])
+				mg := ix.maxGap[rule.sym]
+				if (rule.kind == 1 && gap > mg+1) || (rule.kind == 2 && gap >= mg) {
+					stats.TriePathsPruned++
+					continue
+				}
+			}
+		}
+		if i == len(p.syms)-1 {
+			// Fetch documents whose sequences end at or below this node.
+			stats.RangeQueries++
+			var emitErr error
+			scanErr := ix.docid.Scan(btree.KeyUint64(h.left), btree.KeyUint64(h.right), true, true,
+				func(k, v []byte) bool {
+					if e := emit(decodeDocID(v)); e != nil {
+						emitErr = e
+						return false
+					}
+					return true
+				})
+			if scanErr != nil {
+				return scanErr
+			}
+			if emitErr != nil {
+				return emitErr
+			}
+		} else {
+			if err := ix.findSubsequence(p, opts, stats, i+1, h.left, h.right, S, emit); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// refine is Algorithm 2: connectedness (with the §4.5 wildcard chase), gap
+// consistency, frequency consistency and leaf matching.
+func (ix *Index) refine(p *plan, docID uint32, S []int32) (Match, bool, error) {
+	rec, err := ix.store.Get(docID)
+	if err != nil {
+		return Match{}, false, err
+	}
+	n := len(S)
+	N := make([]int32, n) // N[i] = N_D[S_i]
+	for i := 0; i < n; i++ {
+		if int(S[i]) > len(rec.NPS) {
+			return Match{}, false, nil
+		}
+		N[i] = rec.NPS[S[i]-1]
+	}
+	maxN := N[0]
+	for _, v := range N {
+		if v > maxN {
+			maxN = v
+		}
+	}
+	// Refinement by connectedness (Algorithm 2 lines 1-4, with wildcard
+	// edges chased through the data NPS as in §4.5). At the last
+	// occurrence of N[i], the query node q = npsQ[i] has just lost its
+	// last child, so the next query deletion is q itself. For an exact
+	// edge the next matched position must therefore be q's image — the
+	// node N[i] (Algorithm 2 line 4 compares against S_{i+1}); for a
+	// wildcard edge the matched position is a proxy and we instead chase
+	// parent links from N[i] to N[i+1], counting steps against the edge.
+	for i := 0; i < n; i++ {
+		if N[i] == maxN || !isLastOccurrence(N, i) {
+			continue
+		}
+		// If position i is not also the last occurrence on the query
+		// side the candidate would fail frequency consistency anyway.
+		if !p.lastOcc[i] {
+			return Match{}, false, nil
+		}
+		if i+1 >= n {
+			return Match{}, false, nil
+		}
+		edge := p.edges[p.npsQ[i]-1]
+		if edge.Exact() {
+			if S[i+1] != N[i] {
+				return Match{}, false, nil
+			}
+			continue
+		}
+		steps := 0
+		cur := N[i]
+		okChase := false
+		for cur != 0 {
+			cur = rec.ParentOf(cur)
+			steps++
+			if edge.Max != twig.Unbounded && steps > edge.Max {
+				break
+			}
+			if cur == N[i+1] {
+				okChase = steps >= edge.Min
+				break
+			}
+		}
+		if !okChase {
+			return Match{}, false, nil
+		}
+	}
+	// Refinement by structure: gap consistency (Definition 3).
+	for i := 0; i+1 < n; i++ {
+		dataGap := int64(N[i]) - int64(N[i+1])
+		queryGap := int64(p.npsQ[i]) - int64(p.npsQ[i+1])
+		switch {
+		case dataGap == 0 && queryGap != 0, queryGap == 0 && dataGap != 0:
+			return Match{}, false, nil
+		case dataGap*queryGap < 0:
+			return Match{}, false, nil
+		case abs64(queryGap) > abs64(dataGap):
+			return Match{}, false, nil
+		}
+	}
+	// Refinement by structure: frequency consistency (Definition 4).
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if (p.npsQ[i] == p.npsQ[j]) != (N[i] == N[j]) {
+				return Match{}, false, nil
+			}
+		}
+	}
+	// Root placement: anchored queries must map the root onto the
+	// document root; leading stars constrain the root image's depth.
+	if p.anchored || p.rootEdge.Min > 1 {
+		depth := rootDepth(rec, maxN)
+		if p.anchored {
+			if maxN != rec.NumNodes || p.rootEdge.Min != depth {
+				return Match{}, false, nil
+			}
+		} else if depth < p.rootEdge.Min ||
+			(p.rootEdge.Max != twig.Unbounded && depth > p.rootEdge.Max) {
+			return Match{}, false, nil
+		}
+	}
+	// Refinement by matching leaf nodes (§4.4). The image of query leaf
+	// with postorder l is the data node numbered S[l-1]; its label must
+	// match. Extended patterns have only dummy leaves, which match the
+	// dummy children added under every data leaf, so the check still
+	// works uniformly (and is cheap).
+	for _, leaf := range p.leaves {
+		img := S[leaf.Post-1]
+		sym, ok := labelOf(rec, img)
+		if !ok || sym != leaf.Sym {
+			return Match{}, false, nil
+		}
+	}
+	// Canonical embedding: internal query nodes take their image from N
+	// (well defined by frequency consistency); leaves take the matched
+	// deletion itself (their edges are exact by construction).
+	images := make([]int32, p.m)
+	for i, q := range p.npsQ {
+		if images[q-1] == 0 {
+			images[q-1] = N[i]
+		}
+	}
+	for q := 1; q < p.m; q++ {
+		if images[q-1] == 0 && !p.dummy[q-1] {
+			images[q-1] = S[q-1]
+		}
+	}
+	return Match{
+		DocID:     docID,
+		Positions: append([]int32(nil), S...),
+		Images:    images,
+		Root:      maxN,
+	}, true, nil
+}
+
+// embeddingKey renders a match's canonical embedding as a map key.
+func embeddingKey(m Match) string {
+	b := make([]byte, 0, 4+len(m.Images)*5)
+	b = append(b, byte(m.DocID), byte(m.DocID>>8), byte(m.DocID>>16), byte(m.DocID>>24))
+	for _, v := range m.Images {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), ',')
+	}
+	return string(b)
+}
+
+// isLastOccurrence reports whether N[i] does not occur after index i.
+func isLastOccurrence(N []int32, i int) bool {
+	for j := i + 1; j < len(N); j++ {
+		if N[j] == N[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rootDepth returns the level (root = 1) of the node numbered post.
+func rootDepth(rec *docstore.Record, post int32) int {
+	depth := 1
+	for cur := post; cur != rec.NumNodes; {
+		cur = rec.ParentOf(cur)
+		if cur == 0 {
+			break
+		}
+		depth++
+	}
+	return depth
+}
+
+// labelOf resolves the label symbol of data node `post`: leaves from the
+// leaf list, internal nodes from the first LPS position whose NPS entry is
+// the node (Example 6's "search LPS/NPS" step).
+func labelOf(rec *docstore.Record, post int32) (vtrie.Symbol, bool) {
+	for _, l := range rec.Leaves {
+		if l.Post == post {
+			return l.Sym, true
+		}
+	}
+	for i, v := range rec.NPS {
+		if v == post {
+			return rec.LPS[i], true
+		}
+	}
+	return 0, false
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

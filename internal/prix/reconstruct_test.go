@@ -1,0 +1,43 @@
+package prix
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// The index is lossless: every document can be rebuilt exactly from the
+// stored sequences — the paper's one-to-one correspondence, end to end.
+func TestReconstructDocumentRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var docs []*xmltree.Document
+	for i := 0; i < 25; i++ {
+		docs = append(docs, xmltree.RandomDocument(rng, i, xmltree.RandomConfig{
+			Nodes:     1 + rng.Intn(40),
+			Alphabet:  []string{"a", "b", "c", "d"},
+			ValueProb: 0.4,
+			Values:    []string{"v1", "v2", "some longer text"},
+		}))
+	}
+	for _, extended := range []bool{false, true} {
+		ix := build(t, extended, docs...)
+		for _, want := range docs {
+			got, err := ix.ReconstructDocument(uint32(want.ID))
+			if err != nil {
+				t.Fatalf("extended=%v doc %d: %v", extended, want.ID, err)
+			}
+			if got.String() != want.String() {
+				t.Fatalf("extended=%v doc %d:\n got %s\nwant %s",
+					extended, want.ID, got.String(), want.String())
+			}
+		}
+	}
+}
+
+func TestReconstructDocumentErrors(t *testing.T) {
+	ix := build(t, false, xmltree.MustFromSExpr(0, `(a (b))`))
+	if _, err := ix.ReconstructDocument(99); err == nil {
+		t.Error("reconstructing an absent document succeeded")
+	}
+}

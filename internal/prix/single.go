@@ -1,0 +1,79 @@
+package prix
+
+import (
+	"repro/internal/docstore"
+	"repro/internal/twig"
+	"repro/internal/vtrie"
+)
+
+// matchSingleNode answers single-node queries (e.g. //author, /dblp). A
+// one-node twig has an empty Prüfer sequence, so it cannot be answered by
+// subsequence matching (the paper never evaluates such queries); instead
+// the document store is scanned and every node with the right label is
+// reported, subject to the query's root-depth constraint. This is a linear
+// scan by design — a workload needing fast single-tag lookup should keep a
+// tag-occurrence index such as the twigstack package's streams.
+func (ix *Index) matchSingleNode(q *twig.Query, stats *QueryStats) ([]Match, error) {
+	sym, ok := LookupSymbol(ix.store.Dict(), q.Root.Label, q.Root.IsValue)
+	if !ok {
+		return nil, nil
+	}
+	var out []Match
+	for docID := 0; docID < ix.store.NumDocs(); docID++ {
+		rec, err := ix.store.Get(uint32(docID))
+		if err != nil {
+			return nil, err
+		}
+		stats.Candidates++
+		for _, post := range nodesWithLabel(rec, sym) {
+			depth := rootDepth(rec, post)
+			if depth < q.RootEdge.Min {
+				continue
+			}
+			if q.RootEdge.Max != twig.Unbounded && depth > q.RootEdge.Max {
+				continue
+			}
+			out = append(out, Match{
+				DocID:  uint32(docID),
+				Images: []int32{post},
+				Root:   post,
+			})
+		}
+	}
+	return out, nil
+}
+
+// nodesWithLabel returns the postorder numbers of every node in the record
+// carrying the symbol, sorted ascending: leaves from the leaf list,
+// internal nodes from the LPS/NPS pair (a node with k children appears k
+// times in the NPS, so the set is deduplicated).
+func nodesWithLabel(rec *docstore.Record, sym vtrie.Symbol) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	add := func(post int32) {
+		if !seen[post] {
+			seen[post] = true
+			out = append(out, post)
+		}
+	}
+	for _, l := range rec.Leaves {
+		if l.Sym == sym {
+			add(l.Post)
+		}
+	}
+	for i, s := range rec.LPS {
+		if s == sym {
+			add(rec.NPS[i])
+		}
+	}
+	sortInt32s(out)
+	return out
+}
+
+func sortInt32s(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package prufer implements the tree-to-sequence transformation at the heart
+// of PRIX (§3 of the paper). A tree with n nodes numbered 1..n in postorder
+// is transformed into a Prüfer sequence of length n-1 by repeatedly deleting
+// the leaf with the smallest number and recording its parent (the paper's
+// modified construction keeps deleting until a single node remains, so the
+// root's label never appears as a deleted node but does appear as a parent).
+//
+// The package produces both the Labeled Prüfer Sequence (LPS) and the
+// Numbered Prüfer Sequence (NPS), supports the Extended-Prüfer variant of
+// §5.6 (a dummy child under every leaf so that every original node's label
+// appears in the LPS), and can reconstruct the original tree from the
+// sequences, witnessing the one-to-one correspondence.
+package prufer
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// Sequence is the Prüfer sequence of one tree: parallel LPS and NPS arrays.
+// Labels[i] is the tag of the parent of the node deleted at step i+1, and
+// Numbers[i] is that parent's postorder number (Lemma 1: the node deleted
+// at step i+1 is exactly the node with postorder number i+1).
+type Sequence struct {
+	// Labels is the Labeled Prüfer Sequence.
+	Labels []string
+	// Numbers is the Numbered Prüfer Sequence.
+	Numbers []int
+	// Extended records whether this sequence was built from the
+	// leaf-extended tree of §5.6.
+	Extended bool
+	// N is the number of nodes of the tree the sequence was built from
+	// (the extended tree when Extended is set); len(Labels) == N-1.
+	N int
+	// ValueAt reports, for extended sequences, which positions were
+	// contributed by deleting a dummy child of a value node — i.e. the
+	// positions whose Labels entry is a value string rather than a tag.
+	// Nil for regular sequences.
+	ValueAt []bool
+}
+
+// Len returns the sequence length (N - 1).
+func (s *Sequence) Len() int { return len(s.Labels) }
+
+// Build constructs the Regular-Prüfer sequence of the document using the
+// postorder numbering already present on its nodes. By Lemma 1 the i-th
+// deleted node is the node numbered i, so the sequence is simply the parent
+// label/number of nodes 1..n-1 — no simulation of deletions is needed.
+func Build(d *xmltree.Document) *Sequence {
+	n := d.Size()
+	s := &Sequence{
+		Labels:  make([]string, 0, n-1),
+		Numbers: make([]int, 0, n-1),
+		N:       n,
+	}
+	for i := 1; i < n; i++ {
+		p := d.Node(i).Parent
+		s.Labels = append(s.Labels, p.Label)
+		s.Numbers = append(s.Numbers, p.Post)
+	}
+	return s
+}
+
+// BuildExtended constructs the Extended-Prüfer sequence of §5.6: the tree is
+// (conceptually) extended with one dummy child under every leaf, so the
+// label of every original node — including leaves and values — appears in
+// the LPS. The NPS numbers refer to postorder numbers in the extended tree.
+func BuildExtended(d *xmltree.Document) *Sequence {
+	ext := ExtendTree(d)
+	s := Build(ext)
+	s.Extended = true
+	s.ValueAt = make([]bool, s.Len())
+	for i := 1; i < ext.Size(); i++ {
+		s.ValueAt[i-1] = ext.Node(i).Parent.IsValue
+	}
+	return s
+}
+
+// ExtendTree returns a copy of d with a dummy child (label "", value) under
+// every leaf, renumbered. Exported because the query side (twig package)
+// must extend query twigs the same way before matching against an EPIndex.
+func ExtendTree(d *xmltree.Document) *xmltree.Document {
+	var cp func(n *xmltree.Node) *xmltree.Node
+	cp = func(n *xmltree.Node) *xmltree.Node {
+		m := &xmltree.Node{Label: n.Label, IsValue: n.IsValue}
+		for _, c := range n.Children {
+			m.AddChild(cp(c))
+		}
+		if len(n.Children) == 0 {
+			m.AddChild(&xmltree.Node{Label: dummyLabel, IsValue: true})
+		}
+		return m
+	}
+	return xmltree.NewDocument(d.ID, cp(d.Root))
+}
+
+// dummyLabel marks the dummy children inserted by ExtendTree. The empty
+// string cannot collide with an element tag or a non-empty value.
+const dummyLabel = ""
+
+// IsDummy reports whether a node is an ExtendTree dummy child.
+func IsDummy(n *xmltree.Node) bool { return n.IsValue && n.Label == dummyLabel }
+
+// BuildBySimulation constructs the sequence by literally simulating the
+// paper's node-removal process (§3.1): repeatedly delete the leaf with the
+// smallest postorder number and record its parent. It exists to cross-check
+// Build (Lemma 1) in tests and runs in O(n log n).
+func BuildBySimulation(d *xmltree.Document) *Sequence {
+	n := d.Size()
+	remaining := make([]int, n+1) // remaining child count per postorder number
+	parent := make([]int, n+1)
+	label := make([]string, n+1)
+	for i := 1; i <= n; i++ {
+		node := d.Node(i)
+		remaining[i] = len(node.Children)
+		label[i] = node.Label
+		if node.Parent != nil {
+			parent[i] = node.Parent.Post
+		}
+	}
+	// Min-heap of current leaves by postorder number.
+	h := &intHeap{}
+	for i := 1; i <= n; i++ {
+		if remaining[i] == 0 {
+			h.push(i)
+		}
+	}
+	s := &Sequence{N: n}
+	for len(*h) > 0 {
+		leaf := h.pop()
+		p := parent[leaf]
+		if p == 0 {
+			break // only the root remains
+		}
+		s.Labels = append(s.Labels, label[p])
+		s.Numbers = append(s.Numbers, p)
+		remaining[p]--
+		if remaining[p] == 0 {
+			h.push(p)
+		}
+	}
+	return s
+}
+
+// Reconstruct rebuilds the tree from a sequence, witnessing the one-to-one
+// correspondence between trees and Prüfer sequences. The NPS determines the
+// shape (parent(i) = Numbers[i-1]); the LPS determines every non-leaf label.
+// Leaf labels are not present in a regular sequence, so the caller supplies
+// them via leaves (postorder number → label); pass nil to leave leaf labels
+// empty. For extended sequences every label is recovered and leaves must be
+// nil.
+func Reconstruct(s *Sequence, leaves map[int]string) (*xmltree.Document, error) {
+	n := s.N
+	if n < 1 {
+		return nil, fmt.Errorf("prufer: cannot reconstruct a tree with %d nodes", n)
+	}
+	if len(s.Labels) != n-1 || len(s.Numbers) != n-1 {
+		return nil, fmt.Errorf("prufer: sequence length %d/%d inconsistent with N=%d",
+			len(s.Labels), len(s.Numbers), n)
+	}
+	nodes := make([]*xmltree.Node, n+1)
+	for i := 1; i <= n; i++ {
+		nodes[i] = &xmltree.Node{}
+	}
+	for i := 1; i < n; i++ {
+		p := s.Numbers[i-1]
+		if p < i+1 || p > n {
+			// A parent must have a larger postorder number than any of
+			// its children, and the parent of node i is deleted after
+			// node i, so p must be at least i+1.
+			return nil, fmt.Errorf("prufer: invalid NPS: parent of %d is %d", i, p)
+		}
+		nodes[p].Label = s.Labels[i-1]
+		nodes[p].AddChild(nodes[i])
+	}
+	for i := 1; i <= n; i++ {
+		if len(nodes[i].Children) == 0 {
+			if lbl, ok := leaves[i]; ok {
+				nodes[i].Label = lbl
+			}
+		}
+	}
+	doc := xmltree.NewDocument(0, nodes[n])
+	// Verify the reconstruction is postorder-consistent: node i must have
+	// ended up with postorder number i, otherwise the NPS was not a valid
+	// postorder-numbered Prüfer sequence.
+	for i := 1; i <= n; i++ {
+		if nodes[i].Post != i {
+			return nil, fmt.Errorf("prufer: NPS is not postorder-consistent at node %d (got %d)",
+				i, nodes[i].Post)
+		}
+	}
+	return doc, nil
+}
+
+// LeafMap extracts the postorder-number → label map of a document's leaves,
+// the side table the paper stores alongside LPS/NPS (§4.3: "the label and
+// postorder number of every leaf node should be stored in the database").
+func LeafMap(d *xmltree.Document) map[int]string {
+	m := make(map[int]string)
+	for _, n := range d.Nodes {
+		if n.IsLeaf() {
+			m[n.Post] = n.Label
+		}
+	}
+	return m
+}
+
+// IsSubsequence reports whether needle is a (classical, Definition 1)
+// subsequence of hay, and if so returns one witness: the positions in hay
+// (1-based) where each needle element matched, chosen greedily.
+func IsSubsequence(needle, hay []string) ([]int, bool) {
+	pos := make([]int, 0, len(needle))
+	j := 0
+	for i := 0; i < len(hay) && j < len(needle); i++ {
+		if hay[i] == needle[j] {
+			pos = append(pos, i+1)
+			j++
+		}
+	}
+	if j != len(needle) {
+		return nil, false
+	}
+	return pos, true
+}
+
+// SubsequenceMatches enumerates every set of positions (1-based, strictly
+// increasing) at which needle matches a subsequence of hay, invoking fn for
+// each. It is the brute-force oracle for the filtering phase in tests; the
+// production path uses the virtual-trie index instead. fn may return false
+// to stop the enumeration early. The positions slice is reused between
+// invocations; callers must copy it to retain it.
+func SubsequenceMatches(needle, hay []string, fn func(pos []int) bool) {
+	if len(needle) == 0 {
+		return
+	}
+	pos := make([]int, len(needle))
+	var rec func(qi, start int) bool
+	rec = func(qi, start int) bool {
+		if qi == len(needle) {
+			return fn(pos)
+		}
+		// Not enough room left for the remaining needle elements.
+		for i := start; i+len(needle)-qi-1 < len(hay); i++ {
+			if hay[i] == needle[qi] {
+				pos[qi] = i + 1
+				if !rec(qi+1, i+1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec(0, 0)
+}
+
+// intHeap is a tiny min-heap of ints used by BuildBySimulation.
+type intHeap []int
+
+func (h *intHeap) push(x int) {
+	*h = append(*h, x)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p] <= (*h)[i] {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *intHeap) pop() int {
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(*h) && (*h)[l] < (*h)[small] {
+			small = l
+		}
+		if r < len(*h) && (*h)[r] < (*h)[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,274 @@
+package twig
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the XPath subset used throughout the paper:
+//
+//	query     = ("/" | "//") step { ("/" | "//") step }
+//	step      = nametest { predicate }
+//	nametest  = NAME | "*"
+//	predicate = "[" "." ("/" | "//") relpath [ "=" STRING ] "]"
+//	          | "[" "text()" "=" STRING "]"
+//	relpath   = step { ("/" | "//") step }
+//
+// '*' steps carry no predicates and are collapsed into the adjacent edge's
+// depth constraint, following §4.5's treatment ("transformed to its Prüfer
+// sequences by ignoring the wildcards"); a branching '*' is rejected.
+func Parse(src string) (*Query, error) {
+	p := &parser{src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("twig: parse %q: %w", src, err)
+	}
+	q.Source = src
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixtures.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) rest() string { return p.src[p.pos:] }
+
+func (p *parser) eat(tok string) bool {
+	if strings.HasPrefix(p.rest(), tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+// parseSep consumes "/" or "//" and returns (found, descendant).
+func (p *parser) parseSep() (bool, bool) {
+	if p.eat("//") {
+		return true, true
+	}
+	if p.eat("/") {
+		return true, false
+	}
+	return false, false
+}
+
+func (p *parser) parseName() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		r := rune(p.src[p.pos])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.' || r == ':' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) parseString() (string, error) {
+	if p.pos >= len(p.src) || p.src[p.pos] != '"' {
+		return "", fmt.Errorf("expected string literal at %d", p.pos)
+	}
+	start := p.pos
+	p.pos++
+	for p.pos < len(p.src) && p.src[p.pos] != '"' {
+		if p.src[p.pos] == '\\' {
+			p.pos++
+		}
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("unterminated string literal at %d", start)
+	}
+	p.pos++
+	s, err := strconv.Unquote(p.src[start:p.pos])
+	if err != nil {
+		return "", fmt.Errorf("bad string literal %s: %v", p.src[start:p.pos], err)
+	}
+	return s, nil
+}
+
+// edgeState accumulates separators and '*' steps between materialised nodes.
+type edgeState struct {
+	hops      int // '*' steps consumed so far
+	unbounded bool
+}
+
+func (e *edgeState) sep(descendant bool) {
+	if descendant {
+		e.unbounded = true
+	}
+}
+
+func (e *edgeState) star() { e.hops++ }
+
+func (e *edgeState) edge() Edge {
+	min := e.hops + 1
+	max := min
+	if e.unbounded {
+		max = Unbounded
+	}
+	return Edge{Min: min, Max: max}
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	found, desc := p.parseSep()
+	if !found {
+		return nil, fmt.Errorf("query must start with / or //")
+	}
+	es := edgeState{}
+	es.sep(desc)
+	root, rootEdge, err := p.parsePath(&es)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("trailing input at %d: %q", p.pos, p.rest())
+	}
+	return &Query{Root: root, RootEdge: rootEdge}, nil
+}
+
+// parsePath parses step { sep step } starting after an already-consumed
+// separator whose state is in es. In predicate context it stops at ']' or
+// '='; at top level it stops at the end of the input. It returns the first
+// materialised node of the path and that node's edge.
+func (p *parser) parsePath(es *edgeState) (*Node, Edge, error) {
+	return p.path(es, false)
+}
+
+func (p *parser) path(es *edgeState, inPredicate bool) (*Node, Edge, error) {
+	var first *Node
+	var firstEdge Edge
+	var cur *Node
+	finish := func() (*Node, Edge, error) {
+		if es.hops != 0 || es.unbounded {
+			return nil, Edge{}, fmt.Errorf("path cannot end in '*' or '//' at %d", p.pos)
+		}
+		if first == nil {
+			return nil, Edge{}, fmt.Errorf("empty path at %d", p.pos)
+		}
+		return first, firstEdge, nil
+	}
+	for {
+		// nametest
+		if p.eat("*") {
+			if p.pos < len(p.src) && p.src[p.pos] == '[' {
+				return nil, Edge{}, fmt.Errorf("predicates on '*' steps are not supported at %d", p.pos)
+			}
+			es.star()
+		} else {
+			// '@name' is accepted as a synonym for 'name': the tree model
+			// follows the paper in representing attributes as subelements,
+			// so the attribute axis degenerates to the child axis.
+			p.eat("@")
+			name := p.parseName()
+			if name == "" {
+				return nil, Edge{}, fmt.Errorf("expected name or '*' at %d", p.pos)
+			}
+			n := &Node{Label: name, Edge: es.edge()}
+			if first == nil {
+				first, firstEdge = n, n.Edge
+			}
+			if cur != nil {
+				cur.Children = append(cur.Children, n)
+			}
+			cur = n
+			*es = edgeState{}
+			// predicates
+			for p.pos < len(p.src) && p.src[p.pos] == '[' {
+				if err := p.parsePredicate(cur); err != nil {
+					return nil, Edge{}, err
+				}
+			}
+		}
+		if inPredicate && p.pos < len(p.src) && (p.src[p.pos] == ']' || p.src[p.pos] == '=') {
+			return finish()
+		}
+		found, desc := p.parseSep()
+		if !found {
+			if inPredicate {
+				return nil, Edge{}, fmt.Errorf("expected separator, ']' or '=' at %d", p.pos)
+			}
+			return finish()
+		}
+		es.sep(desc)
+	}
+}
+
+func (p *parser) parsePredicate(owner *Node) error {
+	if !p.eat("[") {
+		return fmt.Errorf("expected '[' at %d", p.pos)
+	}
+	switch {
+	case p.eat("text()"):
+		if !p.eat("=") {
+			return fmt.Errorf("expected '=' after text() at %d", p.pos)
+		}
+		s, err := p.parseString()
+		if err != nil {
+			return err
+		}
+		owner.Children = append(owner.Children, &Node{
+			Label: s, IsValue: true, Edge: Edge{Min: 1, Max: 1},
+		})
+	case p.eat("@"):
+		name := p.parseName()
+		if name == "" {
+			return fmt.Errorf("expected attribute name after '@' at %d", p.pos)
+		}
+		attr := &Node{Label: name, Edge: Edge{Min: 1, Max: 1}}
+		if p.eat("=") {
+			s, err := p.parseString()
+			if err != nil {
+				return err
+			}
+			attr.Children = append(attr.Children, &Node{Label: s, IsValue: true, Edge: Edge{Min: 1, Max: 1}})
+		}
+		owner.Children = append(owner.Children, attr)
+	case p.eat("."):
+		found, desc := p.parseSep()
+		if !found {
+			return fmt.Errorf("expected '/' or '//' after '.' at %d", p.pos)
+		}
+		es := edgeState{}
+		es.sep(desc)
+		child, _, err := p.path(&es, true)
+		if err != nil {
+			return err
+		}
+		if p.eat("=") {
+			s, err := p.parseString()
+			if err != nil {
+				return err
+			}
+			// Attach the value under the deepest spine node of the
+			// predicate path.
+			deep := child
+			for len(deep.Children) > 0 && !deep.Children[len(deep.Children)-1].IsValue {
+				deep = deep.Children[len(deep.Children)-1]
+			}
+			deep.Children = append(deep.Children, &Node{
+				Label: s, IsValue: true, Edge: Edge{Min: 1, Max: 1},
+			})
+		}
+		owner.Children = append(owner.Children, child)
+	default:
+		return fmt.Errorf("expected '.' or text() in predicate at %d", p.pos)
+	}
+	if !p.eat("]") {
+		return fmt.Errorf("expected ']' at %d", p.pos)
+	}
+	return nil
+}

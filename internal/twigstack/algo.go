@@ -1,0 +1,481 @@
+package twigstack
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/twig"
+)
+
+// Algorithm selects the engine variant.
+type Algorithm int
+
+const (
+	// TwigStack scans the streams sequentially (Bruno et al. Algorithm 2).
+	TwigStack Algorithm = iota
+	// TwigStackXB reads the streams through XB-trees, skipping regions
+	// whose maxR bound proves they cannot contain matches.
+	TwigStackXB
+)
+
+func (a Algorithm) String() string {
+	if a == TwigStackXB {
+		return "TwigStackXB"
+	}
+	return "TwigStack"
+}
+
+// Stats reports the work one query performed.
+type Stats struct {
+	// ElementsScanned counts real stream elements consumed.
+	ElementsScanned int
+	// RegionsSkipped counts XB internal entries advanced over without
+	// drilling (each skips a whole subtree of the input).
+	RegionsSkipped int
+	// PathSolutions counts root-to-leaf path tuples emitted by the stack
+	// phase (the merge step's input size; the §2 sub-optimality shows up
+	// as PathSolutions exceeding the final match count).
+	PathSolutions int
+	// Matches is the number of twig occurrences after merging.
+	Matches int
+	// PagesRead is the physical pages read during the query.
+	PagesRead uint64
+	// Elapsed is wall-clock query time.
+	Elapsed time.Duration
+}
+
+// qnode is one query node with its runtime state.
+type qnode struct {
+	label    string
+	isValue  bool
+	post     int // postorder in the query tree
+	edge     twig.Edge
+	parent   *qnode
+	children []*qnode
+	cur      cursor
+	stack    []stackElem
+	// paths collects path solutions for leaf query nodes: each solution
+	// maps the root-to-leaf chain (root first) to entries.
+	paths [][]Entry
+}
+
+type stackElem struct {
+	e         Entry
+	parentIdx int // index into parent.stack valid at push time (-1 none)
+}
+
+func (q *qnode) isLeaf() bool { return len(q.children) == 0 }
+func (q *qnode) isRoot() bool { return q.parent == nil }
+
+// Match runs the selected algorithm for the query over the store and
+// returns the number of ordered twig occurrences (identical semantics to
+// the PRIX engine and the brute-force oracle: labels, edge depth bounds,
+// postorder monotonicity and ancestorship preservation).
+func (s *Store) Match(q *twig.Query, algo Algorithm) (int, *Stats, error) {
+	start := time.Now()
+	if err := s.bp.DropAll(); err != nil {
+		return 0, nil, err
+	}
+	s.bp.ResetStats()
+	stats := &Stats{}
+
+	if q.Size() == 1 {
+		n, err := s.matchSingle(q, stats)
+		if err != nil {
+			return 0, nil, err
+		}
+		stats.Matches = n
+		stats.PagesRead = s.bp.Stats().PhysicalReads
+		stats.Elapsed = time.Since(start)
+		return n, stats, nil
+	}
+	root, nodes, err := s.buildQNodes(q, algo)
+	if err != nil {
+		return 0, nil, err
+	}
+	if root == nil {
+		// Some label does not occur at all: no matches.
+		stats.Elapsed = time.Since(start)
+		return 0, stats, nil
+	}
+	if err := s.stackPhase(root, nodes, stats); err != nil {
+		return 0, nil, err
+	}
+	count := mergePhase(q, root, nodes, stats)
+	stats.Matches = count
+	stats.PagesRead = s.bp.Stats().PhysicalReads
+	stats.Elapsed = time.Since(start)
+	return count, stats, nil
+}
+
+// buildQNodes prepares the query tree with cursors. A nil root with no
+// error means a query label is absent from the collection.
+func (s *Store) buildQNodes(q *twig.Query, algo Algorithm) (*qnode, []*qnode, error) {
+	pat, err := q.Prepare(false)
+	if err != nil {
+		return nil, nil, fmt.Errorf("twigstack: %w", err)
+	}
+	var nodes []*qnode
+	byPost := map[int]*qnode{}
+	missing := false
+	for _, n := range pat.Doc.Nodes {
+		qn := &qnode{label: n.Label, isValue: n.IsValue, post: n.Post}
+		if n.Parent != nil {
+			qn.edge = pat.Edges[n.Post-1]
+		} else {
+			qn.edge = q.RootEdge
+		}
+		sym, ok := lookupSym(s.dict, n.Label, n.IsValue)
+		if !ok {
+			missing = true
+		} else {
+			seg := s.segs[sym]
+			var cur cursor
+			var err error
+			if algo == TwigStackXB {
+				cur, err = newXBCursor(s, seg)
+			} else {
+				cur, err = newPlainCursor(s, seg)
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			qn.cur = cur
+		}
+		byPost[n.Post] = qn
+		nodes = append(nodes, qn)
+	}
+	if missing {
+		return nil, nil, nil
+	}
+	for _, n := range pat.Doc.Nodes {
+		if n.Parent != nil {
+			child := byPost[n.Post]
+			parent := byPost[n.Parent.Post]
+			child.parent = parent
+			parent.children = append(parent.children, child)
+		}
+	}
+	// Children must be in document (query) order: sort by postorder.
+	for _, qn := range nodes {
+		sort.Slice(qn.children, func(i, j int) bool { return qn.children[i].post < qn.children[j].post })
+	}
+	return byPost[pat.Doc.Size()], nodes, nil
+}
+
+// stackPhase is the main TwigStack loop.
+func (s *Store) stackPhase(root *qnode, nodes []*qnode, stats *Stats) error {
+	for {
+		qact, err := getNext(root, stats)
+		if err != nil {
+			return err
+		}
+		if qact == nil || qact.cur.eof() {
+			return nil
+		}
+		// The push logic needs a real element: drill to the leaf level.
+		for !qact.cur.atLeaf() {
+			if err := qact.cur.drill(); err != nil {
+				return err
+			}
+		}
+		head := qact.cur.head()
+		if !qact.isRoot() {
+			cleanStack(qact.parent, head.L)
+		}
+		if qact.isRoot() || len(qact.parent.stack) > 0 {
+			cleanStack(qact, head.L)
+			parentIdx := -1
+			if !qact.isRoot() {
+				parentIdx = len(qact.parent.stack) - 1
+			}
+			qact.stack = append(qact.stack, stackElem{e: head, parentIdx: parentIdx})
+			if qact.isLeaf() {
+				emitPaths(qact, stats)
+				qact.stack = qact.stack[:len(qact.stack)-1]
+			}
+		}
+		stats.ElementsScanned++
+		if err := qact.cur.advance(); err != nil {
+			return err
+		}
+	}
+}
+
+// getNext is Bruno et al.'s Algorithm adapted to XB cursors and exhausted
+// branches. It returns nil when every branch is exhausted. An exhausted
+// child subtree stops constraining its parent: its path solutions are
+// already recorded and can still merge with paths produced by live
+// branches, so processing continues on the live ones.
+func getNext(q *qnode, stats *Stats) (*qnode, error) {
+	if q.isLeaf() {
+		if q.cur.eof() {
+			return nil, nil
+		}
+		return q, nil
+	}
+	var nmin, nmax *qnode
+	for _, qi := range q.children {
+		ni, err := getNext(qi, stats)
+		if err != nil {
+			return nil, err
+		}
+		if ni == nil {
+			continue // branch exhausted
+		}
+		if ni != qi {
+			return ni, nil
+		}
+		if nmin == nil || qi.cur.headL() < nmin.cur.headL() {
+			nmin = qi
+		}
+		if nmax == nil || qi.cur.headL() > nmax.cur.headL() {
+			nmax = qi
+		}
+	}
+	if nmin == nil {
+		// All branches exhausted; nothing below q can produce new paths.
+		return nil, nil
+	}
+	// Advance q past elements (or whole XB regions) that end before the
+	// furthest live child head: they cannot be ancestors of any future
+	// match. Regions that may contain the nearest child head are drilled
+	// down (the paper's "drill down to lower regions to verify").
+	for !q.cur.eof() {
+		if q.cur.headR() < nmax.cur.headL() {
+			if q.cur.atLeaf() {
+				stats.ElementsScanned++
+			} else {
+				stats.RegionsSkipped++
+			}
+			if err := q.cur.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if q.cur.atLeaf() || q.cur.headL() >= nmin.cur.headL() {
+			break
+		}
+		if err := q.cur.drill(); err != nil {
+			return nil, err
+		}
+	}
+	if !q.cur.eof() && q.cur.headL() < nmin.cur.headL() {
+		return q, nil
+	}
+	return nmin, nil
+}
+
+// cleanStack pops entries that end before pos: they cannot be ancestors of
+// any element at or after pos.
+func cleanStack(q *qnode, pos uint64) {
+	for len(q.stack) > 0 && q.stack[len(q.stack)-1].e.R < pos {
+		q.stack = q.stack[:len(q.stack)-1]
+	}
+}
+
+// emitPaths outputs every root-to-leaf path solution ending at the element
+// just pushed onto leaf's stack (standard showSolutions expansion).
+func emitPaths(leaf *qnode, stats *Stats) {
+	// Chain of query nodes from leaf up to the root.
+	var chain []*qnode
+	for q := leaf; q != nil; q = q.parent {
+		chain = append(chain, q)
+	}
+	depth := len(chain)
+	path := make([]Entry, depth) // path[0] = leaf ... path[depth-1] = root
+	var rec func(ci, stackIdx int)
+	rec = func(ci, stackIdx int) {
+		if ci == depth {
+			// Store root-first.
+			sol := make([]Entry, depth)
+			for i := range path {
+				sol[depth-1-i] = path[i]
+			}
+			leaf.paths = append(leaf.paths, sol)
+			stats.PathSolutions++
+			return
+		}
+		q := chain[ci]
+		if ci == 0 {
+			// The leaf contributes exactly the just-pushed element.
+			top := q.stack[len(q.stack)-1]
+			path[0] = top.e
+			rec(1, top.parentIdx)
+			return
+		}
+		for i := stackIdx; i >= 0; i-- {
+			path[ci] = q.stack[i].e
+			next := -1
+			if ci+1 < depth {
+				next = q.stack[i].parentIdx
+			}
+			rec(ci+1, next)
+		}
+	}
+	rec(0, -1)
+}
+
+// mergePhase joins the per-leaf path solutions into full twig matches and
+// applies the exact embedding semantics (child/star depth bounds, ordered
+// siblings, anchoring) that the stack phase relaxed to ancestor-descendant.
+func mergePhase(q *twig.Query, root *qnode, nodes []*qnode, stats *Stats) int {
+	// Collect leaves in query order, each with its root-to-leaf chain of
+	// query posts.
+	var leaves []*qnode
+	for _, n := range nodes {
+		if n.isLeaf() {
+			leaves = append(leaves, n)
+		}
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].post < leaves[j].post })
+	chains := make([][]*qnode, len(leaves))
+	for i, l := range leaves {
+		var chain []*qnode
+		for n := l; n != nil; n = n.parent {
+			chain = append([]*qnode{n}, chain...)
+		}
+		chains[i] = chain
+	}
+	assign := map[int]Entry{} // query post -> entry
+	count := 0
+	var rec func(li int)
+	rec = func(li int) {
+		if li == len(leaves) {
+			if verifyEmbedding(q, nodes, assign) {
+				count++
+			}
+			return
+		}
+		chain := chains[li]
+	pathLoop:
+		for _, sol := range leaves[li].paths {
+			// sol is root-first along chain.
+			var added []int
+			for i, qn := range chain {
+				if prev, ok := assign[qn.post]; ok {
+					if prev != sol[i] {
+						for _, p := range added {
+							delete(assign, p)
+						}
+						continue pathLoop
+					}
+					continue
+				}
+				assign[qn.post] = sol[i]
+				added = append(added, qn.post)
+			}
+			rec(li + 1)
+			for _, p := range added {
+				delete(assign, p)
+			}
+		}
+	}
+	rec(0)
+	return count
+}
+
+// verifyEmbedding applies the full ordered twig semantics to a candidate
+// assignment (query post -> entry).
+func verifyEmbedding(q *twig.Query, nodes []*qnode, assign map[int]Entry) bool {
+	for _, n := range nodes {
+		e := assign[n.post]
+		if n.parent == nil {
+			// Root anchoring: a leading "/" (or "/*/"...) bounds the
+			// root image's depth.
+			if int(e.Level) < n.edge.Min {
+				return false
+			}
+			if n.edge.Max != twig.Unbounded && int(e.Level) > n.edge.Max {
+				return false
+			}
+			continue
+		}
+		p := assign[n.parent.post]
+		if !p.contains(e) {
+			return false
+		}
+		steps := int(e.Level - p.Level)
+		if !n.edge.Allows(steps) {
+			return false
+		}
+	}
+	// Ordered semantics: postorder monotonicity (R order tracks postorder
+	// under region numbering) and ancestorship preserved both ways.
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a.post >= b.post {
+				continue
+			}
+			ea, eb := assign[a.post], assign[b.post]
+			if ea == eb {
+				return false
+			}
+			if ea.R >= eb.R {
+				return false
+			}
+			qAnc := isQAncestor(a, b)
+			dAnc := ea.contains(eb)
+			qAnc2 := isQAncestor(b, a)
+			dAnc2 := eb.contains(ea)
+			if qAnc != dAnc || qAnc2 != dAnc2 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func isQAncestor(a, b *qnode) bool {
+	for n := b.parent; n != nil; n = n.parent {
+		if n == a {
+			return true
+		}
+	}
+	return false
+}
+
+// PathStack runs the single-path specialisation: for linear queries the
+// stack phase's path solutions are already the matches (no merge join),
+// only the exactness filter applies.
+func (s *Store) PathStack(q *twig.Query) (int, *Stats, error) {
+	// For a linear query TwigStack degenerates to PathStack: same stacks,
+	// single leaf, merge is a filter.
+	pat, err := q.Prepare(false)
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, n := range pat.Doc.Nodes {
+		if len(n.Children) > 1 {
+			return 0, nil, fmt.Errorf("twigstack: PathStack requires a linear query, got %q", q)
+		}
+	}
+	return s.Match(q, TwigStack)
+}
+
+// matchSingle answers single-node queries by scanning the label's stream
+// and applying the root-edge depth constraint.
+func (s *Store) matchSingle(q *twig.Query, stats *Stats) (int, error) {
+	sym, ok := lookupSym(s.dict, q.Root.Label, q.Root.IsValue)
+	if !ok {
+		return 0, nil
+	}
+	cur, err := newPlainCursor(s, s.segs[sym])
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for !cur.eof() {
+		e := cur.head()
+		stats.ElementsScanned++
+		if int(e.Level) >= q.RootEdge.Min &&
+			(q.RootEdge.Max == twig.Unbounded || int(e.Level) <= q.RootEdge.Max) {
+			count++
+		}
+		if err := cur.advance(); err != nil {
+			return 0, err
+		}
+	}
+	return count, nil
+}

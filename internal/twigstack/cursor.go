@@ -1,0 +1,278 @@
+package twigstack
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/pager"
+)
+
+// cursor is the stream access abstraction shared by TwigStack (plain
+// sequential scan) and TwigStackXB (hierarchical XB-tree traversal). A
+// cursor's head may be a real element (atLeaf) or an XB internal entry
+// summarising a region of the stream with (minL, maxR); advancing past an
+// internal entry skips its whole subtree.
+type cursor interface {
+	eof() bool
+	// headL/headR return the current entry's bounds; for internal XB
+	// entries headL is exact (the region's minimum L) and headR is the
+	// region's maximum R (an upper bound for any single element).
+	headL() uint64
+	headR() uint64
+	// head returns the current real element; only valid when atLeaf.
+	head() Entry
+	atLeaf() bool
+	// drill descends one XB level toward the elements; no-op at leaf level.
+	drill() error
+	// advance moves to the next entry at the current level, popping to the
+	// parent level when the current run is exhausted.
+	advance() error
+}
+
+const infPos = uint64(math.MaxUint64)
+
+// plainCursor scans a segment's leaf pages sequentially (TwigStack).
+type plainCursor struct {
+	s       *Store
+	seg     *segment
+	pageIdx int
+	entries []Entry
+	idx     int
+	done    bool
+}
+
+func newPlainCursor(s *Store, seg *segment) (*plainCursor, error) {
+	c := &plainCursor{s: s, seg: seg}
+	if seg == nil || seg.count == 0 {
+		c.done = true
+		return c, nil
+	}
+	entries, err := s.readLeaf(seg, 0)
+	if err != nil {
+		return nil, err
+	}
+	c.entries = entries
+	return c, nil
+}
+
+func (c *plainCursor) eof() bool    { return c.done }
+func (c *plainCursor) atLeaf() bool { return true }
+func (c *plainCursor) drill() error { return nil }
+
+func (c *plainCursor) head() Entry {
+	return c.entries[c.idx]
+}
+
+func (c *plainCursor) headL() uint64 {
+	if c.done {
+		return infPos
+	}
+	return c.entries[c.idx].L
+}
+
+func (c *plainCursor) headR() uint64 {
+	if c.done {
+		return infPos
+	}
+	return c.entries[c.idx].R
+}
+
+func (c *plainCursor) advance() error {
+	if c.done {
+		return nil
+	}
+	c.idx++
+	if c.idx < len(c.entries) {
+		return nil
+	}
+	c.pageIdx++
+	c.idx = 0
+	if c.pageIdx >= len(c.seg.leafPages) {
+		c.done = true
+		c.entries = nil
+		return nil
+	}
+	entries, err := c.s.readLeaf(c.seg, c.pageIdx)
+	if err != nil {
+		return err
+	}
+	c.entries = entries
+	return nil
+}
+
+// xbSpan is one internal XB entry.
+type xbSpan struct {
+	minL, maxR uint64
+	child      pager.PageID
+}
+
+type xbFrame struct {
+	spans []xbSpan
+	idx   int
+}
+
+// xbCursor walks a segment through its XB-tree (TwigStackXB).
+type xbCursor struct {
+	s   *Store
+	seg *segment
+	// stack holds the internal frames from the root down; when leafMode
+	// is set the cursor is positioned on real elements of leaf.
+	stack    []xbFrame
+	leaf     []Entry
+	leafIdx  int
+	leafMode bool
+	done     bool
+}
+
+func newXBCursor(s *Store, seg *segment) (*xbCursor, error) {
+	c := &xbCursor{s: s, seg: seg}
+	if seg == nil || seg.count == 0 {
+		c.done = true
+		return c, nil
+	}
+	if seg.xbRoot == pager.InvalidPage {
+		// Single-leaf stream: no internal levels.
+		entries, err := s.readLeaf(seg, 0)
+		if err != nil {
+			return nil, err
+		}
+		c.leaf = entries
+		c.leafMode = true
+		return c, nil
+	}
+	spans, err := c.readInternal(seg.xbRoot)
+	if err != nil {
+		return nil, err
+	}
+	c.stack = []xbFrame{{spans: spans}}
+	return c, nil
+}
+
+func (c *xbCursor) readInternal(id pager.PageID) ([]xbSpan, error) {
+	p, err := c.s.bp.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	count := int(binary.LittleEndian.Uint32(p.Data[0:4]))
+	out := make([]xbSpan, count)
+	for i := 0; i < count; i++ {
+		o := 4 + i*xbEntrySize
+		out[i] = xbSpan{
+			minL:  binary.LittleEndian.Uint64(p.Data[o : o+8]),
+			maxR:  binary.LittleEndian.Uint64(p.Data[o+8 : o+16]),
+			child: pager.PageID(binary.LittleEndian.Uint32(p.Data[o+16 : o+20])),
+		}
+	}
+	p.Unpin(false)
+	return out, nil
+}
+
+func (c *xbCursor) eof() bool    { return c.done }
+func (c *xbCursor) atLeaf() bool { return !c.done && c.leafMode }
+
+func (c *xbCursor) head() Entry { return c.leaf[c.leafIdx] }
+
+func (c *xbCursor) headL() uint64 {
+	if c.done {
+		return infPos
+	}
+	if c.leafMode {
+		return c.leaf[c.leafIdx].L
+	}
+	f := &c.stack[len(c.stack)-1]
+	return f.spans[f.idx].minL
+}
+
+func (c *xbCursor) headR() uint64 {
+	if c.done {
+		return infPos
+	}
+	if c.leafMode {
+		return c.leaf[c.leafIdx].R
+	}
+	f := &c.stack[len(c.stack)-1]
+	return f.spans[f.idx].maxR
+}
+
+// drill descends into the current internal entry's child (one level).
+func (c *xbCursor) drill() error {
+	if c.done || c.leafMode {
+		return nil
+	}
+	f := &c.stack[len(c.stack)-1]
+	child := f.spans[f.idx].child
+	// Children of the deepest internal level are leaf pages.
+	if len(c.stack) == c.seg.xbLevels-1 {
+		// Find the leaf index: leaf pages are contiguous in allocation
+		// order, so locate by page id.
+		entries, err := c.s.readLeafPage(child)
+		if err != nil {
+			return err
+		}
+		c.leaf = entries
+		c.leafIdx = 0
+		c.leafMode = true
+		return nil
+	}
+	spans, err := c.readInternal(child)
+	if err != nil {
+		return err
+	}
+	c.stack = append(c.stack, xbFrame{spans: spans})
+	return nil
+}
+
+// advance moves to the next entry at the current level; when the current
+// run is exhausted it pops to the parent level and advances there.
+func (c *xbCursor) advance() error {
+	if c.done {
+		return nil
+	}
+	if c.leafMode {
+		c.leafIdx++
+		if c.leafIdx < len(c.leaf) {
+			return nil
+		}
+		c.leafMode = false
+		c.leaf = nil
+		// fall through to advance the parent frame.
+	} else {
+		f := &c.stack[len(c.stack)-1]
+		f.idx++
+		if f.idx < len(f.spans) {
+			return nil
+		}
+		c.stack = c.stack[:len(c.stack)-1]
+	}
+	for len(c.stack) > 0 {
+		f := &c.stack[len(c.stack)-1]
+		f.idx++
+		if f.idx < len(f.spans) {
+			return nil
+		}
+		c.stack = c.stack[:len(c.stack)-1]
+	}
+	c.done = true
+	return nil
+}
+
+// readLeafPage loads a leaf page by page id (XB drilling reaches leaves by
+// id, not index).
+func (s *Store) readLeafPage(id pager.PageID) ([]Entry, error) {
+	p, err := s.bp.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	count := int(binary.LittleEndian.Uint32(p.Data[0:4]))
+	out := make([]Entry, count)
+	for i := 0; i < count; i++ {
+		o := 4 + i*entrySize
+		out[i] = Entry{
+			L:     binary.LittleEndian.Uint64(p.Data[o : o+8]),
+			R:     binary.LittleEndian.Uint64(p.Data[o+8 : o+16]),
+			Level: int32(binary.LittleEndian.Uint32(p.Data[o+16 : o+20])),
+		}
+	}
+	p.Unpin(false)
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package twigstack
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/docstore"
+	"repro/internal/pager"
+	"repro/internal/vtrie"
+)
+
+// Persistence: page 0 holds a header pointing at a metadata chain written
+// by Flush; Open rebuilds the segment directory and label dictionary from
+// it. Stream and XB pages are written during Build and never change.
+
+var streamMagic = []byte("PRIXSTR1")
+
+// Flush persists the segment directory and dictionary. Build must have
+// completed; the store is immutable afterwards.
+func (s *Store) Flush() error {
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { buf.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
+	putStr := func(x string) { put(uint64(len(x))); buf.WriteString(x) }
+	// Dictionary: symbols are dense, so names in symbol order suffice.
+	names := s.dict.Names()
+	put(uint64(len(names)))
+	for _, n := range names {
+		putStr(n)
+	}
+	put(uint64(s.numDocs))
+	// Segments, keyed by symbol.
+	put(uint64(len(s.segs)))
+	for sym := vtrie.Symbol(0); int(sym) < len(names); sym++ {
+		seg, ok := s.segs[sym]
+		if !ok {
+			continue
+		}
+		put(uint64(sym))
+		put(uint64(seg.count))
+		put(uint64(len(seg.leafPages)))
+		for _, pid := range seg.leafPages {
+			put(uint64(pid))
+		}
+		put(uint64(seg.xbRoot))
+		put(uint64(seg.xbLevels))
+	}
+	payload := buf.Bytes()
+	// Header page 0 must exist; Build never allocates it, so do it here on
+	// first flush (it is page NumPages... we need it to be page 0, so
+	// Build must reserve it — see Build).
+	first := pager.InvalidPage
+	for off := 0; off < len(payload); off += pager.PageSize {
+		p, err := s.bp.NewPage()
+		if err != nil {
+			return err
+		}
+		if first == pager.InvalidPage {
+			first = p.ID
+		}
+		end := off + pager.PageSize
+		if end > len(payload) {
+			end = len(payload)
+		}
+		copy(p.Data, payload[off:end])
+		p.Unpin(true)
+	}
+	hdr, err := s.bp.Get(0)
+	if err != nil {
+		return err
+	}
+	copy(hdr.Data, streamMagic)
+	binary.LittleEndian.PutUint32(hdr.Data[8:12], uint32(first))
+	binary.LittleEndian.PutUint64(hdr.Data[12:20], uint64(len(payload)))
+	hdr.Unpin(true)
+	return s.bp.FlushAll()
+}
+
+// Open loads a store persisted by Flush.
+func Open(bp *pager.BufferPool) (*Store, error) {
+	hdr, err := bp.Get(0)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(hdr.Data[:8], streamMagic) {
+		hdr.Unpin(false)
+		return nil, fmt.Errorf("twigstack: page 0 is not a stream-store header")
+	}
+	first := pager.PageID(binary.LittleEndian.Uint32(hdr.Data[8:12]))
+	length := int(binary.LittleEndian.Uint64(hdr.Data[12:20]))
+	hdr.Unpin(false)
+	if first == pager.InvalidPage {
+		return nil, fmt.Errorf("twigstack: store was never flushed")
+	}
+	payload := make([]byte, 0, length)
+	for page := first; len(payload) < length; page++ {
+		p, err := bp.Get(page)
+		if err != nil {
+			return nil, err
+		}
+		need := length - len(payload)
+		if need > pager.PageSize {
+			need = pager.PageSize
+		}
+		payload = append(payload, p.Data[:need]...)
+		p.Unpin(false)
+	}
+	br := bytes.NewReader(payload)
+	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+	s := &Store{bp: bp, dict: &docstore.Dict{}, segs: map[vtrie.Symbol]*segment{}}
+	n, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("twigstack: meta: %w", err)
+	}
+	for i := uint64(0); i < n; i++ {
+		ln, err := get()
+		if err != nil {
+			return nil, err
+		}
+		b := make([]byte, ln)
+		if _, err := br.Read(b); err != nil {
+			return nil, err
+		}
+		s.dict.Intern(string(b))
+	}
+	docs, err := get()
+	if err != nil {
+		return nil, err
+	}
+	s.numDocs = int(docs)
+	segs, err := get()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < segs; i++ {
+		sym, err1 := get()
+		count, err2 := get()
+		nLeaf, err3 := get()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("twigstack: truncated segment %d", i)
+		}
+		seg := &segment{count: int(count)}
+		for j := uint64(0); j < nLeaf; j++ {
+			pid, err := get()
+			if err != nil {
+				return nil, err
+			}
+			seg.leafPages = append(seg.leafPages, pager.PageID(pid))
+		}
+		root, err1 := get()
+		levels, err2 := get()
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("twigstack: truncated segment %d", i)
+		}
+		seg.xbRoot = pager.PageID(root)
+		seg.xbLevels = int(levels)
+		s.segs[vtrie.Symbol(sym)] = seg
+	}
+	return s, nil
+}

@@ -1,0 +1,86 @@
+package twigstack
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/docstore"
+	"repro/internal/pager"
+	"repro/internal/twig"
+	"repro/internal/xmltree"
+)
+
+func TestStorePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "streams.db")
+	file, err := pager.OpenOSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []*xmltree.Document
+	for i := 0; i < 300; i++ {
+		docs = append(docs, xmltree.MustFromSExpr(i, `(a (b (c)) (d "v"))`))
+	}
+	s, err := Build(docs, pager.NewBufferPool(file, 64), &docstore.Dict{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := twig.MustParse(`//a[./b/c]/d`)
+	wantN, _, err := s.Match(q, TwigStackXB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	file.Close()
+
+	file2, err := pager.OpenOSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file2.Close()
+	s2, err := Open(pager.NewBufferPool(file2, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{TwigStack, TwigStackXB} {
+		n, _, err := s2.Match(q, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != wantN {
+			t.Errorf("%v after reopen = %d, want %d", algo, n, wantN)
+		}
+	}
+	if s2.StreamLen("a", false) != 300 {
+		t.Errorf("StreamLen after reopen = %d", s2.StreamLen("a", false))
+	}
+	// Value queries still resolve through the reopened dictionary.
+	n, _, err := s2.Match(twig.MustParse(`//a[./d="v"]`), TwigStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 300 {
+		t.Errorf("value query after reopen = %d", n)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	bp := pager.NewBufferPool(pager.NewMemFile(), 8)
+	p, _ := bp.NewPage()
+	copy(p.Data, "NOTASTRM")
+	p.Unpin(true)
+	if _, err := Open(bp); err == nil {
+		t.Error("Open accepted garbage header")
+	}
+}
+
+func TestBuildRejectsNonEmptyFile(t *testing.T) {
+	mem := pager.NewMemFile()
+	if _, err := mem.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(nil, pager.NewBufferPool(mem, 8), &docstore.Dict{}); err == nil {
+		t.Error("Build over non-empty file accepted")
+	}
+}

@@ -1,0 +1,230 @@
+// Package vtrie implements the virtual trie of §5.2 of the PRIX paper. The
+// Labeled Prüfer sequences of all documents are conceptually stored in a
+// trie whose nodes are labeled with (LeftPos, RightPos) ranges satisfying
+// the containment property; the trie itself is never stored. What persists
+// are the Trie-Symbol indexes — one B+-tree per symbol, keyed by LeftPos —
+// and the Docid index mapping the LeftPos of each sequence's final node to
+// the document identifiers ending there. All subsequence matching then runs
+// as range queries over those B+-trees (Algorithm 1 in the paper).
+//
+// Two labeling schemes are provided:
+//
+//   - exact: a transient in-memory trie is built over all sequences at index
+//     time and ranges are assigned by a single DFS, sized exactly to each
+//     subtree. This is the production path.
+//   - dynamic: the paper's scheme — ranges are subdivided on the fly as
+//     sequences arrive, helped by an α-deep prefix trie whose ranges are
+//     pre-allocated by frequency and length (§5.2.1). It can suffer scope
+//     underflow, which the implementation surfaces for the ablation study.
+package vtrie
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Symbol is an interned sequence element (an element tag or a value string;
+// the docstore package owns the interning).
+type Symbol uint32
+
+// Posting is one trie node as seen by a Trie-Symbol index.
+type Posting struct {
+	Symbol Symbol
+	Left   uint64
+	Right  uint64
+	Level  uint32 // depth in the trie == position in the LPS (1-based)
+}
+
+// MaxRange is the RightPos of the trie root (the paper's MAX_INT for 8-byte
+// number ranges).
+const MaxRange = uint64(math.MaxUint64)
+
+// Builder accumulates sequences into a transient in-memory trie.
+type Builder struct {
+	root *buildNode
+	// nodes counts trie nodes excluding the root.
+	nodes int
+	// seqs counts inserted sequences.
+	seqs int
+}
+
+type buildNode struct {
+	sym      Symbol
+	children map[Symbol]*buildNode
+	docs     []uint32 // documents whose sequence ends here
+	subtree  int      // nodes in this subtree including self (set by label pass)
+	left     uint64
+	right    uint64
+}
+
+// NewBuilder returns an empty trie builder.
+func NewBuilder() *Builder {
+	return &Builder{root: &buildNode{children: map[Symbol]*buildNode{}}}
+}
+
+// Add inserts one document's sequence. Empty sequences (single-node trees
+// have an empty LPS) are rejected: such documents cannot be found by
+// subsequence matching and must be handled by the caller.
+func (b *Builder) Add(seq []Symbol, docID uint32) error {
+	if len(seq) == 0 {
+		return fmt.Errorf("vtrie: empty sequence for document %d", docID)
+	}
+	cur := b.root
+	for _, s := range seq {
+		next, ok := cur.children[s]
+		if !ok {
+			next = &buildNode{sym: s, children: map[Symbol]*buildNode{}}
+			cur.children[s] = next
+			b.nodes++
+		}
+		cur = next
+	}
+	cur.docs = append(cur.docs, docID)
+	b.seqs++
+	return nil
+}
+
+// Nodes returns the number of trie nodes (excluding the root). The paper's
+// §6.4.2 observation that similar documents share root-to-leaf paths shows
+// up as Nodes growing much more slowly than total sequence length.
+func (b *Builder) Nodes() int { return b.nodes }
+
+// Sequences returns the number of sequences inserted.
+func (b *Builder) Sequences() int { return b.seqs }
+
+// Label assigns exact (Left, Right) ranges by DFS: each node receives a
+// contiguous range that strictly contains all its descendants' ranges and
+// no sibling's. Left values are unique across the trie.
+func (b *Builder) Label() {
+	b.size(b.root)
+	// Root spans the whole space; children partition (root.left, root.right).
+	b.root.left = 0
+	b.root.right = MaxRange
+	b.assign(b.root)
+}
+
+// size computes subtree sizes iteratively (sequences can be long).
+func (b *Builder) size(root *buildNode) {
+	type frame struct {
+		n    *buildNode
+		kids []*buildNode
+		i    int
+	}
+	stack := []frame{{n: root, kids: sortedChildren(root)}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.i == 0 {
+			f.n.subtree = 1
+		}
+		if f.i < len(f.kids) {
+			c := f.kids[f.i]
+			f.i++
+			stack = append(stack, frame{n: c, kids: sortedChildren(c)})
+			continue
+		}
+		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			stack[len(stack)-1].n.subtree += f.n.subtree
+		}
+	}
+}
+
+// assign hands each child a slice of the parent's open interval
+// (parent.left, parent.right) proportional to its subtree size, with Left
+// placed at the slice start. Using exact subtree sizes guarantees every
+// node gets a non-empty range (no scope underflow).
+func (b *Builder) assign(root *buildNode) {
+	stack := []*buildNode{root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		kids := sortedChildren(n)
+		if len(kids) == 0 {
+			continue
+		}
+		// Children partition (n.left, n.right], each child c taking a
+		// sub-range whose width is proportional to its subtree size. The
+		// arithmetic is integral: unit = span/total slots per node, so
+		// every child's range can hold its whole subtree (unit >= 1 is
+		// guaranteed because ranges shrink no faster than subtree sizes).
+		span := n.right - n.left
+		total := uint64(n.subtree - 1) // nodes to place strictly inside n's range
+		unit := span / total
+		cur := n.left
+		for _, c := range kids {
+			width := unit * uint64(c.subtree)
+			c.left = cur + 1
+			c.right = cur + width
+			cur = c.right
+			stack = append(stack, c)
+		}
+	}
+}
+
+func sortedChildren(n *buildNode) []*buildNode {
+	kids := make([]*buildNode, 0, len(n.children))
+	for _, c := range n.children {
+		kids = append(kids, c)
+	}
+	sort.Slice(kids, func(i, j int) bool { return kids[i].sym < kids[j].sym })
+	return kids
+}
+
+// Emit walks the labeled trie and invokes fn once per node (excluding the
+// root) with its posting and the documents terminating there (nil for
+// most nodes). Label must have been called. Iteration order is
+// level-by-level deterministic DFS.
+func (b *Builder) Emit(fn func(p Posting, docs []uint32) error) error {
+	type frame struct {
+		n     *buildNode
+		level uint32
+	}
+	stack := []frame{{n: b.root, level: 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.n != b.root {
+			p := Posting{Symbol: f.n.sym, Left: f.n.left, Right: f.n.right, Level: f.level}
+			if err := fn(p, f.n.docs); err != nil {
+				return err
+			}
+		}
+		kids := sortedChildren(f.n)
+		// Push in reverse so children emit in symbol order.
+		for i := len(kids) - 1; i >= 0; i-- {
+			stack = append(stack, frame{n: kids[i], level: f.level + 1})
+		}
+	}
+	return nil
+}
+
+// Validate checks the containment property across the labeled trie: every
+// child range is non-empty, contained in its parent's open interval, and
+// disjoint from its siblings'. Used by tests and the index build's
+// self-check.
+func (b *Builder) Validate() error {
+	var walk func(n *buildNode) error
+	walk = func(n *buildNode) error {
+		kids := sortedChildren(n)
+		var prevRight uint64 = n.left
+		for _, c := range kids {
+			if c.left <= n.left || c.right > n.right {
+				return fmt.Errorf("vtrie: child range (%d,%d] escapes parent (%d,%d]",
+					c.left, c.right, n.left, n.right)
+			}
+			if c.left > c.right {
+				return fmt.Errorf("vtrie: empty range (%d,%d]", c.left, c.right)
+			}
+			if c.left <= prevRight {
+				return fmt.Errorf("vtrie: sibling ranges overlap at %d", c.left)
+			}
+			prevRight = c.right
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(b.root)
+}

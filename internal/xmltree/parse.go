@@ -1,0 +1,129 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseOptions controls how raw XML is turned into an ordered labeled tree.
+type ParseOptions struct {
+	// KeepWhitespace keeps whitespace-only character data as value nodes.
+	// The paper's trees never contain such nodes, so the default drops them.
+	KeepWhitespace bool
+	// DropValues discards character data entirely, producing an
+	// element-only tree (handy for structural experiments like TREEBANK
+	// where the paper's values were encrypted and unused).
+	DropValues bool
+}
+
+// Parse reads one XML document from r and returns it as a Document with all
+// numberings assigned. Attributes become subelements holding a single value
+// node, mirroring the paper's treatment ("no special distinction ... between
+// elements and attributes").
+func Parse(id int, r io.Reader, opts ParseOptions) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Label: t.Name.Local}
+			for _, a := range t.Attr {
+				attr := &Node{Label: a.Name.Local}
+				if !opts.DropValues {
+					attr.AddChild(&Node{Label: a.Value, IsValue: true})
+				}
+				n.AddChild(attr)
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: multiple root elements")
+				}
+				root = n
+			} else {
+				stack[len(stack)-1].AddChild(n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: unbalanced end element %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 || opts.DropValues {
+				continue
+			}
+			text := string(t)
+			if !opts.KeepWhitespace {
+				text = strings.TrimSpace(text)
+				if text == "" {
+					continue
+				}
+			}
+			stack[len(stack)-1].AddChild(&Node{Label: text, IsValue: true})
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: unclosed elements at EOF")
+	}
+	return NewDocument(id, root), nil
+}
+
+// ParseString is Parse over an in-memory string.
+func ParseString(id int, s string) (*Document, error) {
+	return Parse(id, strings.NewReader(s), ParseOptions{})
+}
+
+// WriteXML renders the document back to XML text. Value nodes become
+// character data; everything else becomes an element. It is the inverse of
+// Parse for attribute-free documents and is used by the dataset generators
+// to report on-disk sizes comparable to the paper's Table 2.
+func (d *Document) WriteXML(w io.Writer) error {
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n.IsValue {
+			if err := xml.EscapeText(w, []byte(n.Label)); err != nil {
+				return err
+			}
+			return nil
+		}
+		if _, err := fmt.Fprintf(w, "<%s>", n.Label); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "</%s>", n.Label)
+		return err
+	}
+	return walk(d.Root)
+}
+
+// XMLSize returns the number of bytes the document occupies when serialized
+// by WriteXML.
+func (d *Document) XMLSize() int64 {
+	var c countWriter
+	_ = d.WriteXML(&c)
+	return int64(c)
+}
+
+type countWriter int64
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	*c += countWriter(len(p))
+	return len(p), nil
+}
