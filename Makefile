@@ -1,0 +1,35 @@
+# Standard developer entry points. Everything is stdlib-only Go; no
+# generated code, no external tools beyond the go toolchain.
+
+GO ?= go
+
+.PHONY: all build test race vet fuzz bench serve clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency-bearing packages (full ./... under
+# -race is slow; these are the packages with shared mutable state).
+race:
+	$(GO) test -race ./internal/server ./internal/prix ./internal/pager ./internal/bench
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzz pass over the query parser (the service boundary).
+fuzz:
+	$(GO) test ./internal/twig -run FuzzParseQuery -fuzz FuzzParseQuery -fuzztime 30s
+
+bench:
+	$(GO) run ./cmd/prixbench -table all -scale 1
+
+serve:
+	$(GO) run ./cmd/prixbench -table serving
+
+clean:
+	$(GO) clean ./...

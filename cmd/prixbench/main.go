@@ -7,6 +7,7 @@
 //	prixbench -table 4            # DBLP: PRIX vs ViST
 //	prixbench -table fig6
 //	prixbench -table ablation
+//	prixbench -table serving -serve-clients 16   # concurrent QPS/latency
 package main
 
 import (
@@ -22,10 +23,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("prixbench: ")
 	var (
-		table = flag.String("table", "all", "artefact: 2..9, fig6, ablation or all")
-		scale = flag.Int("scale", 1, "dataset scale factor")
-		seed  = flag.Int64("seed", 1, "dataset generator seed")
-		pool  = flag.Int("pool", 0, "buffer pool pages (default 2000)")
+		table    = flag.String("table", "all", "artefact: 2..9, fig6, ablation, serving or all")
+		scale    = flag.Int("scale", 1, "dataset scale factor")
+		seed     = flag.Int64("seed", 1, "dataset generator seed")
+		pool     = flag.Int("pool", 0, "buffer pool pages (default 2000)")
+		clients  = flag.Int("serve-clients", 0, "serving bench: concurrent clients (default 8)")
+		requests = flag.Int("serve-requests", 0, "serving bench: total requests per dataset (default 2000)")
 	)
 	flag.Parse()
 	s := bench.NewSession(bench.Config{Scale: *scale, Seed: *seed, PoolPages: *pool})
@@ -60,6 +63,8 @@ func main() {
 		run(s.AblationBottomUp(w))
 		run(s.AblationPoolSize(w))
 		run(s.AblationCardinality(w))
+	case "serving":
+		run(s.Serving(w, bench.ServingConfig{Goroutines: *clients, Requests: *requests}))
 	case "all":
 		run(s.All(w))
 	default:

@@ -1,76 +1,109 @@
 // Command prixquery runs twig queries against a persistent PRIX index
-// built by prixload.
+// built by prixload. Queries run through the same execution path as the
+// prixserve HTTP service (core.Executor), so deadlines and options behave
+// identically in both entry points.
 //
 // Usage:
 //
 //	prixquery -index /tmp/idx '//inproceedings[./author="Jim Gray"][./year="1990"]'
 //	prixquery -index /tmp/idx -unordered -count '//a[./c]/b'
+//
+// Exit codes: 0 success, 1 execution failure (I/O, deadline, engine error),
+// 2 usage or query-parse error. All diagnostics go to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"repro/internal/core"
 )
 
+const (
+	exitOK    = 0
+	exitError = 1 // execution failed: I/O, deadline, engine error
+	exitUsage = 2 // bad invocation or unparsable query
+)
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("prixquery: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fail := func(code int, err error) int {
+		fmt.Fprintf(stderr, "prixquery: %v\n", err)
+		return code
+	}
+	fs := flag.NewFlagSet("prixquery", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dir       = flag.String("index", "", "index directory (required)")
-		unordered = flag.Bool("unordered", false, "find unordered twig matches (§5.7)")
-		nogap     = flag.Bool("nomaxgap", false, "disable MaxGap pruning (Theorem 4)")
-		countOnly = flag.Bool("count", false, "print only the match count")
-		limit     = flag.Int("limit", 20, "maximum matches to print")
-		pool      = flag.Int("pool", 0, "buffer pool pages (default 2000)")
-		recon     = flag.Int("reconstruct", -1, "instead of querying, rebuild document N from the index and print it")
+		dir       = fs.String("index", "", "index directory (required)")
+		unordered = fs.Bool("unordered", false, "find unordered twig matches (§5.7)")
+		nogap     = fs.Bool("nomaxgap", false, "disable MaxGap pruning (Theorem 4)")
+		countOnly = fs.Bool("count", false, "print only the match count")
+		limit     = fs.Int("limit", 20, "maximum matches to print")
+		pool      = fs.Int("pool", 0, "buffer pool pages (default 2000)")
+		timeout   = fs.Duration("timeout", 0, "per-query deadline (0 = none)")
+		recon     = fs.Int("reconstruct", -1, "instead of querying, rebuild document N from the index and print it")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
 	if *dir == "" {
-		log.Fatal("usage: prixquery -index DIR 'XPATH'")
+		return fail(exitUsage, fmt.Errorf("usage: prixquery -index DIR 'XPATH'"))
 	}
 	ix, err := core.OpenIndex(*dir, core.Options{BufferPoolPages: *pool})
 	if err != nil {
-		log.Fatal(err)
+		return fail(exitError, err)
 	}
 	if *recon >= 0 {
 		doc, err := ix.ReconstructDocument(uint32(*recon))
 		if err != nil {
-			log.Fatal(err)
+			return fail(exitError, err)
 		}
-		if err := doc.WriteXML(os.Stdout); err != nil {
-			log.Fatal(err)
+		if err := doc.WriteXML(stdout); err != nil {
+			return fail(exitError, err)
 		}
-		fmt.Println()
-		return
+		fmt.Fprintln(stdout)
+		return exitOK
 	}
-	if flag.NArg() != 1 {
-		log.Fatal("usage: prixquery -index DIR 'XPATH'")
+	if fs.NArg() != 1 {
+		return fail(exitUsage, fmt.Errorf("usage: prixquery -index DIR 'XPATH'"))
 	}
-	q, err := core.ParseQuery(flag.Arg(0))
+	q, err := core.ParseQuery(fs.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		return fail(exitUsage, err)
 	}
-	ms, stats, err := ix.Match(q, core.MatchOptions{
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// One-shot execution: no result cache, same path as the HTTP service.
+	exec := core.NewExecutor(ix, -1, 0, nil)
+	res, err := exec.Execute(ctx, q, core.QueryOptions{
 		Unordered:     *unordered,
 		DisableMaxGap: *nogap,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return fail(exitError, err)
 	}
-	fmt.Printf("%d matches in %v (%d range queries, %d candidates, %d pages read)\n",
+	ms, stats := res.Matches, res.Stats
+	fmt.Fprintf(stdout, "%d matches in %v (%d range queries, %d candidates, %d pages read)\n",
 		len(ms), stats.Elapsed, stats.RangeQueries, stats.Candidates, stats.PagesRead)
 	if *countOnly {
-		return
+		return exitOK
 	}
 	for i, m := range ms {
 		if i >= *limit {
-			fmt.Printf("... and %d more\n", len(ms)-*limit)
+			fmt.Fprintf(stdout, "... and %d more\n", len(ms)-*limit)
 			break
 		}
-		fmt.Printf("doc %d: images %v\n", m.DocID, m.Images)
+		fmt.Fprintf(stdout, "doc %d: images %v\n", m.DocID, m.Images)
 	}
+	return exitOK
 }

@@ -1,0 +1,85 @@
+// Command prixserve serves twig queries over a persistent PRIX index as an
+// HTTP service: POST /query executes an XPath-subset query, GET /healthz,
+// GET /metrics (Prometheus text) and GET /stats expose service health.
+//
+// Usage:
+//
+//	prixserve -index /tmp/idx -addr :8080
+//	curl -s localhost:8080/query -d '//inproceedings[./year="1990"]/title'
+//	curl -s localhost:8080/query -d '{"query": "//a[./b]/c", "timeout_ms": 100}'
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: new queries are refused with
+// 503 while in-flight ones run to completion (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("prixserve: ")
+	var (
+		dir       = flag.String("index", "", "index directory (required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		inflight  = flag.Int("max-inflight", 0, "max concurrently executing queries (default 64; excess gets 429)")
+		timeout   = flag.Duration("timeout", 0, "default per-query deadline (default 2s; negative = none)")
+		maxTO     = flag.Duration("max-timeout", 0, "cap on client-requested deadlines (default 30s)")
+		cacheCap  = flag.Int("cache", 0, "result cache entries (default 1024; negative disables)")
+		shards    = flag.Int("cache-shards", 0, "result cache shards (default 16)")
+		maxMatch  = flag.Int("max-matches", 0, "max matches serialized per response (default 1000)")
+		pool      = flag.Int("pool", 0, "buffer pool pages (default 2000)")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+	)
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("usage: prixserve -index DIR [-addr :8080]")
+	}
+	ix, err := core.OpenIndex(*dir, core.Options{BufferPoolPages: *pool})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := core.NewServer(ix, core.ServerConfig{
+		MaxInFlight:    *inflight,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTO,
+		CacheCapacity:  *cacheCap,
+		CacheShards:    *shards,
+		MaxMatches:     *maxMatch,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		log.Printf("caught %v; draining (max %v)", s, *drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("drain: %v", err)
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("serving %d docs (extended=%v) on %s", ix.NumDocs(), ix.Extended(), *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+	log.Print("bye")
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/server"
+)
+
+// ServingConfig tunes the serving-throughput benchmark.
+type ServingConfig struct {
+	// Goroutines is the number of concurrent clients (default 8).
+	Goroutines int
+	// Requests is the total number of queries issued per dataset
+	// (default 2000), spread across the goroutines.
+	Requests int
+	// CacheSize is the result cache capacity (default 1024 entries;
+	// negative disables caching so every request hits the engine).
+	CacheSize int
+}
+
+func (c ServingConfig) withDefaults() ServingConfig {
+	if c.Goroutines < 1 {
+		c.Goroutines = 8
+	}
+	if c.Requests < 1 {
+		c.Requests = 2000
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	return c
+}
+
+// servingRun drives one dataset's query mix through the shared execution
+// path (server.Executor) from N concurrent goroutines and reports QPS and
+// latency quantiles from the service's own histogram.
+func (s *Session) servingRun(name string, sc ServingConfig) (servingRow, error) {
+	e, err := s.Engines(name)
+	if err != nil {
+		return servingRow{}, err
+	}
+	ds := e.Dataset
+	m := server.NewMetrics()
+	// Two executors share the cache budget and metrics: value queries go to
+	// the EPIndex, the rest to the RPIndex — the same routing the §5.6
+	// optimizer applies per query.
+	execRP := server.NewExecutor(e.RP, sc.CacheSize, 16, m)
+	execEP := server.NewExecutor(e.EP, sc.CacheSize, 16, m)
+	pick := func(qs datagen.QuerySpec) *server.Executor {
+		if qs.Extended {
+			return execEP
+		}
+		return execRP
+	}
+	// Warm the buffer pools once, sequentially, so the measured section
+	// reflects steady-state serving rather than first-touch page faults.
+	for _, qs := range ds.Queries {
+		if _, err := pick(qs).Execute(context.Background(), qs.Query(), server.QueryOptions{}); err != nil {
+			return servingRow{}, fmt.Errorf("bench: serving warmup %s: %w", qs.ID, err)
+		}
+	}
+
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	perG := sc.Requests / sc.Goroutines
+	start := time.Now()
+	for g := 0; g < sc.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				qs := ds.Queries[(g+i)%len(ds.Queries)]
+				t0 := time.Now()
+				_, err := pick(qs).Execute(context.Background(), qs.Query(), server.QueryOptions{})
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				m.Latency.Observe(time.Since(t0))
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := perG * sc.Goroutines
+	if n := failures.Load(); n > 0 {
+		return servingRow{}, fmt.Errorf("bench: serving %s: %d of %d requests failed", name, n, total)
+	}
+	hits, misses := m.CacheHits.Load(), m.CacheMisses.Load()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	return servingRow{
+		dataset:  name,
+		clients:  sc.Goroutines,
+		requests: total,
+		qps:      float64(total) / elapsed.Seconds(),
+		p50:      m.Latency.Quantile(0.50),
+		p99:      m.Latency.Quantile(0.99),
+		hitRate:  hitRate,
+		shared:   m.FlightShared.Load(),
+	}, nil
+}
+
+type servingRow struct {
+	dataset  string
+	clients  int
+	requests int
+	qps      float64
+	p50, p99 time.Duration
+	hitRate  float64
+	shared   uint64
+}
+
+// Serving benchmarks concurrent query serving (the deployment shape of
+// internal/server) over every dataset, with the result cache on and off.
+func (s *Session) Serving(w io.Writer, sc ServingConfig) error {
+	sc = sc.withDefaults()
+	fmt.Fprintf(w, "\nServing throughput: %d clients x %d requests (Q1-Q9 mix)\n",
+		sc.Goroutines, sc.Requests)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\tCache\tClients\tRequests\tQPS\tp50\tp99\tHit-rate\tCollapsed")
+	for _, name := range datagen.Names() {
+		for _, cache := range []struct {
+			label string
+			size  int
+		}{{"on", sc.CacheSize}, {"off", -1}} {
+			cfg := sc
+			cfg.CacheSize = cache.size
+			row, err := s.servingRun(name, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.0f\t%v\t%v\t%.1f%%\t%d\n",
+				row.dataset, cache.label, row.clients, row.requests, row.qps,
+				row.p50, row.p99, 100*row.hitRate, row.shared)
+		}
+	}
+	return tw.Flush()
+}

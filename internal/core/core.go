@@ -10,6 +10,7 @@ import (
 	"io"
 
 	"repro/internal/prix"
+	"repro/internal/server"
 	"repro/internal/twig"
 	"repro/internal/xmltree"
 )
@@ -81,4 +82,37 @@ func BuildDualIndex(docs []*Document, opts Options) (*Dual, error) {
 // NewDynamicIndex builds an insertable index seeded with initial documents.
 func NewDynamicIndex(initial []*Document, opts Options, dopts DynamicOptions) (*DynamicIndex, error) {
 	return prix.NewDynamicIndex(initial, opts, dopts)
+}
+
+// QuerySource is an index a query service executes against: *Index and
+// *DynamicIndex both satisfy it.
+type QuerySource = server.Source
+
+// ServerConfig tunes the HTTP query service (admission bound, deadlines,
+// result cache, response caps).
+type ServerConfig = server.Config
+
+// Server is the concurrent HTTP query service over one shared index.
+type Server = server.Server
+
+// Executor is the shared query execution path (result cache + singleflight
+// + context cancellation) used by the service, CLIs and benchmarks.
+type Executor = server.Executor
+
+// QueryOptions are per-request execution knobs of an Executor.
+type QueryOptions = server.QueryOptions
+
+// ServerMetrics is the service's lock-free counter/histogram registry.
+type ServerMetrics = server.Metrics
+
+// NewServer builds a query service over an index. If the source is a
+// DynamicIndex, the result cache is invalidated on every insert.
+func NewServer(src QuerySource, cfg ServerConfig) *Server {
+	return server.New(src, cfg)
+}
+
+// NewExecutor builds the bare execution path without the HTTP layer.
+// cacheCapacity < 1 disables result caching; metrics may be nil.
+func NewExecutor(src QuerySource, cacheCapacity, cacheShards int, m *ServerMetrics) *Executor {
+	return server.NewExecutor(src, cacheCapacity, cacheShards, m)
 }

@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the size of every page in bytes, matching the paper's setup.
@@ -176,14 +177,43 @@ func (f *OSFile) Sync() error { return f.f.Sync() }
 // Close implements File.
 func (f *OSFile) Close() error { return f.f.Close() }
 
-// Stats holds the buffer pool's I/O counters. PhysicalReads is the number
-// the paper reports as "Disk IO (pages read from disk)".
+// Stats holds a snapshot of the buffer pool's I/O counters. PhysicalReads
+// is the number the paper reports as "Disk IO (pages read from disk)".
 type Stats struct {
 	LogicalReads  uint64 // Get calls
 	PhysicalReads uint64 // Get calls that missed the pool
 	Writes        uint64 // pages written back to the file
 	Evictions     uint64 // frames evicted to make room
 	Allocations   uint64 // NewPage calls
+}
+
+// counters is the live, lock-free counterpart of Stats. The serving layer
+// samples PagesRead on every request while queries run on other goroutines,
+// so reads must not contend on (or wait for) the pool mutex.
+type counters struct {
+	logicalReads  atomic.Uint64
+	physicalReads atomic.Uint64
+	writes        atomic.Uint64
+	evictions     atomic.Uint64
+	allocations   atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		LogicalReads:  c.logicalReads.Load(),
+		PhysicalReads: c.physicalReads.Load(),
+		Writes:        c.writes.Load(),
+		Evictions:     c.evictions.Load(),
+		Allocations:   c.allocations.Load(),
+	}
+}
+
+func (c *counters) reset() {
+	c.logicalReads.Store(0)
+	c.physicalReads.Store(0)
+	c.writes.Store(0)
+	c.evictions.Store(0)
+	c.allocations.Store(0)
 }
 
 // Hits returns the number of Get calls served from the pool.
@@ -225,7 +255,7 @@ type BufferPool struct {
 	capacity int
 	frames   map[PageID]*frame
 	lru      *list.List // front = most recently used; holds unpinned frames only
-	stats    Stats
+	stats    counters
 }
 
 // NewBufferPool wraps file with a pool of the given capacity (in pages).
@@ -248,30 +278,23 @@ func (bp *BufferPool) File() File { return bp.file }
 // Capacity returns the pool capacity in pages.
 func (bp *BufferPool) Capacity() int { return bp.capacity }
 
-// Stats returns a snapshot of the I/O counters.
-func (bp *BufferPool) Stats() Stats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.stats
-}
+// Stats returns a snapshot of the I/O counters. It never touches the pool
+// mutex, so it is safe (and cheap) to call concurrently with queries.
+func (bp *BufferPool) Stats() Stats { return bp.stats.snapshot() }
 
 // ResetStats zeroes the I/O counters (e.g. between benchmark queries).
-func (bp *BufferPool) ResetStats() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats = Stats{}
-}
+func (bp *BufferPool) ResetStats() { bp.stats.reset() }
 
 // Get pins the page with the given id, reading it from the file on a miss.
 func (bp *BufferPool) Get(id PageID) (*Page, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
-	bp.stats.LogicalReads++
+	bp.stats.logicalReads.Add(1)
 	if fr, ok := bp.frames[id]; ok {
 		bp.pinLocked(fr)
 		return &Page{ID: id, Data: fr.data[:], fr: fr, bp: bp}, nil
 	}
-	bp.stats.PhysicalReads++
+	bp.stats.physicalReads.Add(1)
 	fr, err := bp.newFrameLocked(id)
 	if err != nil {
 		return nil, err
@@ -291,7 +314,7 @@ func (bp *BufferPool) NewPage() (*Page, error) {
 	if err != nil {
 		return nil, err
 	}
-	bp.stats.Allocations++
+	bp.stats.allocations.Add(1)
 	fr, err := bp.newFrameLocked(id)
 	if err != nil {
 		return nil, err
@@ -312,11 +335,11 @@ func (bp *BufferPool) newFrameLocked(id PageID) (*frame, error) {
 			if err := bp.file.WritePage(vf.id, vf.data[:]); err != nil {
 				return nil, err
 			}
-			bp.stats.Writes++
+			bp.stats.writes.Add(1)
 		}
 		bp.lru.Remove(victim)
 		delete(bp.frames, vf.id)
-		bp.stats.Evictions++
+		bp.stats.evictions.Add(1)
 	}
 	fr := &frame{id: id, pins: 1}
 	bp.frames[id] = fr
@@ -354,7 +377,7 @@ func (bp *BufferPool) FlushAll() error {
 				return err
 			}
 			fr.dirty = false
-			bp.stats.Writes++
+			bp.stats.writes.Add(1)
 		}
 	}
 	bp.mu.Unlock()

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -365,5 +366,51 @@ func TestOpenOSFileRejectsPartialPage(t *testing.T) {
 	}
 	if _, err := OpenOSFile(path); err == nil {
 		t.Error("OpenOSFile accepted a torn file")
+	}
+}
+
+// Stats and ResetStats must be callable while other goroutines drive the
+// pool: the serving layer samples PagesRead on every request.
+func TestConcurrentStatsReaders(t *testing.T) {
+	bp := NewBufferPool(NewMemFile(), 8)
+	var ids []PageID
+	for i := 0; i < 32; i++ {
+		p, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, p.ID)
+		p.Unpin(true)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed)))
+			for i := 0; i < 500; i++ {
+				p, err := bp.Get(ids[rng.Intn(len(ids))])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				p.Unpin(false)
+			}
+		}(g)
+	}
+	for i := 0; i < 1000; i++ {
+		s := bp.Stats()
+		if s.PhysicalReads > s.LogicalReads+uint64(len(ids)) {
+			t.Errorf("stats snapshot inconsistent: %+v", s)
+			break
+		}
+	}
+	wg.Wait()
+	if got := bp.Stats().LogicalReads; got == 0 {
+		t.Error("no logical reads recorded")
+	}
+	bp.ResetStats()
+	if got := bp.Stats(); got.LogicalReads != 0 || got.PhysicalReads != 0 {
+		t.Errorf("ResetStats left counters: %+v", got)
 	}
 }

@@ -3,10 +3,12 @@ package prix
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/btree"
 	"repro/internal/docstore"
 	"repro/internal/prufer"
+	"repro/internal/twig"
 	"repro/internal/vtrie"
 	"repro/internal/xmltree"
 )
@@ -19,11 +21,19 @@ import (
 // pathological insertion orders, surfaced as ErrScopeUnderflow; the remedy
 // is a rebuild with exact labeling (Build) or a deeper prepared prefix.
 type DynamicIndex struct {
-	mu      sync.Mutex
+	// mu serializes Insert (write) against queries (read): Insert mutates
+	// B+-trees and the document store in place, so a racing reader could
+	// otherwise observe a half-written posting.
+	mu      sync.RWMutex
 	ix      *Index
 	labeler *vtrie.DynamicLabeler
 	trees   map[vtrie.Symbol]*btree.Tree
 	nextID  uint32
+	// gen counts successful Inserts; serving-layer caches use it (or the
+	// OnInsert hooks) to invalidate stale results.
+	gen     atomic.Uint64
+	hooksMu sync.Mutex
+	hooks   []func()
 }
 
 // DynamicOptions tunes the labeler.
@@ -82,7 +92,23 @@ func NewDynamicIndex(initial []*xmltree.Document, opts Options, dopts DynamicOpt
 }
 
 // Insert adds one document to the index; it becomes queryable immediately.
+// On success the generation counter advances and every OnInsert hook runs
+// (outside the index lock, so hooks may query the index).
 func (di *DynamicIndex) Insert(doc *xmltree.Document) error {
+	if err := di.insertLocked(doc); err != nil {
+		return err
+	}
+	di.gen.Add(1)
+	di.hooksMu.Lock()
+	hooks := append([]func(){}, di.hooks...)
+	di.hooksMu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+	return nil
+}
+
+func (di *DynamicIndex) insertLocked(doc *xmltree.Document) error {
 	di.mu.Lock()
 	defer di.mu.Unlock()
 	id := di.nextID
@@ -129,9 +155,57 @@ func (di *DynamicIndex) writePosting(p vtrie.Posting) error {
 	return t.Insert(btree.KeyUint64(p.Left), encodePosting(p.Right, p.Level))
 }
 
-// Index returns the queryable index. Concurrent queries must use
-// MatchOptions.WarmCache; Insert and Match must not run concurrently.
+// Index returns the underlying index. Direct use is unsynchronized: callers
+// that query while Inserts may be running must go through DynamicIndex.Match
+// instead, which serializes against Insert.
 func (di *DynamicIndex) Index() *Index { return di.ix }
+
+// Match runs a query against the current snapshot of the index, serialized
+// against Insert. WarmCache is forced: concurrent readers share the buffer
+// pools, so the cold-start reset of the one-shot path would race (per-query
+// PagesRead is therefore a best-effort delta).
+func (di *DynamicIndex) Match(q *twig.Query, opts MatchOptions) ([]Match, *QueryStats, error) {
+	di.mu.RLock()
+	defer di.mu.RUnlock()
+	opts.WarmCache = true
+	return di.ix.Match(q, opts)
+}
+
+// Count is Match returning only the number of occurrences.
+func (di *DynamicIndex) Count(q *twig.Query, opts MatchOptions) (int, *QueryStats, error) {
+	ms, stats, err := di.Match(q, opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	return len(ms), stats, nil
+}
+
+// PagesRead proxies the index's physical-read counter (lock-free).
+func (di *DynamicIndex) PagesRead() uint64 { return di.ix.PagesRead() }
+
+// NumDocs returns the number of indexed documents.
+func (di *DynamicIndex) NumDocs() int {
+	di.mu.RLock()
+	defer di.mu.RUnlock()
+	return di.ix.NumDocs()
+}
+
+// Extended reports whether the underlying index is an EPIndex.
+func (di *DynamicIndex) Extended() bool { return di.ix.Extended() }
+
+// Generation returns the number of successful Inserts so far. A cached
+// query result tagged with the generation at fill time is stale whenever
+// the current generation differs.
+func (di *DynamicIndex) Generation() uint64 { return di.gen.Load() }
+
+// OnInsert registers a hook invoked after every successful Insert (cache
+// invalidation, replication, metrics). Hooks run sequentially on the
+// inserting goroutine, outside the index lock.
+func (di *DynamicIndex) OnInsert(fn func()) {
+	di.hooksMu.Lock()
+	defer di.hooksMu.Unlock()
+	di.hooks = append(di.hooks, fn)
+}
 
 // Underflows reports how many insertions failed with scope underflow.
 func (di *DynamicIndex) Underflows() int { return di.labeler.Underflows() }

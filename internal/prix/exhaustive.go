@@ -2,6 +2,7 @@ package prix
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
 	"repro/internal/twig"
@@ -69,6 +70,9 @@ func (ix *Index) MatchExhaustive(q *twig.Query, opts MatchOptions) ([]Match, *Qu
 	}
 	var out []Match
 	for docID := range docSet {
+		if err := opts.context().Err(); err != nil {
+			return nil, nil, fmt.Errorf("prix: match canceled: %w", err)
+		}
 		doc, err := ix.ReconstructDocument(docID)
 		if err != nil {
 			return nil, nil, err

@@ -1,6 +1,7 @@
 package prix
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -70,12 +71,28 @@ type MatchOptions struct {
 	// shared pool state, so concurrent Match calls must set WarmCache.
 	// PagesRead is then a best-effort delta across concurrent queries.
 	WarmCache bool
+	// Ctx, when non-nil, bounds the query: cancellation or deadline expiry
+	// is observed between B+-tree range queries (and periodically during
+	// single-tag document scans), aborting the match with the context's
+	// error. Nil means no cancellation (context.Background).
+	Ctx context.Context
+}
+
+// context resolves the options' context, defaulting to Background.
+func (o *MatchOptions) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // Match finds all ordered (or unordered, per opts) occurrences of the query.
 // Results are sorted by (DocID, Positions).
 func (ix *Index) Match(q *twig.Query, opts MatchOptions) ([]Match, *QueryStats, error) {
 	start := time.Now()
+	if err := opts.context().Err(); err != nil {
+		return nil, nil, fmt.Errorf("prix: match %q: %w", q, err)
+	}
 	var pagesBefore uint64
 	if opts.WarmCache {
 		pagesBefore = ix.PagesRead()
@@ -84,7 +101,7 @@ func (ix *Index) Match(q *twig.Query, opts MatchOptions) ([]Match, *QueryStats, 
 	}
 	stats := &QueryStats{}
 	if q.Size() == 1 {
-		ms, err := ix.matchSingleNode(q, stats)
+		ms, err := ix.matchSingleNode(q, opts, stats)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -329,6 +346,12 @@ func (ix *Index) matchOrdered(q *twig.Query, opts MatchOptions, stats *QueryStat
 // descending through the virtual trie.
 func (ix *Index) findSubsequence(p *plan, opts MatchOptions, stats *QueryStats,
 	i int, ql, qr uint64, S []int32, emit func(docID uint32) error) error {
+	// Cancellation is observed between range queries: every recursion level
+	// issues at least one, so a deadline cuts a slow wildcard scan off
+	// without leaving any shared state behind (the index is read-only).
+	if err := opts.context().Err(); err != nil {
+		return fmt.Errorf("prix: match canceled: %w", err)
+	}
 	tree := ix.forest.Lookup(symTreeName(p.syms[i]))
 	if tree == nil {
 		return nil

@@ -1,6 +1,8 @@
 package prix
 
 import (
+	"fmt"
+
 	"repro/internal/docstore"
 	"repro/internal/twig"
 	"repro/internal/vtrie"
@@ -13,13 +15,18 @@ import (
 // reported, subject to the query's root-depth constraint. This is a linear
 // scan by design — a workload needing fast single-tag lookup should keep a
 // tag-occurrence index such as the twigstack package's streams.
-func (ix *Index) matchSingleNode(q *twig.Query, stats *QueryStats) ([]Match, error) {
+func (ix *Index) matchSingleNode(q *twig.Query, opts MatchOptions, stats *QueryStats) ([]Match, error) {
 	sym, ok := LookupSymbol(ix.store.Dict(), q.Root.Label, q.Root.IsValue)
 	if !ok {
 		return nil, nil
 	}
 	var out []Match
 	for docID := 0; docID < ix.store.NumDocs(); docID++ {
+		if docID%64 == 0 {
+			if err := opts.context().Err(); err != nil {
+				return nil, fmt.Errorf("prix: match canceled: %w", err)
+			}
+		}
 		rec, err := ix.store.Get(uint32(docID))
 		if err != nil {
 			return nil, err

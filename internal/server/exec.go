@@ -1,0 +1,161 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/prix"
+	"repro/internal/twig"
+)
+
+// Source is the index a service executes queries against. Both *prix.Index
+// (read-only; callers must not Insert concurrently) and *prix.DynamicIndex
+// (Insert-safe: queries serialize against writers) satisfy it.
+type Source interface {
+	Match(q *twig.Query, opts prix.MatchOptions) ([]prix.Match, *prix.QueryStats, error)
+	PagesRead() uint64
+	NumDocs() int
+	Extended() bool
+}
+
+// inserter is the optional mutation interface of a Source. When present
+// (DynamicIndex), the executor hooks it to invalidate the result cache on
+// every insert.
+type inserter interface {
+	OnInsert(fn func())
+}
+
+// QueryOptions are the per-request execution knobs exposed by the service.
+type QueryOptions struct {
+	// Unordered finds unordered twig matches (§5.7).
+	Unordered bool
+	// DisableMaxGap turns off Theorem 4 pruning.
+	DisableMaxGap bool
+}
+
+// key renders the options' contribution to the cache key.
+func (o QueryOptions) key() string {
+	b := [2]byte{'-', '-'}
+	if o.Unordered {
+		b[0] = 'u'
+	}
+	if o.DisableMaxGap {
+		b[1] = 'g'
+	}
+	return string(b[:])
+}
+
+// Result is one executed query.
+type Result struct {
+	// Matches are the twig occurrences. The slice may be shared with the
+	// cache and other requests: treat it as immutable.
+	Matches []prix.Match
+	// Stats is the engine-level accounting of the execution that produced
+	// the matches (zero PagesRead and Elapsed on cache hits).
+	Stats prix.QueryStats
+	// Cached reports the result came from the cache.
+	Cached bool
+	// Shared reports the result was computed by a concurrent identical
+	// request (singleflight).
+	Shared bool
+}
+
+// Executor runs parsed queries against a Source through the result cache
+// and the singleflight collapse. It is the single execution path shared by
+// the HTTP service, cmd/prixquery and the serving benchmark, so every
+// entry point observes the same semantics.
+type Executor struct {
+	src     Source
+	cache   *Cache
+	metrics *Metrics
+	flight  flightGroup
+}
+
+// NewExecutor wires an executor. capacity < 1 disables the result cache;
+// metrics may be nil (a private registry is created).
+func NewExecutor(src Source, cacheCapacity, cacheShards int, m *Metrics) *Executor {
+	if m == nil {
+		m = NewMetrics()
+	}
+	e := &Executor{src: src, cache: NewCache(cacheCapacity, cacheShards), metrics: m}
+	if di, ok := src.(inserter); ok && e.cache != nil {
+		// Mutable index: every insert invalidates all cached results.
+		// Coarse, but inserts are rare relative to queries in the serving
+		// shape this repo targets; a finer scheme would need per-symbol
+		// dependency tracking.
+		di.OnInsert(e.cache.Flush)
+	}
+	return e
+}
+
+// Source returns the executor's index.
+func (e *Executor) Source() Source { return e.src }
+
+// Metrics returns the registry the executor reports into.
+func (e *Executor) Metrics() *Metrics { return e.metrics }
+
+// CacheLen returns the number of cached results.
+func (e *Executor) CacheLen() int { return e.cache.Len() }
+
+// InvalidateCache drops every cached result.
+func (e *Executor) InvalidateCache() { e.cache.Flush() }
+
+// Execute runs one parsed query. The context bounds execution: its
+// cancellation is observed between the engine's B+-tree range queries.
+func (e *Executor) Execute(ctx context.Context, q *twig.Query, qo QueryOptions) (*Result, error) {
+	key := q.String() + "\x00" + qo.key()
+	if ent, ok := e.cache.Get(key); ok {
+		e.metrics.CacheHits.Inc()
+		return &Result{Matches: ent.matches, Stats: ent.stats, Cached: true}, nil
+	}
+	e.metrics.CacheMisses.Inc()
+	ent, err, shared := e.flight.Do(key, func() (*cached, error) {
+		return e.run(ctx, q, qo, key)
+	})
+	if shared {
+		e.metrics.FlightShared.Inc()
+		if isContextErr(err) && ctx.Err() == nil {
+			// The leader died of its own deadline/cancellation but this
+			// follower is still live: retry once, alone.
+			ent, err = e.run(ctx, q, qo, key)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Matches: ent.matches, Stats: ent.stats, Shared: shared}, nil
+}
+
+// run performs the actual index match and fills the cache on success.
+func (e *Executor) run(ctx context.Context, q *twig.Query, qo QueryOptions, key string) (*cached, error) {
+	ms, stats, err := e.src.Match(q, prix.MatchOptions{
+		WarmCache:     true, // shared pools: cold-start resets would race
+		Unordered:     qo.Unordered,
+		DisableMaxGap: qo.DisableMaxGap,
+		Ctx:           ctx,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.metrics.PagesRead.Add(stats.PagesRead)
+	ent := &cached{matches: ms, stats: *stats}
+	e.cache.Put(key, ent)
+	return ent, nil
+}
+
+// isContextErr reports whether err stems from context cancellation or
+// deadline expiry.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// ParseQuery parses the service's XPath subset, normalizing the error for
+// transport boundaries.
+func ParseQuery(src string) (*twig.Query, error) {
+	q, err := twig.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	return q, nil
+}

@@ -1,0 +1,417 @@
+// Package server is the PRIX query service: an HTTP front end over one
+// shared read-optimized index (the deployment shape of §6 at serving time —
+// many concurrent clients, one index). It layers, bottom up:
+//
+//   - an Executor: the single query execution path (parse → result cache →
+//     singleflight collapse → Index.Match with context cancellation),
+//     shared by the HTTP handlers, cmd/prixquery and the serving benchmark;
+//   - admission control: a bounded in-flight slot pool; requests beyond the
+//     bound are rejected immediately with 429 instead of queueing into
+//     collapse;
+//   - per-request deadlines plumbed into the engine, which observes
+//     cancellation between B+-tree range queries;
+//   - graceful drain: new work is refused while in-flight queries finish;
+//   - a lock-free metrics registry rendered in Prometheus text format.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/prix"
+)
+
+// Config tunes the service.
+type Config struct {
+	// MaxInFlight bounds concurrently executing requests; excess requests
+	// get 429. 0 means DefaultMaxInFlight.
+	MaxInFlight int
+	// DefaultTimeout bounds queries that do not ask for a deadline.
+	// 0 means DefaultQueryTimeout; negative means no default deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (default 30s).
+	MaxTimeout time.Duration
+	// CacheCapacity is the result cache size in entries (default 1024);
+	// negative disables caching.
+	CacheCapacity int
+	// CacheShards is the cache shard count (default 16).
+	CacheShards int
+	// MaxBodyBytes bounds the request body (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxMatches caps the matches serialized per response (default 1000;
+	// negative means unlimited). The count field always reports the full
+	// cardinality.
+	MaxMatches int
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxInFlight  = 64
+	DefaultQueryTimeout = 2 * time.Second
+	DefaultMaxTimeout   = 30 * time.Second
+	DefaultCacheSize    = 1024
+	DefaultCacheShards  = 16
+	DefaultMaxBody      = 1 << 20
+	DefaultMaxMatches   = 1000
+)
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxInFlight <= 0 {
+		out.MaxInFlight = DefaultMaxInFlight
+	}
+	if out.DefaultTimeout == 0 {
+		out.DefaultTimeout = DefaultQueryTimeout
+	}
+	if out.MaxTimeout <= 0 {
+		out.MaxTimeout = DefaultMaxTimeout
+	}
+	if out.CacheCapacity == 0 {
+		out.CacheCapacity = DefaultCacheSize
+	}
+	if out.CacheShards <= 0 {
+		out.CacheShards = DefaultCacheShards
+	}
+	if out.MaxBodyBytes <= 0 {
+		out.MaxBodyBytes = DefaultMaxBody
+	}
+	if out.MaxMatches == 0 {
+		out.MaxMatches = DefaultMaxMatches
+	}
+	return out
+}
+
+// Server is the HTTP query service.
+type Server struct {
+	cfg      Config
+	exec     *Executor
+	metrics  *Metrics
+	sem      chan struct{}
+	draining chan struct{} // closed when draining starts
+	drainOne sync.Once
+	inflight sync.WaitGroup
+}
+
+// New builds a service over the source. If the source is mutable
+// (DynamicIndex), the result cache is invalidated on every insert.
+func New(src Source, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	return &Server{
+		cfg:      cfg,
+		exec:     NewExecutor(src, cfg.CacheCapacity, cfg.CacheShards, m),
+		metrics:  m,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		draining: make(chan struct{}),
+	}
+}
+
+// Executor returns the server's execution path (shared with CLIs/benches).
+func (s *Server) Executor() *Executor { return s.exec }
+
+// Metrics returns the server's registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the service's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// Drain stops admitting queries and waits for in-flight ones to finish, or
+// for ctx to expire. It is idempotent; /healthz reports 503 once draining.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOne.Do(func() { close(s.draining) })
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+}
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// QueryRequest is the POST /query body. A plain-text body is accepted too:
+// the whole body is then the XPath and every option takes its default.
+type QueryRequest struct {
+	// Query is the XPath-subset query text.
+	Query string `json:"query"`
+	// Unordered finds unordered twig matches (§5.7).
+	Unordered bool `json:"unordered,omitempty"`
+	// NoMaxGap disables Theorem 4 pruning.
+	NoMaxGap bool `json:"no_maxgap,omitempty"`
+	// TimeoutMS overrides the server's default query deadline (capped by
+	// the server's MaxTimeout).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// CountOnly omits the matches array from the response.
+	CountOnly bool `json:"count_only,omitempty"`
+	// Limit caps the matches serialized (0 = server default).
+	Limit int `json:"limit,omitempty"`
+}
+
+// QueryResponse is the POST /query response.
+type QueryResponse struct {
+	Query     string       `json:"query"`
+	Count     int          `json:"count"`
+	Cached    bool         `json:"cached"`
+	Shared    bool         `json:"shared,omitempty"`
+	Truncated bool         `json:"truncated,omitempty"`
+	Matches   []MatchJSON  `json:"matches,omitempty"`
+	Stats     ResponseStat `json:"stats"`
+}
+
+// MatchJSON is one twig occurrence on the wire.
+type MatchJSON struct {
+	Doc    uint32  `json:"doc"`
+	Images []int32 `json:"images"`
+	Root   int32   `json:"root"`
+}
+
+// ResponseStat is the engine accounting on the wire.
+type ResponseStat struct {
+	ElapsedUS    int64  `json:"elapsed_us"`
+	RangeQueries int    `json:"range_queries"`
+	Candidates   int    `json:"candidates"`
+	PagesRead    uint64 `json:"pages_read"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// parseRequest decodes the body: JSON when it looks like an object, raw
+// XPath text otherwise.
+func parseRequest(body []byte) (QueryRequest, error) {
+	trimmed := strings.TrimSpace(string(body))
+	if strings.HasPrefix(trimmed, "{") {
+		var req QueryRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return QueryRequest{}, fmt.Errorf("bad JSON body: %w", err)
+		}
+		return req, nil
+	}
+	return QueryRequest{Query: trimmed}, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		s.metrics.Rejected.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+		return
+	}
+	// Admission control: try-acquire an in-flight slot; never queue. A
+	// rejected request costs one channel operation, so overload degrades
+	// to cheap 429s instead of a growing queue.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.metrics.Rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error: fmt.Sprintf("over capacity (%d in flight)", cap(s.sem)),
+		})
+		return
+	}
+	s.inflight.Add(1)
+	s.metrics.InFlight.Inc()
+	defer func() {
+		s.metrics.InFlight.Dec()
+		s.inflight.Done()
+		<-s.sem
+	}()
+
+	start := time.Now()
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		s.metrics.BadRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "read body: " + err.Error()})
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		s.metrics.BadRequests.Inc()
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error: fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes),
+		})
+		return
+	}
+	req, err := parseRequest(body)
+	if err != nil {
+		s.metrics.BadRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		s.metrics.BadRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty query"})
+		return
+	}
+	q, err := ParseQuery(req.Query)
+	if err != nil {
+		s.metrics.BadRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	ctx := r.Context()
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	res, err := s.exec.Execute(ctx, q, QueryOptions{
+		Unordered:     req.Unordered,
+		DisableMaxGap: req.NoMaxGap,
+	})
+	if err != nil {
+		switch {
+		case isContextErr(err):
+			s.metrics.Deadline.Inc()
+			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
+		case errors.Is(err, prix.ErrNeedsExtendedIndex):
+			s.metrics.Errors.Inc()
+			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		default:
+			s.metrics.Errors.Inc()
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+
+	s.metrics.Served.Inc()
+	s.metrics.Latency.Observe(time.Since(start))
+
+	resp := QueryResponse{
+		Query:  q.String(),
+		Count:  len(res.Matches),
+		Cached: res.Cached,
+		Shared: res.Shared,
+		Stats: ResponseStat{
+			ElapsedUS:    res.Stats.Elapsed.Microseconds(),
+			RangeQueries: res.Stats.RangeQueries,
+			Candidates:   res.Stats.Candidates,
+			PagesRead:    res.Stats.PagesRead,
+		},
+	}
+	if !req.CountOnly {
+		limit := req.Limit
+		if limit <= 0 {
+			limit = s.cfg.MaxMatches
+		}
+		n := len(res.Matches)
+		if limit > 0 && n > limit {
+			n = limit
+			resp.Truncated = true
+		}
+		resp.Matches = make([]MatchJSON, n)
+		for i := 0; i < n; i++ {
+			m := &res.Matches[i]
+			resp.Matches[i] = MatchJSON{Doc: m.DocID, Images: m.Images, Root: m.Root}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"docs":     s.exec.Source().NumDocs(),
+		"extended": s.exec.Source().Extended(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+// StatsSnapshot is the GET /stats payload.
+type StatsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Docs          int     `json:"docs"`
+	Served        uint64  `json:"served"`
+	Errors        uint64  `json:"errors"`
+	BadRequests   uint64  `json:"bad_requests"`
+	Rejected      uint64  `json:"rejected"`
+	Deadline      uint64  `json:"deadline"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheEntries  int     `json:"cache_entries"`
+	FlightShared  uint64  `json:"flight_shared"`
+	PagesRead     uint64  `json:"pages_read"`
+	InFlight      int64   `json:"in_flight"`
+	LatencyMeanUS int64   `json:"latency_mean_us"`
+	LatencyP50US  int64   `json:"latency_p50_us"`
+	LatencyP95US  int64   `json:"latency_p95_us"`
+	LatencyP99US  int64   `json:"latency_p99_us"`
+}
+
+// Snapshot assembles the current stats.
+func (s *Server) Snapshot() StatsSnapshot {
+	m := s.metrics
+	return StatsSnapshot{
+		UptimeSeconds: m.Uptime().Seconds(),
+		Docs:          s.exec.Source().NumDocs(),
+		Served:        m.Served.Load(),
+		Errors:        m.Errors.Load(),
+		BadRequests:   m.BadRequests.Load(),
+		Rejected:      m.Rejected.Load(),
+		Deadline:      m.Deadline.Load(),
+		CacheHits:     m.CacheHits.Load(),
+		CacheMisses:   m.CacheMisses.Load(),
+		CacheEntries:  s.exec.CacheLen(),
+		FlightShared:  m.FlightShared.Load(),
+		PagesRead:     m.PagesRead.Load(),
+		InFlight:      m.InFlight.Load(),
+		LatencyMeanUS: m.Latency.Mean().Microseconds(),
+		LatencyP50US:  m.Latency.Quantile(0.50).Microseconds(),
+		LatencyP95US:  m.Latency.Quantile(0.95).Microseconds(),
+		LatencyP99US:  m.Latency.Quantile(0.99).Microseconds(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}

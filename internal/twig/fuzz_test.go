@@ -1,0 +1,50 @@
+package twig
+
+import "testing"
+
+// FuzzParseQuery feeds the parser arbitrary byte strings at a service
+// boundary (POST /query bodies reach it verbatim). Properties checked:
+// no panic on any input, and for every accepted query the canonical form
+// String() reparses to a fixed point — the cache key and the wire form of
+// internal/server rely on that stability.
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		`//a`,
+		`/a/b/c`,
+		`//inproceedings[./author="Jim Gray"][./year="1990"]`,
+		`//Entry[./Org="Piroplasmida"][.//Author]//from`,
+		`//a[./b/c]/d`,
+		`//a[text()="v"]`,
+		`/a/*/b`,
+		`//a//*/b`,
+		`/*/b`,
+		``,
+		`//`,
+		`a`,
+		`//a[`,
+		`//a[./b="unterminated`,
+		`//a]`,
+		`//*[./b]`,
+		"//a\x00b",
+		`//a[.//b="x"]//c[./d]/e`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		canon := q.String()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its canonical form %q: %v", src, canon, err)
+		}
+		if got := q2.String(); got != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q -> %q", src, canon, got)
+		}
+		if q.Size() != q2.Size() {
+			t.Fatalf("reparse of %q changed size: %d vs %d", src, q.Size(), q2.Size())
+		}
+	})
+}

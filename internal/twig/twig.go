@@ -32,17 +32,25 @@ func (e Edge) Exact() bool { return e.Min == 1 && e.Max == 1 }
 // Allows reports whether a hop count satisfies the edge.
 func (e Edge) Allows(steps int) bool { return steps >= e.Min && steps <= e.Max }
 
+// String renders the edge in the re-parseable surface syntax: collapsed
+// '*' steps are expanded back, so "/a/*/b"'s {2,2} edge prints as "/*/".
+// The canonical form (Query.String) must reparse to itself — the serving
+// layer uses it both as a cache key and as the echoed wire form.
 func (e Edge) String() string {
-	switch {
-	case e.Min == 1 && e.Max == 1:
-		return "/"
-	case e.Min == 1 && e.Max == Unbounded:
-		return "//"
-	case e.Max == Unbounded:
-		return fmt.Sprintf("//{%d,}", e.Min)
-	default:
+	if e.Max != Unbounded && e.Max != e.Min {
+		// Not expressible in the grammar; only reachable by hand-built
+		// edges, never by Parse.
 		return fmt.Sprintf("/{%d,%d}", e.Min, e.Max)
 	}
+	sep := "/"
+	if e.Max == Unbounded {
+		sep = "//"
+	}
+	stars := e.Min - 1
+	if stars < 0 {
+		stars = 0
+	}
+	return sep + strings.Repeat("*/", stars)
 }
 
 // Node is one materialised query node ('*' steps are collapsed into edges).
@@ -74,11 +82,7 @@ type Query struct {
 // String renders the query in a canonical XPath-like form.
 func (q *Query) String() string {
 	var b strings.Builder
-	if q.RootEdge.Max == Unbounded {
-		b.WriteString("//")
-	} else {
-		b.WriteString("/")
-	}
+	b.WriteString(q.RootEdge.String())
 	writeNode(&b, q.Root)
 	return b.String()
 }
