@@ -3,9 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz bench serve clean
+.PHONY: all build test race vet fuzz bench serve clean ci
 
 all: build vet test
+
+# Everything CI runs, in one target, so local and CI results agree.
+ci: build vet test race fuzz
 
 build:
 	$(GO) build ./...
@@ -14,16 +17,19 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrency-bearing packages (full ./... under
-# -race is slow; these are the packages with shared mutable state).
+# -race is slow; these are the packages with shared mutable state). btree is
+# included for the crash-recovery sweep, which must be panic- and race-free.
 race:
-	$(GO) test -race ./internal/server ./internal/prix ./internal/pager ./internal/bench
+	$(GO) test -race ./internal/server ./internal/prix ./internal/pager ./internal/btree ./internal/bench
 
 vet:
 	$(GO) vet ./...
 
-# Short fuzz pass over the query parser (the service boundary).
+# Short fuzz passes over the two parsing boundaries: the query parser (the
+# service boundary) and the docstore record decoder (the corruption boundary).
 fuzz:
 	$(GO) test ./internal/twig -run FuzzParseQuery -fuzz FuzzParseQuery -fuzztime 30s
+	$(GO) test ./internal/docstore -run FuzzDecodeRecord -fuzz FuzzDecodeRecord -fuzztime 30s
 
 bench:
 	$(GO) run ./cmd/prixbench -table all -scale 1

@@ -274,7 +274,9 @@ func BenchmarkAblationAlphaDepth(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				d := vtrie.NewDynamicLabeler(alpha, 1<<20)
 				for _, s := range seqs {
-					d.Prepare(s)
+					if err := d.Prepare(s); err != nil {
+						b.Fatal(err)
+					}
 				}
 				d.Finalize()
 				for j, s := range seqs {

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pager"
+	"repro/internal/prix"
+	"repro/internal/xmltree"
+)
+
+func buildIndexDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	docs := []*xmltree.Document{
+		xmltree.MustFromSExpr(0, `(a (b (c)))`),
+		xmltree.MustFromSExpr(1, `(a (d (e)))`),
+	}
+	ix, err := prix.Build(docs, prix.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestCleanIndexExitsZero(t *testing.T) {
+	dir := buildIndexDir(t)
+	if got := run(dir, true); got != exitClean {
+		t.Errorf("run = %d, want %d", got, exitClean)
+	}
+}
+
+func TestBitFlipExitsCorrupt(t *testing.T) {
+	dir := buildIndexDir(t)
+	f, err := os.OpenFile(filepath.Join(dir, "docs.db"), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	off := int64(pager.PageHeaderSize + 21)
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 1
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if got := run(dir, true); got != exitCorrupt {
+		t.Errorf("run = %d, want %d", got, exitCorrupt)
+	}
+}
+
+func TestTornTrailingPageExitsCorrupt(t *testing.T) {
+	dir := buildIndexDir(t)
+	// Keep only 100 bytes of seq.idx: a torn page whose lost tail held real
+	// data, with no journal to roll it back. The zero-padded reconstruction
+	// cannot match the stored checksum.
+	if err := os.Truncate(filepath.Join(dir, "seq.idx"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := run(dir, true); got != exitCorrupt {
+		t.Errorf("run = %d, want %d", got, exitCorrupt)
+	}
+}
+
+func TestMissingDirExitsUnreadable(t *testing.T) {
+	if got := run(filepath.Join(t.TempDir(), "nope"), false); got != exitUnreadable {
+		t.Errorf("run = %d, want %d", got, exitUnreadable)
+	}
+}

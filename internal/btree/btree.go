@@ -5,9 +5,10 @@
 // Multiple named trees share one page file through a Forest, mirroring how
 // the paper keeps one B+-tree per element tag. Keys and values are
 // arbitrary byte strings ordered by bytes.Compare; duplicate keys are
-// allowed and kept in insertion order. Pages are pager.PageSize bytes and
-// travel through the buffer pool, so every traversal is accounted in the
-// pool's physical-read counter. Reads binary-search pages in place through
+// allowed and kept in insertion order. Nodes live in the payload of
+// pager pages (pager.PageDataSize bytes; the pager owns a per-page
+// integrity header on top) and travel through the buffer pool, so every
+// traversal is accounted in the pool's physical-read counter. Reads binary-search pages in place through
 // a slot directory; only the write path materialises pages into memory.
 package btree
 
@@ -31,7 +32,7 @@ const (
 
 // MaxEntrySize bounds len(key)+len(value) so that any page can hold at
 // least four cells, keeping splits well defined.
-const MaxEntrySize = (pager.PageSize-headerSize)/4 - leafCellHdr - slotSize
+const MaxEntrySize = (pager.PageDataSize-headerSize)/4 - leafCellHdr - slotSize
 
 // Tree is one B+-tree inside a Forest.
 type Tree struct {
@@ -217,7 +218,7 @@ func (t *Tree) insertRec(id pager.PageID, key, val []byte) ([]byte, pager.PageID
 		n.inner = append(n.inner, innerCell{})
 		copy(n.inner[ci+1:], n.inner[ci:])
 		n.inner[ci] = cell
-		if n.size() <= pager.PageSize {
+		if n.size() <= pager.PageDataSize {
 			return nil, pager.InvalidPage, t.writeNode(id, n)
 		}
 		mid := len(n.inner) / 2
@@ -247,7 +248,7 @@ func (t *Tree) insertRec(id pager.PageID, key, val []byte) ([]byte, pager.PageID
 	n.leaf = append(n.leaf, leafCell{})
 	copy(n.leaf[pos+1:], n.leaf[pos:])
 	n.leaf[pos] = leafCell{key: append([]byte(nil), key...), val: append([]byte(nil), val...)}
-	if n.size() <= pager.PageSize {
+	if n.size() <= pager.PageDataSize {
 		return nil, pager.InvalidPage, t.writeNode(id, n)
 	}
 	// Split: move the upper half to a fresh right sibling.

@@ -1,0 +1,188 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/pager"
+)
+
+// Check walks every tree in the forest and validates its structural
+// invariants: page shapes (slot offsets and cell lengths in bounds), key
+// ordering within pages and across separators, equal depth of all leaves,
+// absence of page-reference cycles, and per-tree entry counts matching the
+// directory. It returns every problem found (bounded, so a badly damaged
+// file does not produce millions of lines); an empty slice means the
+// forest is sound. Check never panics on damaged pages — that is its whole
+// point — and it reads through the buffer pool, so page checksums are
+// verified on the way.
+func (f *Forest) Check() []error {
+	f.mu.Lock()
+	names := make([]string, 0, len(f.trees))
+	for n := range f.trees {
+		names = append(names, n)
+	}
+	trees := make(map[string]*Tree, len(f.trees))
+	for n, t := range f.trees {
+		trees[n] = t
+	}
+	f.mu.Unlock()
+
+	c := &checker{bp: f.bp}
+	for _, name := range names {
+		t := trees[name]
+		c.tree = name
+		c.visited = make(map[pager.PageID]bool)
+		c.leafDepth = -1
+		entries := c.walk(t.root, 0, nil, nil)
+		if c.full() {
+			break
+		}
+		if entries != t.count {
+			c.report(t.root, "directory says %d entries, tree holds %d", t.count, entries)
+		}
+	}
+	return c.errs
+}
+
+const maxCheckErrors = 64
+
+type checker struct {
+	bp        *pager.BufferPool
+	tree      string
+	visited   map[pager.PageID]bool
+	leafDepth int
+	errs      []error
+}
+
+func (c *checker) full() bool { return len(c.errs) >= maxCheckErrors }
+
+func (c *checker) report(id pager.PageID, format string, args ...any) {
+	if c.full() {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	c.errs = append(c.errs, fmt.Errorf("btree: tree %q page %d: %s", c.tree, id, msg))
+}
+
+// walk validates the subtree rooted at id, whose keys must all lie in
+// [low, high] (nil = unbounded), and returns its entry count. It records
+// problems instead of failing fast, but never descends through a page it
+// could not validate.
+func (c *checker) walk(id pager.PageID, depth int, low, high []byte) uint64 {
+	if c.full() {
+		return 0
+	}
+	if c.visited[id] {
+		c.report(id, "page referenced twice (cycle or shared node)")
+		return 0
+	}
+	c.visited[id] = true
+	p, err := c.bp.Get(id)
+	if err != nil {
+		if c.full() {
+			return 0
+		}
+		c.errs = append(c.errs, fmt.Errorf("btree: tree %q page %d: %w", c.tree, id, err))
+		return 0
+	}
+	defer p.Unpin(false)
+	data := p.Data
+	if err := validateNodeShape(data); err != nil {
+		c.report(id, "%v", err)
+		return 0
+	}
+	num := pageNumKeys(data)
+	if pageKind(data) == leafNode {
+		if c.leafDepth == -1 {
+			c.leafDepth = depth
+		} else if depth != c.leafDepth {
+			c.report(id, "leaf at depth %d, expected %d", depth, c.leafDepth)
+		}
+		for i := 0; i < num; i++ {
+			k, _ := leafCellAt(data, i)
+			if low != nil && bytes.Compare(k, low) < 0 {
+				c.report(id, "key %x below its subtree bound %x", k, low)
+			}
+			if high != nil && bytes.Compare(k, high) > 0 {
+				c.report(id, "key %x above its subtree bound %x", k, high)
+			}
+		}
+		return uint64(num)
+	}
+	// Internal node: children bracketed by the separators. Duplicates make
+	// bounds inclusive on both sides (equal keys may sit either side of
+	// their separator after a split).
+	var entries uint64
+	childLow := low
+	for i := 0; i <= num; i++ {
+		childHigh := high
+		if i < num {
+			k, _ := innerCellAt(data, i)
+			childHigh = k
+		}
+		child := pageChildAt(data, i)
+		if uint32(child) >= c.bp.File().NumPages() {
+			c.report(id, "child %d is page %d, beyond the file's %d pages", i, child, c.bp.File().NumPages())
+		} else {
+			entries += c.walk(child, depth+1, childLow, childHigh)
+		}
+		if c.full() {
+			return entries
+		}
+		childLow = childHigh
+	}
+	return entries
+}
+
+// validateNodeShape bounds-checks a node page so the raw accessors cannot
+// read (or panic) outside it: kind byte, slot directory, per-cell offsets
+// and lengths, and in-page key ordering.
+func validateNodeShape(data []byte) error {
+	kind := pageKind(data)
+	if kind != leafNode && kind != internalNode {
+		return fmt.Errorf("unknown node kind %d", kind)
+	}
+	num := pageNumKeys(data)
+	slotsEnd := headerSize + slotSize*num
+	if slotsEnd > len(data) {
+		return fmt.Errorf("%d cells overflow the slot directory", num)
+	}
+	var prev []byte
+	for i := 0; i < num; i++ {
+		off := slotOffset(data, i)
+		if off < slotsEnd {
+			return fmt.Errorf("cell %d offset %d inside the slot directory", i, off)
+		}
+		hdr := leafCellHdr
+		if kind == internalNode {
+			hdr = innerCellHdr
+		}
+		if off+hdr > len(data) {
+			return fmt.Errorf("cell %d header out of page (offset %d)", i, off)
+		}
+		var end int
+		if kind == leafNode {
+			kl := int(uint16(data[off]) | uint16(data[off+1])<<8)
+			vl := int(uint16(data[off+2]) | uint16(data[off+3])<<8)
+			end = off + hdr + kl + vl
+		} else {
+			kl := int(uint16(data[off]) | uint16(data[off+1])<<8)
+			end = off + hdr + kl
+		}
+		if end > len(data) {
+			return fmt.Errorf("cell %d body out of page (ends at %d)", i, end)
+		}
+		var key []byte
+		if kind == leafNode {
+			key, _ = leafCellAt(data, i)
+		} else {
+			key, _ = innerCellAt(data, i)
+		}
+		if prev != nil && bytes.Compare(prev, key) > 0 {
+			return fmt.Errorf("cell %d key out of order", i)
+		}
+		prev = key
+	}
+	return nil
+}

@@ -152,7 +152,7 @@ func (f *Forest) storeDirectoryLocked() error {
 		if i == 0 {
 			hdr = metaHdrPage0
 		}
-		room := pager.PageSize - hdr
+		room := pager.PageDataSize - hdr
 		chunk := rest
 		if len(chunk) > room {
 			chunk = chunk[:room]
@@ -200,7 +200,12 @@ func (f *Forest) loadDirectory() error {
 	var payload []byte
 	id := pager.PageID(0)
 	first := true
+	seen := make(map[pager.PageID]bool)
 	for id != pager.InvalidPage {
+		if seen[id] {
+			return fmt.Errorf("btree: forest meta chain cycles through page %d", id)
+		}
+		seen[id] = true
 		p, err := f.bp.Get(id)
 		if err != nil {
 			return err
@@ -215,6 +220,10 @@ func (f *Forest) loadDirectory() error {
 		}
 		next := pager.PageID(binary.LittleEndian.Uint32(p.Data[off : off+4]))
 		used := int(binary.LittleEndian.Uint16(p.Data[off+4 : off+6]))
+		if used > len(p.Data)-off-6 {
+			p.Unpin(false)
+			return fmt.Errorf("btree: forest meta page %d claims %d payload bytes", id, used)
+		}
 		payload = append(payload, p.Data[off+6:off+6+used]...)
 		p.Unpin(false)
 		f.metaPages = append(f.metaPages, id)

@@ -11,7 +11,9 @@ package docstore
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -52,10 +54,14 @@ func (d *Dict) Lookup(s string) (vtrie.Symbol, bool) {
 	return sym, ok
 }
 
-// Name returns the string for a symbol; it panics on unknown symbols.
+// Name returns the string for a symbol. Unknown symbols (which can come
+// out of a corrupt record) yield a synthetic placeholder, not a panic.
 func (d *Dict) Name(sym vtrie.Symbol) string {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if int(sym) < 0 || int(sym) >= len(d.names) {
+		return fmt.Sprintf("<unknown symbol %d>", sym)
+	}
 	return d.names[sym]
 }
 
@@ -132,6 +138,12 @@ func decodeRecord(data []byte) (*Record, error) {
 	if err != nil {
 		return nil, fmt.Errorf("docstore: decode len: %w", err)
 	}
+	// NPS and LPS each hold n varints of at least one byte, so a length
+	// that exceeds the remaining bytes is corrupt — reject it before
+	// allocating (a flipped length byte must not over-allocate).
+	if n > uint64(br.Len()) {
+		return nil, fmt.Errorf("docstore: decode len %d exceeds %d remaining bytes", n, br.Len())
+	}
 	if n > 0 {
 		r.NPS = make([]int32, n)
 		r.LPS = make([]vtrie.Symbol, n)
@@ -150,6 +162,10 @@ func decodeRecord(data []byte) (*Record, error) {
 	}
 	if v, err = get(); err != nil {
 		return nil, fmt.Errorf("docstore: decode leaf count: %w", err)
+	}
+	// Each leaf is two varints, at least two bytes.
+	if v > uint64(br.Len())/2 {
+		return nil, fmt.Errorf("docstore: decode leaf count %d exceeds %d remaining bytes", v, br.Len())
 	}
 	if v > 0 {
 		r.Leaves = make([]Leaf, v)
@@ -199,11 +215,24 @@ type Store struct {
 	catalogs map[string]map[vtrie.Symbol]int64
 	// Stats holds named dataset statistics (Table 2 feed).
 	stats map[string]int64
+	// quarantined marks documents whose records proved unreadable or
+	// corrupt; Get refuses them and queries skip them (degraded mode).
+	quarantined map[uint32]bool
 
 	// append cursor
 	curPage pager.PageID
 	curOff  int
 }
+
+// ErrQuarantined wraps every Get of a quarantined document, so callers can
+// classify with errors.Is.
+var ErrQuarantined = errors.New("docstore: document quarantined")
+
+// ErrBadRecord wraps records that read fine at the page level but do not
+// decode — damage the page checksum cannot see (a stale directory entry, a
+// record torn across a partially committed flush). It is permanent, like
+// pager.ErrCorrupt.
+var ErrBadRecord = errors.New("docstore: bad record")
 
 var storeMagic = []byte("PRIXDOC1")
 
@@ -252,7 +281,7 @@ func (s *Store) Put(rec *Record) error {
 	rec.encode(&buf)
 	data := buf.Bytes()
 	// Start a fresh page if none is open or the current one is full.
-	if s.curPage == pager.InvalidPage || s.curOff == pager.PageSize {
+	if s.curPage == pager.InvalidPage || s.curOff == pager.PageDataSize {
 		p, err := s.bp.NewPage()
 		if err != nil {
 			return err
@@ -263,7 +292,7 @@ func (s *Store) Put(rec *Record) error {
 	}
 	entry := dirEntry{page: s.curPage, offset: uint16(s.curOff), length: uint32(len(data))}
 	for len(data) > 0 {
-		if s.curOff == pager.PageSize {
+		if s.curOff == pager.PageDataSize {
 			p, err := s.bp.NewPage()
 			if err != nil {
 				return err
@@ -285,24 +314,36 @@ func (s *Store) Put(rec *Record) error {
 	return nil
 }
 
-// Get reads the record for docID.
+// Get reads the record for docID. Quarantined documents return an error
+// wrapping ErrQuarantined without touching the disk.
 func (s *Store) Get(docID uint32) (*Record, error) {
 	s.mu.Lock()
 	if int(docID) >= len(s.dir) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("docstore: no record for document %d", docID)
 	}
+	if s.quarantined[docID] {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("docstore: document %d: %w", docID, ErrQuarantined)
+	}
 	e := s.dir[docID]
 	s.mu.Unlock()
+	return s.readRecord(docID, e)
+}
+
+func (s *Store) readRecord(docID uint32, e dirEntry) (*Record, error) {
 	data := make([]byte, 0, e.length)
 	page, off := e.page, int(e.offset)
 	for uint32(len(data)) < e.length {
+		if off >= pager.PageDataSize {
+			return nil, fmt.Errorf("docstore: document %d: directory offset %d out of page: %w", docID, off, ErrBadRecord)
+		}
 		p, err := s.bp.Get(page)
 		if err != nil {
 			return nil, err
 		}
 		need := int(e.length) - len(data)
-		avail := pager.PageSize - off
+		avail := pager.PageDataSize - off
 		if need < avail {
 			avail = need
 		}
@@ -311,7 +352,62 @@ func (s *Store) Get(docID uint32) (*Record, error) {
 		page++
 		off = 0
 	}
-	return decodeRecord(data)
+	rec, err := decodeRecord(data)
+	if err != nil {
+		return nil, fmt.Errorf("docstore: document %d: %w: %v", docID, ErrBadRecord, err)
+	}
+	return rec, nil
+}
+
+// Quarantine marks docID as damaged: subsequent Gets fail fast with
+// ErrQuarantined and queries skip the document. It is idempotent and takes
+// effect immediately, in memory only — reopening the store clears it.
+func (s *Store) Quarantine(docID uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.quarantined == nil {
+		s.quarantined = make(map[uint32]bool)
+	}
+	s.quarantined[docID] = true
+}
+
+// IsQuarantined reports whether docID is quarantined.
+func (s *Store) IsQuarantined(docID uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined[docID]
+}
+
+// Quarantined returns the quarantined docids in ascending order (empty
+// when the store is healthy).
+func (s *Store) Quarantined() []uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.quarantined) == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, len(s.quarantined))
+	for id := range s.quarantined {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Verify reads and decodes every record, including quarantined ones, and
+// returns the per-document errors found (empty when the store is clean).
+// prixcheck uses it for offline verification.
+func (s *Store) Verify() map[uint32]error {
+	s.mu.Lock()
+	dir := append([]dirEntry(nil), s.dir...)
+	s.mu.Unlock()
+	bad := make(map[uint32]error)
+	for id, e := range dir {
+		if _, err := s.readRecord(uint32(id), e); err != nil {
+			bad[uint32(id)] = err
+		}
+	}
+	return bad
 }
 
 // SetCatalog stores a named per-symbol catalog (e.g. "maxgap").
@@ -408,7 +504,7 @@ func (s *Store) Flush() error {
 	payload := buf.Bytes()
 	// Write the payload across fresh pages.
 	first := pager.InvalidPage
-	for off := 0; off < len(payload); off += pager.PageSize {
+	for off := 0; off < len(payload); off += pager.PageDataSize {
 		p, err := s.bp.NewPage()
 		if err != nil {
 			s.mu.Unlock()
@@ -417,7 +513,7 @@ func (s *Store) Flush() error {
 		if first == pager.InvalidPage {
 			first = p.ID
 		}
-		end := off + pager.PageSize
+		end := off + pager.PageDataSize
 		if end > len(payload) {
 			end = len(payload)
 		}
@@ -467,8 +563,8 @@ func Open(bp *pager.BufferPool) (*Store, error) {
 			return nil, err
 		}
 		need := length - len(payload)
-		if need > pager.PageSize {
-			need = pager.PageSize
+		if need > pager.PageDataSize {
+			need = pager.PageDataSize
 		}
 		payload = append(payload, p.Data[:need]...)
 		p.Unpin(false)
@@ -480,8 +576,11 @@ func Open(bp *pager.BufferPool) (*Store, error) {
 		if err != nil {
 			return "", err
 		}
+		if n > uint64(br.Len()) {
+			return "", fmt.Errorf("docstore: string of %d bytes exceeds %d remaining", n, br.Len())
+		}
 		b := make([]byte, n)
-		if _, err := br.Read(b); err != nil {
+		if _, err := io.ReadFull(br, b); err != nil {
 			return "", err
 		}
 		return string(b), nil
@@ -489,6 +588,10 @@ func Open(bp *pager.BufferPool) (*Store, error) {
 	n, err := get()
 	if err != nil {
 		return nil, fmt.Errorf("docstore: meta: %w", err)
+	}
+	// Every directory entry is three varints, at least three bytes.
+	if n > uint64(br.Len())/3 {
+		return nil, fmt.Errorf("docstore: meta directory of %d entries exceeds %d remaining bytes", n, br.Len())
 	}
 	s.dir = make([]dirEntry, n)
 	for i := range s.dir {
@@ -521,6 +624,9 @@ func Open(bp *pager.BufferPool) (*Store, error) {
 		sz, err := get()
 		if err != nil {
 			return nil, err
+		}
+		if sz > uint64(br.Len())/2 {
+			return nil, fmt.Errorf("docstore: catalog %s of %d entries exceeds %d remaining bytes", name, sz, br.Len())
 		}
 		m := make(map[vtrie.Symbol]int64, sz)
 		for j := uint64(0); j < sz; j++ {

@@ -1,0 +1,82 @@
+package docstore
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/vtrie"
+)
+
+// FuzzDecodeRecord feeds arbitrary (and mutated-valid, via the seeds) bytes
+// to the record decoder. The properties: it never panics, it never
+// allocates slices beyond what the input length can justify (a flipped
+// length varint must not turn into a giant make), and a valid encoding
+// round-trips.
+func FuzzDecodeRecord(f *testing.F) {
+	seed := func(r *Record) {
+		var buf bytes.Buffer
+		r.encode(&buf)
+		f.Add(buf.Bytes())
+	}
+	seed(&Record{DocID: 0, NumNodes: 1})
+	seed(&Record{
+		DocID:    7,
+		NumNodes: 4,
+		NPS:      []int32{4, 4, 4},
+		LPS:      []vtrie.Symbol{1, 2, 1},
+		Leaves:   []Leaf{{Post: 1, Sym: 2}, {Post: 2, Sym: 3}},
+	})
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := decodeRecord(data)
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		// Accepted: allocation must be justified by the input size. Each
+		// NPS/LPS element and each leaf consumed at least one varint byte.
+		if len(rec.NPS) > len(data) || len(rec.Leaves) > len(data) {
+			t.Fatalf("decoded %d NPS / %d leaves from %d input bytes",
+				len(rec.NPS), len(rec.Leaves), len(data))
+		}
+		if len(rec.NPS) != len(rec.LPS) {
+			t.Fatalf("NPS/LPS length mismatch: %d vs %d", len(rec.NPS), len(rec.LPS))
+		}
+	})
+}
+
+func TestDecodeRecordRoundTrip(t *testing.T) {
+	in := &Record{
+		DocID:    42,
+		NumNodes: 5,
+		NPS:      []int32{5, 3, 3, 5},
+		LPS:      []vtrie.Symbol{9, 8, 8, 9},
+		Leaves:   []Leaf{{Post: 1, Sym: 7}, {Post: 2, Sym: 6}},
+	}
+	var buf bytes.Buffer
+	in.encode(&buf)
+	out, err := decodeRecord(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+}
+
+// A huge claimed element count with a tiny body must be rejected up front,
+// not allocated.
+func TestDecodeRecordRejectsOversizedLengths(t *testing.T) {
+	// docID=1, numNodes=2, then claimed NPS length 2^40.
+	data := []byte{1, 2, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
+	if _, err := decodeRecord(data); err == nil {
+		t.Fatal("oversized NPS length accepted")
+	}
+	// Valid empty NPS/LPS, then oversized leaf count.
+	data = []byte{1, 2, 0, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
+	if _, err := decodeRecord(data); err == nil {
+		t.Fatal("oversized leaf count accepted")
+	}
+}

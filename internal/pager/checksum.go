@@ -1,0 +1,126 @@
+package pager
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Every physical page carries a 16-byte header so the storage stack can
+// detect torn writes, bit flips and misdirected writes instead of serving
+// silently wrong bytes:
+//
+//	offset  size  field
+//	0       2     magic "Px"
+//	2       1     format version (currently 1)
+//	3       1     reserved (zero)
+//	4       4     page id, little endian (detects misdirected writes)
+//	8       4     CRC32-C over header-sans-CRC + payload, little endian
+//	12      4     reserved (zero)
+//	16      8176  payload (PageDataSize bytes, what Page.Data exposes)
+//
+// A page that is all zeroes is valid and empty: it was allocated but never
+// written back (e.g. the tail of a file cut by a crash before its first
+// flush). Everything else must carry a correct header.
+
+// PageHeaderSize is the per-page integrity header size in bytes.
+const PageHeaderSize = 16
+
+// PageDataSize is the usable payload of one page: what Page.Data exposes
+// and what every layer above the pager builds its on-page formats in.
+const PageDataSize = PageSize - PageHeaderSize
+
+// PageFormatVersion is the current on-disk page format version.
+const PageFormatVersion = 1
+
+var pageMagic = [2]byte{'P', 'x'}
+
+// castagnoli is the CRC32-C table (the polynomial with hardware support on
+// both amd64 and arm64, and the one most storage engines standardize on).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt is the sentinel wrapped by every *CorruptPageError, so callers
+// can classify with errors.Is(err, pager.ErrCorrupt).
+var ErrCorrupt = errors.New("pager: corrupt page")
+
+// CorruptPageError reports a page that failed integrity verification on a
+// physical read. It is a permanent error: retrying the read returns the
+// same bytes.
+type CorruptPageError struct {
+	// Page is the page id the caller asked for.
+	Page PageID
+	// Reason describes the failed check (bad magic, checksum mismatch, ...).
+	Reason string
+}
+
+func (e *CorruptPageError) Error() string {
+	return fmt.Sprintf("pager: corrupt page %d: %s", e.Page, e.Reason)
+}
+
+// Unwrap lets errors.Is(err, ErrCorrupt) classify corruption.
+func (e *CorruptPageError) Unwrap() error { return ErrCorrupt }
+
+// pageCRC computes the header+payload checksum of a physical page image
+// (the CRC field itself is excluded).
+func pageCRC(phys []byte) uint32 {
+	crc := crc32.Update(0, castagnoli, phys[:8])
+	return crc32.Update(crc, castagnoli, phys[12:])
+}
+
+// SealPage fills the integrity header of a physical page image in place.
+// The pool calls it on every write-back; tools (prixcheck, tests) use it to
+// craft valid images.
+func SealPage(id PageID, phys []byte) {
+	phys[0], phys[1] = pageMagic[0], pageMagic[1]
+	phys[2] = PageFormatVersion
+	phys[3] = 0
+	putU32(phys[4:8], uint32(id))
+	putU32(phys[12:16], 0)
+	putU32(phys[8:12], pageCRC(phys))
+}
+
+// VerifyPage checks the integrity header of a physical page image read as
+// page id. All-zero pages are valid (allocated, never written). A non-nil
+// return is always a *CorruptPageError.
+func VerifyPage(id PageID, phys []byte) error {
+	if phys[0] != pageMagic[0] || phys[1] != pageMagic[1] {
+		if isZero(phys) {
+			return nil // allocated but never written: reads as empty
+		}
+		return &CorruptPageError{Page: id, Reason: "bad page magic"}
+	}
+	if phys[2] != PageFormatVersion {
+		return &CorruptPageError{Page: id, Reason: fmt.Sprintf("unsupported page format version %d", phys[2])}
+	}
+	if got := PageID(getU32(phys[4:8])); got != id {
+		return &CorruptPageError{Page: id, Reason: fmt.Sprintf("misdirected write: header says page %d", got)}
+	}
+	if want, got := getU32(phys[8:12]), pageCRC(phys); got != want {
+		return &CorruptPageError{Page: id, Reason: fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", want, got)}
+	}
+	return nil
+}
+
+func isZero(b []byte) bool {
+	var zero [256]byte
+	for len(b) > 0 {
+		n := len(b)
+		if n > len(zero) {
+			n = len(zero)
+		}
+		if !bytes.Equal(b[:n], zero[:n]) {
+			return false
+		}
+		b = b[n:]
+	}
+	return true
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,166 @@
+package pager
+
+import (
+	"bytes"
+	"testing"
+)
+
+// sealInto writes a sealed page with a recognizable payload into f.
+func sealInto(t *testing.T, f File, id PageID, fill byte) []byte {
+	t.Helper()
+	phys := make([]byte, PageSize)
+	for i := PageHeaderSize; i < PageSize; i++ {
+		phys[i] = fill
+	}
+	SealPage(id, phys)
+	if err := f.WritePage(id, phys); err != nil {
+		t.Fatal(err)
+	}
+	return phys
+}
+
+func allocN(t *testing.T, f File, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := f.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestJournalRollbackRestoresBeforeImages(t *testing.T) {
+	main := NewMemFile()
+	allocN(t, main, 3)
+	var images [][]byte
+	for id := PageID(0); id < 3; id++ {
+		images = append(images, sealInto(t, main, id, byte('a'+id)))
+	}
+
+	j, err := NewJournal(NewMemFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(1, images[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "transaction": overwrite page 1, append page 3.
+	sealInto(t, main, 1, 'X')
+	allocN(t, main, 1)
+	sealInto(t, main, 3, 'Y')
+
+	restored, err := j.Recover(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored {
+		t.Fatal("Recover reported nothing to do")
+	}
+	if j.Active() {
+		t.Error("journal still active after recovery")
+	}
+	if got := main.NumPages(); got != 3 {
+		t.Errorf("NumPages = %d, want 3 (orphan page not truncated)", got)
+	}
+	buf := make([]byte, PageSize)
+	for id := PageID(0); id < 3; id++ {
+		if err := main.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, images[id]) {
+			t.Errorf("page %d not restored to before-image", id)
+		}
+		if err := VerifyPage(id, buf); err != nil {
+			t.Errorf("restored page %d: %v", id, err)
+		}
+	}
+}
+
+func TestJournalCommitIsDurablePoint(t *testing.T) {
+	main := NewMemFile()
+	allocN(t, main, 1)
+	before := sealInto(t, main, 0, 'a')
+
+	j, err := NewJournal(NewMemFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(0, before); err != nil {
+		t.Fatal(err)
+	}
+	after := sealInto(t, main, 0, 'b')
+	if err := j.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Active() {
+		t.Fatal("journal active after Commit")
+	}
+	// Recovery after a completed commit must NOT roll back.
+	restored, err := j.Recover(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored {
+		t.Error("Recover rolled back a committed transaction")
+	}
+	buf := make([]byte, PageSize)
+	if err := main.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, after) {
+		t.Error("committed image lost")
+	}
+}
+
+// A journal whose record was never (fully) synced — simulated by scribbling
+// its header page — must not restore garbage: recovery stops at the first
+// untrusted record but still deactivates.
+func TestRecoverIgnoresUntrustedTail(t *testing.T) {
+	main := NewMemFile()
+	allocN(t, main, 1)
+	before := sealInto(t, main, 0, 'a')
+
+	jf := NewMemFile()
+	j, err := NewJournal(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(0, before); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the record header (journal page 1): the torn-append case.
+	if err := FlipBit(jf, 1, 9*8); err != nil {
+		t.Fatal(err)
+	}
+	after := sealInto(t, main, 0, 'b')
+
+	j2, err := NewJournal(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j2.Recover(main); err != nil {
+		t.Fatal(err)
+	}
+	if j2.Active() {
+		t.Error("journal still active")
+	}
+	buf := make([]byte, PageSize)
+	if err := main.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, after) {
+		t.Error("untrusted record was replayed")
+	}
+}

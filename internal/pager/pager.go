@@ -28,7 +28,9 @@ const InvalidPage = PageID(^uint32(0))
 // DefaultPoolPages is the paper's buffer pool size (2000 pages of 8 KiB).
 const DefaultPoolPages = 2000
 
-// File is the raw page I/O interface beneath a BufferPool.
+// File is the raw page I/O interface beneath a BufferPool. It traffics in
+// physical pages (PageSize bytes, integrity header included); the pool is
+// what seals and verifies them.
 type File interface {
 	// ReadPage fills buf (len PageSize) with the page's content.
 	ReadPage(id PageID, buf []byte) error
@@ -38,6 +40,9 @@ type File interface {
 	Allocate() (PageID, error)
 	// NumPages returns the number of allocated pages.
 	NumPages() uint32
+	// Truncate discards every page at or beyond n (crash recovery rolls
+	// back pages allocated by an interrupted transaction with it).
+	Truncate(n uint32) error
 	// Sync flushes the backing store.
 	Sync() error
 	// Close releases resources; the file must not be used afterwards.
@@ -94,6 +99,17 @@ func (f *MemFile) NumPages() uint32 {
 	return uint32(len(f.pages))
 }
 
+// Truncate implements File.
+func (f *MemFile) Truncate(n uint32) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if int(n) > len(f.pages) {
+		return fmt.Errorf("pager: truncate to %d pages, have %d", n, len(f.pages))
+	}
+	f.pages = f.pages[:n]
+	return nil
+}
+
 // Sync implements File.
 func (f *MemFile) Sync() error { return nil }
 
@@ -107,8 +123,22 @@ type OSFile struct {
 	next uint32
 }
 
-// OpenOSFile opens (creating if needed) a page file at path.
+// OpenOSFile opens (creating if needed) a page file at path. A file whose
+// size is not a multiple of the page size is rejected.
 func OpenOSFile(path string) (*OSFile, error) {
+	return openOSFile(path, false)
+}
+
+// OpenOSFilePadded is OpenOSFile for files that may end in a torn page
+// after a crash: instead of rejecting a partial trailing page it pads the
+// file with zeroes up to the next page boundary. The torn page then fails
+// its checksum (or is rolled back by the journal) instead of making the
+// whole file unopenable.
+func OpenOSFilePadded(path string) (*OSFile, error) {
+	return openOSFile(path, true)
+}
+
+func openOSFile(path string, pad bool) (*OSFile, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pager: open %s: %w", path, err)
@@ -118,11 +148,19 @@ func OpenOSFile(path string) (*OSFile, error) {
 		f.Close()
 		return nil, fmt.Errorf("pager: stat %s: %w", path, err)
 	}
-	if st.Size()%PageSize != 0 {
-		f.Close()
-		return nil, fmt.Errorf("pager: %s size %d not a multiple of page size", path, st.Size())
+	size := st.Size()
+	if size%PageSize != 0 {
+		if !pad {
+			f.Close()
+			return nil, fmt.Errorf("pager: %s size %d not a multiple of page size", path, size)
+		}
+		size = (size/PageSize + 1) * PageSize
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pager: pad %s: %w", path, err)
+		}
 	}
-	return &OSFile{f: f, next: uint32(st.Size() / PageSize)}, nil
+	return &OSFile{f: f, next: uint32(size / PageSize)}, nil
 }
 
 // ReadPage implements File.
@@ -171,6 +209,20 @@ func (f *OSFile) NumPages() uint32 {
 	return f.next
 }
 
+// Truncate implements File.
+func (f *OSFile) Truncate(n uint32) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n > f.next {
+		return fmt.Errorf("pager: truncate to %d pages, have %d", n, f.next)
+	}
+	if err := f.f.Truncate(int64(n) * PageSize); err != nil {
+		return fmt.Errorf("pager: truncate: %w", err)
+	}
+	f.next = n
+	return nil
+}
+
 // Sync implements File.
 func (f *OSFile) Sync() error { return f.f.Sync() }
 
@@ -185,6 +237,7 @@ type Stats struct {
 	Writes        uint64 // pages written back to the file
 	Evictions     uint64 // frames evicted to make room
 	Allocations   uint64 // NewPage calls
+	Corruptions   uint64 // physical reads that failed integrity checks
 }
 
 // counters is the live, lock-free counterpart of Stats. The serving layer
@@ -196,6 +249,7 @@ type counters struct {
 	writes        atomic.Uint64
 	evictions     atomic.Uint64
 	allocations   atomic.Uint64
+	corruptions   atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
@@ -205,6 +259,7 @@ func (c *counters) snapshot() Stats {
 		Writes:        c.writes.Load(),
 		Evictions:     c.evictions.Load(),
 		Allocations:   c.allocations.Load(),
+		Corruptions:   c.corruptions.Load(),
 	}
 }
 
@@ -214,6 +269,8 @@ func (c *counters) reset() {
 	c.writes.Store(0)
 	c.evictions.Store(0)
 	c.allocations.Store(0)
+	// corruptions is intentionally not reset: it counts permanent damage
+	// observed over the pool's lifetime, not per-query work.
 }
 
 // Hits returns the number of Get calls served from the pool.
@@ -221,6 +278,8 @@ func (s Stats) Hits() uint64 { return s.LogicalReads - s.PhysicalReads }
 
 // Page is a pinned buffer-pool frame. Data aliases the frame's buffer, so
 // it is valid only until Unpin; mutate it only if you pass dirty=true.
+// Data is the page's payload (PageDataSize bytes): the physical integrity
+// header is the pool's business and never visible to callers.
 type Page struct {
 	ID   PageID
 	Data []byte
@@ -249,6 +308,12 @@ type frame struct {
 
 // BufferPool caches up to capacity pages of one File with LRU replacement.
 // All methods are safe for concurrent use.
+//
+// Every physical read is checksum-verified (a mismatch returns a typed
+// *CorruptPageError) and every write-back is sealed with a fresh header.
+// With a journal attached (NewJournaledPool), write-backs follow the
+// atomic-commit protocol: before-images are journaled and synced before a
+// committed page is overwritten in place, and FlushAll is the commit point.
 type BufferPool struct {
 	mu       sync.Mutex
 	file     File
@@ -256,6 +321,15 @@ type BufferPool struct {
 	frames   map[PageID]*frame
 	lru      *list.List // front = most recently used; holds unpinned frames only
 	stats    counters
+
+	journal *Journal
+	// committedPages is the file's page count at the last commit; pages at
+	// or beyond it were allocated by the open transaction and need no
+	// before-image (rollback truncates them).
+	committedPages uint32
+	// journaled tracks pages whose before-image is already in the journal
+	// for the open transaction.
+	journaled map[PageID]bool
 }
 
 // NewBufferPool wraps file with a pool of the given capacity (in pages).
@@ -272,6 +346,23 @@ func NewBufferPool(file File, capacity int) *BufferPool {
 	}
 }
 
+// NewJournaledPool first rolls back any transaction the journal left
+// pending (crash recovery), then returns a pool whose write-backs go
+// through the atomic-commit protocol.
+func NewJournaledPool(file File, journal *Journal, capacity int) (*BufferPool, error) {
+	if _, err := journal.Recover(file); err != nil {
+		return nil, err
+	}
+	bp := NewBufferPool(file, capacity)
+	bp.journal = journal
+	bp.committedPages = file.NumPages()
+	bp.journaled = make(map[PageID]bool)
+	return bp, nil
+}
+
+// Journal returns the attached journal (nil without one).
+func (bp *BufferPool) Journal() *Journal { return bp.journal }
+
 // File exposes the underlying page file.
 func (bp *BufferPool) File() File { return bp.file }
 
@@ -286,13 +377,15 @@ func (bp *BufferPool) Stats() Stats { return bp.stats.snapshot() }
 func (bp *BufferPool) ResetStats() { bp.stats.reset() }
 
 // Get pins the page with the given id, reading it from the file on a miss.
+// The physical read is integrity-checked: corrupt pages return a typed
+// *CorruptPageError and are never cached.
 func (bp *BufferPool) Get(id PageID) (*Page, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	bp.stats.logicalReads.Add(1)
 	if fr, ok := bp.frames[id]; ok {
 		bp.pinLocked(fr)
-		return &Page{ID: id, Data: fr.data[:], fr: fr, bp: bp}, nil
+		return &Page{ID: id, Data: fr.data[PageHeaderSize:], fr: fr, bp: bp}, nil
 	}
 	bp.stats.physicalReads.Add(1)
 	fr, err := bp.newFrameLocked(id)
@@ -303,13 +396,23 @@ func (bp *BufferPool) Get(id PageID) (*Page, error) {
 		delete(bp.frames, id)
 		return nil, err
 	}
-	return &Page{ID: id, Data: fr.data[:], fr: fr, bp: bp}, nil
+	if err := VerifyPage(id, fr.data[:]); err != nil {
+		bp.stats.corruptions.Add(1)
+		delete(bp.frames, id)
+		return nil, err
+	}
+	return &Page{ID: id, Data: fr.data[PageHeaderSize:], fr: fr, bp: bp}, nil
 }
 
 // NewPage allocates a fresh zeroed page in the file and returns it pinned.
 func (bp *BufferPool) NewPage() (*Page, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	// Open the transaction before the allocation hits the file, so a crash
+	// right after Allocate still truncates the orphan page away.
+	if err := bp.beginTxnLocked(); err != nil {
+		return nil, err
+	}
 	id, err := bp.file.Allocate()
 	if err != nil {
 		return nil, err
@@ -320,7 +423,46 @@ func (bp *BufferPool) NewPage() (*Page, error) {
 		return nil, err
 	}
 	fr.dirty = true
-	return &Page{ID: id, Data: fr.data[:], fr: fr, bp: bp}, nil
+	return &Page{ID: id, Data: fr.data[PageHeaderSize:], fr: fr, bp: bp}, nil
+}
+
+// beginTxnLocked opens the journal transaction if one is not already open.
+// Without a journal it is a no-op.
+func (bp *BufferPool) beginTxnLocked() error {
+	if bp.journal == nil || bp.journal.Active() {
+		return nil
+	}
+	return bp.journal.Begin(bp.committedPages)
+}
+
+// writeFrameLocked seals and writes one frame back to the file, journaling
+// the page's before-image first when the atomic-commit protocol is on.
+func (bp *BufferPool) writeFrameLocked(fr *frame) error {
+	if bp.journal != nil {
+		if err := bp.beginTxnLocked(); err != nil {
+			return err
+		}
+		if uint32(fr.id) < bp.committedPages && !bp.journaled[fr.id] {
+			var before [PageSize]byte
+			if err := bp.file.ReadPage(fr.id, before[:]); err != nil {
+				return err
+			}
+			if err := bp.journal.Append(fr.id, before[:]); err != nil {
+				return err
+			}
+			bp.journaled[fr.id] = true
+		}
+		// The before-image must be durable before the overwrite starts.
+		if err := bp.journal.Sync(); err != nil {
+			return err
+		}
+	}
+	SealPage(fr.id, fr.data[:])
+	if err := bp.file.WritePage(fr.id, fr.data[:]); err != nil {
+		return err
+	}
+	bp.stats.writes.Add(1)
+	return nil
 }
 
 // newFrameLocked finds room for a new pinned frame, evicting if needed.
@@ -332,10 +474,9 @@ func (bp *BufferPool) newFrameLocked(id PageID) (*frame, error) {
 		}
 		vf := victim.Value.(*frame)
 		if vf.dirty {
-			if err := bp.file.WritePage(vf.id, vf.data[:]); err != nil {
+			if err := bp.writeFrameLocked(vf); err != nil {
 				return nil, err
 			}
-			bp.stats.writes.Add(1)
 		}
 		bp.lru.Remove(victim)
 		delete(bp.frames, vf.id)
@@ -367,21 +508,86 @@ func (bp *BufferPool) unpin(fr *frame, dirty bool) {
 	}
 }
 
-// FlushAll writes every dirty frame back to the file and syncs it.
+// FlushAll writes every dirty frame back to the file and syncs it. With a
+// journal attached it is the commit point: before-images of every page
+// about to be overwritten are made durable first, then the pages are
+// written in place and synced, then the journal is deactivated — so a
+// crash at any write point leaves either the old or the new state
+// recoverable, never a mix.
+//
+// On error the pool stays consistent: frames that were not written back
+// keep their dirty bit and the transaction stays open, so a later FlushAll
+// (after the fault clears) completes the commit.
 func (bp *BufferPool) FlushAll() error {
 	bp.mu.Lock()
-	for _, fr := range bp.frames {
-		if fr.dirty {
-			if err := bp.file.WritePage(fr.id, fr.data[:]); err != nil {
-				bp.mu.Unlock()
+	defer bp.mu.Unlock()
+	return bp.flushAllLocked()
+}
+
+func (bp *BufferPool) flushAllLocked() error {
+	// Journal every needed before-image up front so one sync covers all of
+	// them (writeFrameLocked then finds them journaled and synced).
+	if bp.journal != nil {
+		for _, fr := range bp.frames {
+			if !fr.dirty || uint32(fr.id) >= bp.committedPages || bp.journaled[fr.id] {
+				continue
+			}
+			if err := bp.beginTxnLocked(); err != nil {
 				return err
 			}
-			fr.dirty = false
-			bp.stats.writes.Add(1)
+			var before [PageSize]byte
+			if err := bp.file.ReadPage(fr.id, before[:]); err != nil {
+				return err
+			}
+			if err := bp.journal.Append(fr.id, before[:]); err != nil {
+				return err
+			}
+			bp.journaled[fr.id] = true
+		}
+		if err := bp.journal.Sync(); err != nil {
+			return err
 		}
 	}
-	bp.mu.Unlock()
-	return bp.file.Sync()
+	for _, fr := range bp.frames {
+		if !fr.dirty {
+			continue
+		}
+		if err := bp.writeFrameLocked(fr); err != nil {
+			return err
+		}
+		fr.dirty = false
+	}
+	if err := bp.file.Sync(); err != nil {
+		return err
+	}
+	if bp.journal != nil && bp.journal.Active() {
+		if err := bp.journal.Commit(); err != nil {
+			return err
+		}
+		bp.committedPages = bp.file.NumPages()
+		bp.journaled = make(map[PageID]bool)
+	}
+	return nil
+}
+
+// Close flushes every dirty frame (committing the open transaction) and
+// closes the file and journal. Write and sync errors are propagated; the
+// file is closed regardless, so a failed Close must be treated as a failed
+// commit, not retried on the closed pool.
+func (bp *BufferPool) Close() error {
+	flushErr := bp.FlushAll()
+	closeErr := bp.file.Close()
+	var journalErr error
+	if bp.journal != nil {
+		journalErr = bp.journal.Close()
+	}
+	if flushErr != nil {
+		return flushErr
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	return journalErr
 }
 
 // DropAll flushes and then discards every unpinned frame, returning the

@@ -285,14 +285,18 @@ func TestBufferPoolRandomTraffic(t *testing.T) {
 	if err := bp.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	// Verify through the raw file, bypassing the pool.
+	// Verify through the raw file, bypassing the pool. On disk the payload
+	// starts after the page header, and every flushed page must verify.
 	buf := make([]byte, PageSize)
 	for id, v := range content {
 		if err := file.ReadPage(id, buf); err != nil {
 			t.Fatal(err)
 		}
-		if buf[0] != v {
-			t.Errorf("page %d on file: got %d want %d", id, buf[0], v)
+		if err := VerifyPage(id, buf); err != nil {
+			t.Errorf("page %d on file: %v", id, err)
+		}
+		if buf[PageHeaderSize] != v {
+			t.Errorf("page %d on file: got %d want %d", id, buf[PageHeaderSize], v)
 		}
 	}
 }

@@ -39,26 +39,34 @@ func NewBuilder(opts Options) (*Builder, error) {
 	return &Builder{ix: ix, trie: vtrie.NewBuilder()}, nil
 }
 
-// newEmptyIndex sets up storage for a fresh index.
+// newEmptyIndex sets up storage for a fresh index. Both on-disk and
+// in-memory indexes run the journaled atomic-commit protocol.
 func newEmptyIndex(opts Options) (*Index, error) {
 	var forestBP, docsBP *pager.BufferPool
 	if opts.Dir == "" {
-		forestBP = pager.NewBufferPool(pager.NewMemFile(), opts.pool())
-		docsBP = pager.NewBufferPool(pager.NewMemFile(), opts.pool())
+		var err error
+		if forestBP, err = memJournaledPool(opts.pool()); err != nil {
+			return nil, err
+		}
+		if docsBP, err = memJournaledPool(opts.pool()); err != nil {
+			return nil, err
+		}
 	} else {
 		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("prix: %w", err)
 		}
-		ff, err := pager.OpenOSFile(filepath.Join(opts.Dir, forestFile))
+		var err error
+		forestBP, err = openJournaledPool(
+			filepath.Join(opts.Dir, forestFile), filepath.Join(opts.Dir, forestJournalFile), opts.pool())
 		if err != nil {
 			return nil, err
 		}
-		df, err := pager.OpenOSFile(filepath.Join(opts.Dir, docsFile))
+		docsBP, err = openJournaledPool(
+			filepath.Join(opts.Dir, docsFile), filepath.Join(opts.Dir, docsJournalFile), opts.pool())
 		if err != nil {
+			forestBP.Close()
 			return nil, err
 		}
-		forestBP = pager.NewBufferPool(ff, opts.pool())
-		docsBP = pager.NewBufferPool(df, opts.pool())
 	}
 	forest, err := btree.Open(forestBP)
 	if err != nil {

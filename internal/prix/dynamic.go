@@ -72,7 +72,9 @@ func NewDynamicIndex(initial []*xmltree.Document, opts Options, dopts DynamicOpt
 		if err != nil {
 			return nil, err
 		}
-		di.labeler.Prepare(syms)
+		if err := di.labeler.Prepare(syms); err != nil {
+			return nil, err
+		}
 	}
 	di.labeler.Finalize()
 	// The prepared prefix trie's postings must be written once; Add only
@@ -209,6 +211,16 @@ func (di *DynamicIndex) OnInsert(fn func()) {
 
 // Underflows reports how many insertions failed with scope underflow.
 func (di *DynamicIndex) Underflows() int { return di.labeler.Underflows() }
+
+// Quarantined proxies the docids quarantined in the document store.
+func (di *DynamicIndex) Quarantined() []uint32 { return di.ix.Quarantined() }
+
+// Close closes the underlying index's storage.
+func (di *DynamicIndex) Close() error {
+	di.mu.Lock()
+	defer di.mu.Unlock()
+	return di.ix.Close()
+}
 
 // Flush persists all structures, including the MaxGap catalog accumulated
 // so far.

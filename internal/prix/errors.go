@@ -1,0 +1,62 @@
+package prix
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+
+	"repro/internal/docstore"
+	"repro/internal/pager"
+)
+
+// ErrorClass partitions query and storage errors by what the caller should
+// do about them.
+type ErrorClass int
+
+const (
+	// ClassPermanent errors reproduce on retry: query shape problems,
+	// decode failures, anything not recognised below. Do not retry.
+	ClassPermanent ErrorClass = iota
+	// ClassCorruption is permanent damage to persisted data (checksum
+	// mismatch, undecodable record). Do not retry; quarantine or repair.
+	ClassCorruption
+	// ClassTransient faults (injected faults, OS-level I/O errors) may
+	// succeed on a bounded retry.
+	ClassTransient
+	// ClassCanceled means the query's context expired; the result is
+	// meaningless rather than wrong.
+	ClassCanceled
+)
+
+// Classify maps an error from Match/Insert/Open to its class. Unknown
+// errors default to ClassPermanent: retrying something we cannot name is
+// how retry storms start.
+func Classify(err error) ErrorClass {
+	switch {
+	case err == nil:
+		return ClassPermanent
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ClassCanceled
+	case errors.Is(err, pager.ErrCorrupt), errors.Is(err, docstore.ErrBadRecord),
+		errors.Is(err, docstore.ErrQuarantined):
+		return ClassCorruption
+	case errors.Is(err, pager.ErrInjected), isOSIOError(err):
+		return ClassTransient
+	default:
+		return ClassPermanent
+	}
+}
+
+// IsCorruption reports permanent data damage: a checksum or format failure
+// somewhere under the error chain.
+func IsCorruption(err error) bool { return Classify(err) == ClassCorruption }
+
+// IsTransient reports faults where one bounded retry is reasonable.
+func IsTransient(err error) bool { return Classify(err) == ClassTransient }
+
+// isOSIOError recognises operating-system read/write failures (wrapped
+// *fs.PathError, as os.File methods return).
+func isOSIOError(err error) bool {
+	var pe *fs.PathError
+	return errors.As(err, &pe)
+}

@@ -1,0 +1,39 @@
+package prix
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/docstore"
+	"repro/internal/pager"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want ErrorClass
+	}{
+		{nil, ClassPermanent},
+		{context.Canceled, ClassCanceled},
+		{fmt.Errorf("prix: match canceled: %w", context.DeadlineExceeded), ClassCanceled},
+		{pager.ErrCorrupt, ClassCorruption},
+		{&pager.CorruptPageError{Page: 3, Reason: "checksum mismatch"}, ClassCorruption},
+		{fmt.Errorf("docstore: document 2: %w: bad varint", docstore.ErrBadRecord), ClassCorruption},
+		{fmt.Errorf("docstore: document 2: %w", docstore.ErrQuarantined), ClassCorruption},
+		{pager.ErrInjected, ClassTransient},
+		{fmt.Errorf("wrapped: %w", pager.ErrInjected), ClassTransient},
+		{fmt.Errorf("prix: something else"), ClassPermanent},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	if !IsCorruption(pager.ErrCorrupt) || IsCorruption(pager.ErrInjected) {
+		t.Error("IsCorruption misclassifies")
+	}
+	if !IsTransient(pager.ErrInjected) || IsTransient(pager.ErrCorrupt) {
+		t.Error("IsTransient misclassifies")
+	}
+}

@@ -61,7 +61,7 @@ func (ix *Index) MatchExhaustive(q *twig.Query, opts MatchOptions) ([]Match, *Qu
 	for _, m := range ms {
 		docSet[m.DocID] = true
 	}
-	more, err := ix.candidateDocs(q)
+	more, err := ix.candidateDocs(q, stats)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -75,6 +75,11 @@ func (ix *Index) MatchExhaustive(q *twig.Query, opts MatchOptions) ([]Match, *Qu
 		}
 		doc, err := ix.ReconstructDocument(docID)
 		if err != nil {
+			if IsCorruption(err) {
+				ix.store.Quarantine(docID)
+				stats.Degraded = true
+				continue
+			}
 			return nil, nil, err
 		}
 		var embs []twig.Embedding
@@ -141,7 +146,7 @@ func imageKeyOfInts(e twig.Embedding) string {
 // the query, found by intersecting per-label document sets derived from
 // the stored records. This is a linear pass over the document store —
 // deliberately simple; the exhaustive path trades speed for completeness.
-func (ix *Index) candidateDocs(q *twig.Query) ([]uint32, error) {
+func (ix *Index) candidateDocs(q *twig.Query, stats *QueryStats) ([]uint32, error) {
 	dict := ix.store.Dict()
 	want := map[int64]bool{} // symbol set of the query
 	ok := true
@@ -163,9 +168,12 @@ func (ix *Index) candidateDocs(q *twig.Query) ([]uint32, error) {
 	}
 	var out []uint32
 	for docID := 0; docID < ix.store.NumDocs(); docID++ {
-		rec, err := ix.store.Get(uint32(docID))
+		rec, err := ix.getRecord(uint32(docID), stats)
 		if err != nil {
 			return nil, err
+		}
+		if rec == nil {
+			continue // quarantined
 		}
 		have := map[int64]bool{}
 		for _, s := range rec.LPS {

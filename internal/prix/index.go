@@ -44,7 +44,51 @@ func (o *Options) pool() int {
 const (
 	forestFile = "seq.idx"
 	docsFile   = "docs.db"
+	// Sidecar rollback journals giving each page file atomic commits; a
+	// crash mid-flush is rolled back the next time the index is opened.
+	forestJournalFile = "seq.jnl"
+	docsJournalFile   = "docs.jnl"
 )
+
+// openJournaledPool opens (or creates) a page file plus its sidecar
+// journal, rolls back any commit a crash interrupted, and returns the
+// pool. Torn trailing pages (a crash mid-append) are padded to a page
+// boundary and then either rolled back or caught by their checksum.
+func openJournaledPool(path, journalPath string, capacity int) (*pager.BufferPool, error) {
+	f, err := pager.OpenOSFilePadded(path)
+	if err != nil {
+		return nil, err
+	}
+	jf, err := pager.OpenOSFilePadded(journalPath)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	j, err := pager.NewJournal(jf)
+	if err != nil {
+		f.Close()
+		jf.Close()
+		return nil, err
+	}
+	bp, err := pager.NewJournaledPool(f, j, capacity)
+	if err != nil {
+		f.Close()
+		jf.Close()
+		return nil, err
+	}
+	return bp, nil
+}
+
+// memJournaledPool is openJournaledPool over in-memory files: in-memory
+// indexes run the same commit protocol so the whole stack exercises one
+// code path.
+func memJournaledPool(capacity int) (*pager.BufferPool, error) {
+	j, err := pager.NewJournal(pager.NewMemFile())
+	if err != nil {
+		return nil, err
+	}
+	return pager.NewJournaledPool(pager.NewMemFile(), j, capacity)
+}
 
 // Index is a built PRIX index ready for queries.
 type Index struct {
@@ -180,22 +224,27 @@ func (ix *Index) finish(builder *vtrie.Builder, bs *buildStats) error {
 	return ix.forest.Flush()
 }
 
-// Open loads a previously built on-disk index.
+// Open loads a previously built on-disk index. Any commit a crash
+// interrupted is rolled back from the sidecar journals first, and every
+// page read from disk is checksum-verified.
 func Open(dir string, opts Options) (*Index, error) {
 	opts.Dir = dir
-	ff, err := pager.OpenOSFile(filepath.Join(dir, forestFile))
+	forestBP, err := openJournaledPool(
+		filepath.Join(dir, forestFile), filepath.Join(dir, forestJournalFile), opts.pool())
 	if err != nil {
 		return nil, err
 	}
-	df, err := pager.OpenOSFile(filepath.Join(dir, docsFile))
+	docsBP, err := openJournaledPool(
+		filepath.Join(dir, docsFile), filepath.Join(dir, docsJournalFile), opts.pool())
+	if err != nil {
+		forestBP.Close()
+		return nil, err
+	}
+	forest, err := btree.Open(forestBP)
 	if err != nil {
 		return nil, err
 	}
-	forest, err := btree.Open(pager.NewBufferPool(ff, opts.pool()))
-	if err != nil {
-		return nil, err
-	}
-	store, err := docstore.Open(pager.NewBufferPool(df, opts.pool()))
+	store, err := docstore.Open(docsBP)
 	if err != nil {
 		return nil, err
 	}
@@ -212,6 +261,19 @@ func Open(dir string, opts Options) (*Index, error) {
 		ix.maxGap[k] = v
 	}
 	return ix, nil
+}
+
+// Close flushes every dirty page (committing the open transaction, if any)
+// and closes both page files and their journals. Callers that mutated the
+// index should Flush first so directory metadata is persisted too; Close
+// itself only completes the page-level commit. The index must not be used
+// afterwards.
+func (ix *Index) Close() error {
+	err := ix.forest.BufferPool().Close()
+	if e := ix.store.BufferPool().Close(); err == nil {
+		err = e
+	}
+	return err
 }
 
 // Extended reports whether this is an EPIndex.

@@ -47,6 +47,11 @@ type QueryStats struct {
 	PagesRead uint64
 	// Elapsed is wall-clock query time.
 	Elapsed time.Duration
+	// Degraded reports that at least one document was skipped because its
+	// record is quarantined (or proved corrupt during this query): the
+	// result is complete over the healthy documents only. The quarantined
+	// docids are available from Index.Quarantined.
+	Degraded bool
 }
 
 // ErrNeedsExtendedIndex marks queries an RPIndex cannot filter: a
@@ -323,7 +328,7 @@ func (ix *Index) matchOrdered(q *twig.Query, opts MatchOptions, stats *QueryStat
 	S := make([]int32, len(p.syms))
 	err = ix.findSubsequence(p, opts, stats, 0, 0, vtrie.MaxRange, S, func(docID uint32) error {
 		stats.Candidates++
-		m, ok, err := ix.refine(p, docID, S)
+		m, ok, err := ix.refine(p, docID, S, stats)
 		if err != nil {
 			return err
 		}
@@ -409,12 +414,41 @@ func (ix *Index) findSubsequence(p *plan, opts MatchOptions, stats *QueryStats,
 	return nil
 }
 
+// getRecord reads a document record for query processing, implementing the
+// graceful-degradation contract: quarantined documents are skipped and
+// documents whose records prove corrupt are quarantined on the spot and
+// skipped (nil record, nil error, stats.Degraded set). Transient faults
+// propagate so callers can retry.
+func (ix *Index) getRecord(docID uint32, stats *QueryStats) (*docstore.Record, error) {
+	rec, err := ix.store.Get(docID)
+	switch {
+	case err == nil:
+		return rec, nil
+	case errors.Is(err, docstore.ErrQuarantined):
+		stats.Degraded = true
+		return nil, nil
+	case IsCorruption(err):
+		ix.store.Quarantine(docID)
+		stats.Degraded = true
+		return nil, nil
+	default:
+		return nil, err
+	}
+}
+
+// Quarantined returns the docids currently quarantined in the document
+// store (ascending; empty when healthy).
+func (ix *Index) Quarantined() []uint32 { return ix.store.Quarantined() }
+
 // refine is Algorithm 2: connectedness (with the §4.5 wildcard chase), gap
 // consistency, frequency consistency and leaf matching.
-func (ix *Index) refine(p *plan, docID uint32, S []int32) (Match, bool, error) {
-	rec, err := ix.store.Get(docID)
+func (ix *Index) refine(p *plan, docID uint32, S []int32, stats *QueryStats) (Match, bool, error) {
+	rec, err := ix.getRecord(docID, stats)
 	if err != nil {
 		return Match{}, false, err
+	}
+	if rec == nil {
+		return Match{}, false, nil
 	}
 	n := len(S)
 	N := make([]int32, n) // N[i] = N_D[S_i]

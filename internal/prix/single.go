@@ -27,9 +27,12 @@ func (ix *Index) matchSingleNode(q *twig.Query, opts MatchOptions, stats *QueryS
 				return nil, fmt.Errorf("prix: match canceled: %w", err)
 			}
 		}
-		rec, err := ix.store.Get(uint32(docID))
+		rec, err := ix.getRecord(uint32(docID), stats)
 		if err != nil {
 			return nil, err
+		}
+		if rec == nil {
+			continue // quarantined: serve the healthy documents
 		}
 		stats.Candidates++
 		for _, post := range nodesWithLabel(rec, sym) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/prix"
 	"repro/internal/twig"
@@ -17,6 +18,9 @@ type Source interface {
 	PagesRead() uint64
 	NumDocs() int
 	Extended() bool
+	// Quarantined lists documents the store has fenced off after detecting
+	// corruption; queries skip them and responses report Degraded.
+	Quarantined() []uint32
 }
 
 // inserter is the optional mutation interface of a Source. When present
@@ -127,20 +131,41 @@ func (e *Executor) Execute(ctx context.Context, q *twig.Query, qo QueryOptions) 
 	return &Result{Matches: ent.matches, Stats: ent.stats, Shared: shared}, nil
 }
 
+// transientRetryBackoff is how long the executor waits before its single
+// retry of a transiently failed match (an I/O hiccup, not corruption).
+const transientRetryBackoff = 25 * time.Millisecond
+
 // run performs the actual index match and fills the cache on success.
+// Transient read faults get exactly one retry after a short backoff —
+// bounded so an unhealthy disk degrades to fast errors, not a retry storm.
 func (e *Executor) run(ctx context.Context, q *twig.Query, qo QueryOptions, key string) (*cached, error) {
-	ms, stats, err := e.src.Match(q, prix.MatchOptions{
+	mo := prix.MatchOptions{
 		WarmCache:     true, // shared pools: cold-start resets would race
 		Unordered:     qo.Unordered,
 		DisableMaxGap: qo.DisableMaxGap,
 		Ctx:           ctx,
-	})
+	}
+	ms, stats, err := e.src.Match(q, mo)
+	if err != nil && prix.IsTransient(err) && ctx.Err() == nil {
+		e.metrics.TransientRetries.Inc()
+		select {
+		case <-time.After(transientRetryBackoff):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("server: retry canceled: %w", ctx.Err())
+		}
+		ms, stats, err = e.src.Match(q, mo)
+	}
 	if err != nil {
 		return nil, err
 	}
 	e.metrics.PagesRead.Add(stats.PagesRead)
 	ent := &cached{matches: ms, stats: *stats}
-	e.cache.Put(key, ent)
+	// Degraded answers (quarantined documents skipped) are deliberately not
+	// cached: once the corruption is repaired, the next identical query
+	// returns the full answer instead of a stale partial one.
+	if !stats.Degraded {
+		e.cache.Put(key, ent)
+	}
 	return ent, nil
 }
 

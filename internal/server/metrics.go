@@ -28,6 +28,15 @@ type Metrics struct {
 	// FlightShared counts queries answered by piggybacking on an identical
 	// in-flight query (singleflight collapse).
 	FlightShared Counter
+	// Corruptions counts queries that failed on detected storage corruption
+	// (checksum mismatch, undecodable record).
+	Corruptions Counter
+	// TransientRetries counts the executor's single-shot retries of
+	// transiently failed matches.
+	TransientRetries Counter
+	// DegradedServed counts queries answered with quarantined documents
+	// skipped (partial but correct-for-healthy-data answers).
+	DegradedServed Counter
 	// PagesRead accumulates physical page reads attributed to queries.
 	PagesRead Counter
 	// InFlight is the number of requests currently being served.
@@ -154,6 +163,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("prix_cache_misses_total", "Result cache misses.", m.CacheMisses.Load())
 	counter("prix_flight_shared_total", "Queries collapsed onto an identical in-flight query.", m.FlightShared.Load())
 	counter("prix_pages_read_total", "Physical pages read by queries.", m.PagesRead.Load())
+	counter("prix_corruption_errors_total", "Queries failed on detected storage corruption.", m.Corruptions.Load())
+	counter("prix_transient_retries_total", "Single-shot retries of transiently failed matches.", m.TransientRetries.Load())
+	counter("prix_degraded_responses_total", "Queries answered with quarantined documents skipped.", m.DegradedServed.Load())
 	fmt.Fprintf(w, "# HELP prix_in_flight Requests currently being served.\n# TYPE prix_in_flight gauge\nprix_in_flight %d\n", m.InFlight.Load())
 
 	fmt.Fprintf(w, "# HELP prix_query_latency_seconds Query wall-clock latency.\n# TYPE prix_query_latency_seconds histogram\n")

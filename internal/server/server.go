@@ -180,8 +180,15 @@ type QueryResponse struct {
 	Cached    bool         `json:"cached"`
 	Shared    bool         `json:"shared,omitempty"`
 	Truncated bool         `json:"truncated,omitempty"`
-	Matches   []MatchJSON  `json:"matches,omitempty"`
-	Stats     ResponseStat `json:"stats"`
+	// Degraded reports that quarantined (corrupt) documents were skipped:
+	// the answer is complete over every healthy document but may miss
+	// matches in the quarantined ones. Mirrored in the X-Prix-Degraded
+	// response header so proxies can flag it without parsing the body.
+	Degraded bool `json:"degraded,omitempty"`
+	// Quarantined lists the skipped docids when Degraded is set.
+	Quarantined []uint32     `json:"quarantined,omitempty"`
+	Matches     []MatchJSON  `json:"matches,omitempty"`
+	Stats       ResponseStat `json:"stats"`
 }
 
 // MatchJSON is one twig occurrence on the wire.
@@ -309,6 +316,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, prix.ErrNeedsExtendedIndex):
 			s.metrics.Errors.Inc()
 			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		case prix.IsCorruption(err):
+			// Corruption the engine could not route around (e.g. an index
+			// page, not a document record). Permanent until repaired.
+			s.metrics.Corruptions.Inc()
+			s.metrics.Errors.Inc()
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		case prix.IsTransient(err):
+			// Already retried once by the executor; tell the client to back
+			// off and try again rather than declaring the query failed.
+			s.metrics.Errors.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 		default:
 			s.metrics.Errors.Inc()
 			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
@@ -320,16 +339,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Latency.Observe(time.Since(start))
 
 	resp := QueryResponse{
-		Query:  q.String(),
-		Count:  len(res.Matches),
-		Cached: res.Cached,
-		Shared: res.Shared,
+		Query:    q.String(),
+		Count:    len(res.Matches),
+		Cached:   res.Cached,
+		Shared:   res.Shared,
+		Degraded: res.Stats.Degraded,
 		Stats: ResponseStat{
 			ElapsedUS:    res.Stats.Elapsed.Microseconds(),
 			RangeQueries: res.Stats.RangeQueries,
 			Candidates:   res.Stats.Candidates,
 			PagesRead:    res.Stats.PagesRead,
 		},
+	}
+	if resp.Degraded {
+		s.metrics.DegradedServed.Inc()
+		resp.Quarantined = s.exec.Source().Quarantined()
+		w.Header().Set("X-Prix-Degraded", "true")
 	}
 	if !req.CountOnly {
 		limit := req.Limit
@@ -355,6 +380,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
+	// A quarantine makes the service degraded, not down: it still answers
+	// over every healthy document, so the status stays 200 (load balancers
+	// keep routing) while the body and header flag the partial coverage.
+	if q := s.exec.Source().Quarantined(); len(q) > 0 {
+		w.Header().Set("X-Prix-Degraded", "true")
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":      "degraded",
+			"docs":        s.exec.Source().NumDocs(),
+			"extended":    s.exec.Source().Extended(),
+			"quarantined": q,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"docs":     s.exec.Source().NumDocs(),
@@ -365,6 +403,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WritePrometheus(w)
+	// Quarantine size is state held by the index, not the registry, so it is
+	// rendered here where the source is in reach.
+	fmt.Fprintf(w, "# HELP prix_quarantined_docs Documents quarantined after corruption was detected.\n"+
+		"# TYPE prix_quarantined_docs gauge\nprix_quarantined_docs %d\n",
+		len(s.exec.Source().Quarantined()))
 }
 
 // StatsSnapshot is the GET /stats payload.
@@ -381,6 +424,10 @@ type StatsSnapshot struct {
 	CacheEntries  int     `json:"cache_entries"`
 	FlightShared  uint64  `json:"flight_shared"`
 	PagesRead     uint64  `json:"pages_read"`
+	Corruptions   uint64  `json:"corruptions"`
+	Retries       uint64  `json:"transient_retries"`
+	Degraded      uint64  `json:"degraded_served"`
+	Quarantined   int     `json:"quarantined_docs"`
 	InFlight      int64   `json:"in_flight"`
 	LatencyMeanUS int64   `json:"latency_mean_us"`
 	LatencyP50US  int64   `json:"latency_p50_us"`
@@ -404,6 +451,10 @@ func (s *Server) Snapshot() StatsSnapshot {
 		CacheEntries:  s.exec.CacheLen(),
 		FlightShared:  m.FlightShared.Load(),
 		PagesRead:     m.PagesRead.Load(),
+		Corruptions:   m.Corruptions.Load(),
+		Retries:       m.TransientRetries.Load(),
+		Degraded:      m.DegradedServed.Load(),
+		Quarantined:   len(s.exec.Source().Quarantined()),
 		InFlight:      m.InFlight.Load(),
 		LatencyMeanUS: m.Latency.Mean().Microseconds(),
 		LatencyP50US:  m.Latency.Quantile(0.50).Microseconds(),

@@ -51,7 +51,7 @@ func (s *Store) Flush() error {
 	// first flush (it is page NumPages... we need it to be page 0, so
 	// Build must reserve it — see Build).
 	first := pager.InvalidPage
-	for off := 0; off < len(payload); off += pager.PageSize {
+	for off := 0; off < len(payload); off += pager.PageDataSize {
 		p, err := s.bp.NewPage()
 		if err != nil {
 			return err
@@ -59,7 +59,7 @@ func (s *Store) Flush() error {
 		if first == pager.InvalidPage {
 			first = p.ID
 		}
-		end := off + pager.PageSize
+		end := off + pager.PageDataSize
 		if end > len(payload) {
 			end = len(payload)
 		}
@@ -100,8 +100,8 @@ func Open(bp *pager.BufferPool) (*Store, error) {
 			return nil, err
 		}
 		need := length - len(payload)
-		if need > pager.PageSize {
-			need = pager.PageSize
+		if need > pager.PageDataSize {
+			need = pager.PageDataSize
 		}
 		payload = append(payload, p.Data[:need]...)
 		p.Unpin(false)

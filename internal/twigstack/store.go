@@ -40,8 +40,9 @@ func globalPos(doc uint32, region int) uint64 { return uint64(doc)<<32 | uint64(
 
 const entrySize = 20 // L(8) + R(8) + Level(4)
 
-// entriesPerPage is how many entries fit a page after the 4-byte count.
-const entriesPerPage = (pager.PageSize - 4) / entrySize
+// entriesPerPage is how many entries fit a page payload after the 4-byte
+// count.
+const entriesPerPage = (pager.PageDataSize - 4) / entrySize
 
 // Store holds the per-label streams and their XB-trees in one page file.
 type Store struct {
@@ -126,7 +127,7 @@ func lookupSym(dict *docstore.Dict, label string, isValue bool) (vtrie.Symbol, b
 // Page layouts. Leaf page: count uint32, then entries (L, R, Level).
 // Internal XB page: count uint32, then per child (minL 8, maxR 8, child 4).
 const xbEntrySize = 20
-const xbPerPage = (pager.PageSize - 4) / xbEntrySize
+const xbPerPage = (pager.PageDataSize - 4) / xbEntrySize
 
 func (s *Store) writeSegment(entries []Entry) (*segment, error) {
 	seg := &segment{count: len(entries), xbRoot: pager.InvalidPage}

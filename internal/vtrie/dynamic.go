@@ -54,12 +54,16 @@ func NewDynamicLabeler(alpha int, spread uint64) *DynamicLabeler {
 	}
 }
 
+// ErrPrepared reports a Prepare call after Finalize: the prefix trie's
+// ranges are already carved and cannot absorb new statistics.
+var ErrPrepared = fmt.Errorf("vtrie: Prepare after Finalize")
+
 // Prepare performs the preparatory pass: it records the Alpha-prefix of one
 // sequence, accumulating frequency and residual-length statistics. Call it
-// for every sequence before any Add.
-func (d *DynamicLabeler) Prepare(seq []Symbol) {
+// for every sequence before any Add; after Finalize it returns ErrPrepared.
+func (d *DynamicLabeler) Prepare(seq []Symbol) error {
 	if d.prepared {
-		panic("vtrie: Prepare after Finalize")
+		return ErrPrepared
 	}
 	cur := d.root
 	for i := 0; i < len(seq) && i < d.Alpha; i++ {
@@ -74,6 +78,7 @@ func (d *DynamicLabeler) Prepare(seq []Symbol) {
 		}
 		cur = next
 	}
+	return nil
 }
 
 // Finalize allocates ranges for the prefix trie, weighting each child by

@@ -170,7 +170,9 @@ func TestDynamicLabelerNoUnderflowSmall(t *testing.T) {
 	}
 	d := NewDynamicLabeler(4, 1024)
 	for _, s := range seqs {
-		d.Prepare(s)
+		if err := d.Prepare(s); err != nil {
+			t.Fatal(err)
+		}
 	}
 	d.Finalize()
 	for i, s := range seqs {
@@ -241,7 +243,9 @@ func TestDynamicAlphaReducesUnderflow(t *testing.T) {
 		d := NewDynamicLabeler(alpha, 1<<16)
 		ss := gen()
 		for _, s := range ss {
-			d.Prepare(s)
+			if err := d.Prepare(s); err != nil {
+				t.Fatal(err)
+			}
 		}
 		d.Finalize()
 		for i, s := range ss {
@@ -322,14 +326,13 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	}
 }
 
-func TestDynamicPrepareAfterFinalizePanics(t *testing.T) {
+func TestDynamicPrepareAfterFinalizeErrors(t *testing.T) {
 	d := NewDynamicLabeler(2, 0)
-	d.Prepare(seq(1, 2))
+	if err := d.Prepare(seq(1, 2)); err != nil {
+		t.Fatal(err)
+	}
 	d.Finalize()
-	defer func() {
-		if recover() == nil {
-			t.Error("Prepare after Finalize did not panic")
-		}
-	}()
-	d.Prepare(seq(3))
+	if err := d.Prepare(seq(3)); !errors.Is(err, ErrPrepared) {
+		t.Errorf("Prepare after Finalize = %v, want ErrPrepared", err)
+	}
 }
