@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz bench serve clean ci
+.PHONY: all build test race vet fuzz chaos bench serve clean ci
 
 all: build vet test
 
 # Everything CI runs, in one target, so local and CI results agree.
-ci: build vet test race fuzz
+ci: build vet test race fuzz chaos
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,15 @@ vet:
 fuzz:
 	$(GO) test ./internal/twig -run FuzzParseQuery -fuzz FuzzParseQuery -fuzztime 30s
 	$(GO) test ./internal/docstore -run FuzzDecodeRecord -fuzz FuzzDecodeRecord -fuzztime 30s
+
+# Chaos stage: fault-injection and self-healing end to end. Power-cut sweeps
+# across every write point of a commit and of an online repair, bit-flip
+# corruption that must be scrub-detected and auto-repaired under live
+# queries, and snapshot restore for the unrepairable cases.
+chaos:
+	$(GO) test ./internal/pager -run 'Crash|Torn|Fault' -count=1
+	$(GO) test ./internal/prix -run 'Crash|BitFlip|Repair|Snapshot' -count=1
+	$(GO) test -race ./internal/scrub -count=1
 
 bench:
 	$(GO) run ./cmd/prixbench -table all -scale 1

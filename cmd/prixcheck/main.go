@@ -9,10 +9,18 @@
 //     depth, separator bracketing, no cycles, entry counts);
 //   - every document-store record decodes.
 //
+// With -repair, a corrupt index is opened for real (journal recovery runs
+// against the files) and one scrub repair pass heals what the index's
+// built-in Prüfer redundancy can reconstruct: records are rewritten from
+// the trie side, postings from the record side, the forest rebuilt when
+// shared trie structure is damaged. The read-only checks then run again and
+// the exit status reflects the post-repair state.
+//
 // Exit status: 0 clean, 1 corruption found, 2 files unreadable.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +30,8 @@ import (
 	"repro/internal/btree"
 	"repro/internal/docstore"
 	"repro/internal/pager"
+	"repro/internal/prix"
+	"repro/internal/scrub"
 )
 
 const (
@@ -32,9 +42,11 @@ const (
 
 func main() {
 	verbose := flag.Bool("v", false, "print every finding, not just the summary")
+	repair := flag.Bool("repair", false, "repair corruption in place using the index's Prüfer redundancy, then re-verify")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: prixcheck [-v] <index-dir>\n\n")
+		fmt.Fprintf(os.Stderr, "usage: prixcheck [-v] [-repair] <index-dir>\n\n")
 		fmt.Fprintf(os.Stderr, "Verifies the page files of a PRIX index directory offline.\n")
+		fmt.Fprintf(os.Stderr, "With -repair, heals what the surviving structures determine and re-verifies.\n")
 		fmt.Fprintf(os.Stderr, "Exit status: 0 clean, 1 corruption found, 2 unreadable.\n")
 		flag.PrintDefaults()
 	}
@@ -43,7 +55,34 @@ func main() {
 		flag.Usage()
 		os.Exit(exitUnreadable)
 	}
-	os.Exit(run(flag.Arg(0), *verbose))
+	status := run(flag.Arg(0), *verbose)
+	if status == exitCorrupt && *repair {
+		if err := runRepair(flag.Arg(0)); err != nil {
+			fmt.Printf("prixcheck: repair: %v\n", err)
+			os.Exit(exitCorrupt)
+		}
+		fmt.Println("prixcheck: repair pass complete, re-verifying")
+		status = run(flag.Arg(0), *verbose)
+	}
+	os.Exit(status)
+}
+
+// runRepair opens the index read-write (journal recovery runs first) and
+// executes one scrub pass with repair forced.
+func runRepair(dir string) error {
+	ix, err := prix.Open(dir, prix.Options{})
+	if err != nil {
+		return err
+	}
+	sc := scrub.New(ix, scrub.Config{Throttle: -1})
+	rep, err := sc.RepairNow(context.Background())
+	if err != nil {
+		ix.Close()
+		return err
+	}
+	fmt.Printf("prixcheck: repair: %d pages repaired, %d doc repairs, forest rebuilt: %v, still quarantined: %v\n",
+		rep.PagesRepaired, len(rep.Repairs), rep.ForestRebuilt, rep.Quarantined)
+	return ix.Close()
 }
 
 func run(dir string, verbose bool) int {

@@ -1,6 +1,8 @@
 // Command prixserve serves twig queries over a persistent PRIX index as an
 // HTTP service: POST /query executes an XPath-subset query, GET /healthz,
-// GET /metrics (Prometheus text) and GET /stats expose service health.
+// GET /metrics (Prometheus text) and GET /stats expose service health,
+// GET /scrub reports the background integrity scrubber and POST /repair
+// runs an online repair pass without restarting the server.
 //
 // Usage:
 //
@@ -40,6 +42,8 @@ func main() {
 		maxMatch  = flag.Int("max-matches", 0, "max matches serialized per response (default 1000)")
 		pool      = flag.Int("pool", 0, "buffer pool pages (default 2000)")
 		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+		scrubIv   = flag.Duration("scrub-interval", 30*time.Second, "background scrub pass interval (0 disables the scrubber)")
+		scrubFix  = flag.Bool("scrub-repair", true, "let scrub passes repair damage automatically (POST /repair works either way)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -57,6 +61,24 @@ func main() {
 		CacheShards:    *shards,
 		MaxMatches:     *maxMatch,
 	})
+	var sc *core.Scrubber
+	if *scrubIv > 0 {
+		capVal := *inflight
+		if capVal <= 0 {
+			capVal = 64
+		}
+		sc = core.NewScrubber(ix, core.ScrubConfig{
+			Interval:   *scrubIv,
+			AutoRepair: *scrubFix,
+			// Back off while the query load uses more than half the
+			// admission capacity; scrubbing is strictly lower priority.
+			Busy: func() bool {
+				return srv.Metrics().InFlight.Load() > int64(capVal/2)
+			},
+		})
+		srv.SetScrubber(sc)
+		sc.Start()
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	done := make(chan struct{})
@@ -73,6 +95,9 @@ func main() {
 		}
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		if sc != nil {
+			sc.Stop()
 		}
 	}()
 

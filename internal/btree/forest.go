@@ -91,6 +91,19 @@ func (f *Forest) Names() []string {
 	return out
 }
 
+// Reset drops every tree from the forest, leaving an empty directory over
+// the same file. The directory page chain is kept and rewritten by the next
+// Flush; the old trees' node pages stay allocated but become unreachable,
+// so a rebuild can zero the ones whose stored images are damaged. This is
+// the destructive half of forest repair: callers repopulate the forest from
+// the surviving document records before flushing.
+func (f *Forest) Reset() {
+	f.mu.Lock()
+	f.trees = make(map[string]*Tree)
+	f.dirty = true
+	f.mu.Unlock()
+}
+
 func (f *Forest) markDirty(*Tree) {
 	f.mu.Lock()
 	f.dirty = true

@@ -10,6 +10,7 @@ import (
 	"io"
 
 	"repro/internal/prix"
+	"repro/internal/scrub"
 	"repro/internal/server"
 	"repro/internal/twig"
 	"repro/internal/xmltree"
@@ -115,4 +116,29 @@ func NewServer(src QuerySource, cfg ServerConfig) *Server {
 // cacheCapacity < 1 disables result caching; metrics may be nil.
 func NewExecutor(src QuerySource, cacheCapacity, cacheShards int, m *ServerMetrics) *Executor {
 	return server.NewExecutor(src, cacheCapacity, cacheShards, m)
+}
+
+// Scrubber is the background integrity scrubber: it walks pages, B+-tree
+// invariants and document records, quarantines damage ahead of queries and
+// (with AutoRepair or RepairNow) heals it online from the index's built-in
+// Prüfer-sequence redundancy.
+type Scrubber = scrub.Scrubber
+
+// ScrubConfig tunes pass cadence, throttling and repair policy.
+type ScrubConfig = scrub.Config
+
+// ScrubReport summarizes one scrub/repair pass.
+type ScrubReport = scrub.Report
+
+// NewScrubber builds a scrubber over an index. For a DynamicIndex pass
+// di.Index() and set ScrubConfig.RepairForest to di.RepairForest.
+func NewScrubber(ix *Index, cfg ScrubConfig) *Scrubber {
+	return scrub.New(ix, cfg)
+}
+
+// RestoreSnapshot replaces the index files in indexDir with a snapshot
+// previously taken by Index.Snapshot. Offline only; every snapshot page is
+// verified before the live index is touched.
+func RestoreSnapshot(indexDir, snapDir string) error {
+	return prix.RestoreSnapshot(indexDir, snapDir)
 }

@@ -183,6 +183,85 @@ func decodeRecord(data []byte) (*Record, error) {
 	return r, nil
 }
 
+// EncodeStructure serializes the record's structural half — DocID,
+// NumNodes, NPS and the leaf list, everything except the LPS. It is the
+// payload of the prix structure sidecar: the one-to-one Prüfer
+// correspondence means the NPS determines the tree's shape, and the LPS is
+// recoverable from the Trie-Symbol postings, so together the sidecar and
+// the trie make a damaged docstore record fully rebuildable.
+func (r *Record) EncodeStructure() []byte {
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { buf.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
+	put(uint64(r.DocID))
+	put(uint64(r.NumNodes))
+	put(uint64(len(r.NPS)))
+	for _, v := range r.NPS {
+		put(uint64(v))
+	}
+	put(uint64(len(r.Leaves)))
+	for _, l := range r.Leaves {
+		put(uint64(l.Post))
+		put(uint64(l.Sym))
+	}
+	return buf.Bytes()
+}
+
+// DecodeStructure parses an EncodeStructure payload. The returned record
+// has a nil LPS; the caller recovers it from the trie postings.
+func DecodeStructure(data []byte) (*Record, error) {
+	r := &Record{}
+	br := bytes.NewReader(data)
+	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+	v, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("docstore: structure docID: %w", err)
+	}
+	r.DocID = uint32(v)
+	if v, err = get(); err != nil {
+		return nil, fmt.Errorf("docstore: structure numNodes: %w", err)
+	}
+	r.NumNodes = int32(v)
+	n, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("docstore: structure len: %w", err)
+	}
+	// Same over-allocation guard as decodeRecord: a corrupt length must not
+	// allocate more than the payload can hold.
+	if n > uint64(br.Len()) {
+		return nil, fmt.Errorf("docstore: structure len %d exceeds %d remaining bytes", n, br.Len())
+	}
+	if n > 0 {
+		r.NPS = make([]int32, n)
+	}
+	for i := range r.NPS {
+		if v, err = get(); err != nil {
+			return nil, fmt.Errorf("docstore: structure NPS[%d]: %w", i, err)
+		}
+		r.NPS[i] = int32(v)
+	}
+	if v, err = get(); err != nil {
+		return nil, fmt.Errorf("docstore: structure leaf count: %w", err)
+	}
+	if v > uint64(br.Len())/2 {
+		return nil, fmt.Errorf("docstore: structure leaf count %d exceeds %d remaining bytes", v, br.Len())
+	}
+	if v > 0 {
+		r.Leaves = make([]Leaf, v)
+	}
+	for i := range r.Leaves {
+		if v, err = get(); err != nil {
+			return nil, fmt.Errorf("docstore: structure leaf post: %w", err)
+		}
+		r.Leaves[i].Post = int32(v)
+		if v, err = get(); err != nil {
+			return nil, fmt.Errorf("docstore: structure leaf sym: %w", err)
+		}
+		r.Leaves[i].Sym = vtrie.Symbol(v)
+	}
+	return r, nil
+}
+
 // ParentOf returns the postorder number of node post's parent, or 0 for the
 // root. It is the NPS lookup N_T[i] used by the wildcard chase of §4.5.
 func (r *Record) ParentOf(post int32) int32 {
@@ -222,6 +301,12 @@ type Store struct {
 	// append cursor
 	curPage pager.PageID
 	curOff  int
+
+	// metaFirst/metaLen locate the meta payload written by the last Flush
+	// (or found by Open), so PageReferenced can tell live meta pages from
+	// orphaned ones.
+	metaFirst pager.PageID
+	metaLen   int
 }
 
 // ErrQuarantined wraps every Get of a quarantined document, so callers can
@@ -243,9 +328,10 @@ func NewStore(bp *pager.BufferPool, dict *Dict) (*Store, error) {
 	}
 	s := &Store{
 		bp: bp, dict: dict,
-		catalogs: map[string]map[vtrie.Symbol]int64{},
-		stats:    map[string]int64{},
-		curPage:  pager.InvalidPage,
+		catalogs:  map[string]map[vtrie.Symbol]int64{},
+		stats:     map[string]int64{},
+		curPage:   pager.InvalidPage,
+		metaFirst: pager.InvalidPage,
 	}
 	// Page 0 is reserved for the meta header written by Flush.
 	p, err := bp.NewPage()
@@ -277,14 +363,57 @@ func (s *Store) Put(rec *Record) error {
 	if int(rec.DocID) != len(s.dir) {
 		return fmt.Errorf("docstore: Put docID %d out of order (next is %d)", rec.DocID, len(s.dir))
 	}
+	entry, err := s.appendRecordLocked(rec)
+	if err != nil {
+		return err
+	}
+	s.dir = append(s.dir, entry)
+	return nil
+}
+
+// Rewrite replaces the stored record of an existing document: the new
+// encoding is appended to the heap and the directory entry is repointed.
+// The old bytes become garbage (their pages, once no live record touches
+// them, can be zeroed by the repair sweep). The caller must Flush to make
+// the repointed directory durable; until then, readers resolve the old
+// entry from the in-memory directory — so Rewrite is only called with the
+// repair lock held.
+func (s *Store) Rewrite(rec *Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(rec.DocID) >= len(s.dir) {
+		return fmt.Errorf("docstore: Rewrite of unknown document %d (have %d)", rec.DocID, len(s.dir))
+	}
+	entry, err := s.appendRecordLocked(rec)
+	if err != nil {
+		return err
+	}
+	s.dir[rec.DocID] = entry
+	return nil
+}
+
+// appendRecordLocked writes rec's encoding at the append cursor, spanning
+// pages as needed, and returns its directory entry.
+func (s *Store) appendRecordLocked(rec *Record) (dirEntry, error) {
 	var buf bytes.Buffer
 	rec.encode(&buf)
 	data := buf.Bytes()
+	// If the open append page is unreadable (corrupt on disk with no cached
+	// copy — the very page a repair may be rewriting a record away from),
+	// abandon it: records must occupy contiguous pages, so the record starts
+	// on a fresh page and the old tail becomes sweepable garbage.
+	if s.curPage != pager.InvalidPage && s.curOff != pager.PageDataSize {
+		if p, err := s.bp.Get(s.curPage); err != nil {
+			s.curPage = pager.InvalidPage
+		} else {
+			p.Unpin(false)
+		}
+	}
 	// Start a fresh page if none is open or the current one is full.
 	if s.curPage == pager.InvalidPage || s.curOff == pager.PageDataSize {
 		p, err := s.bp.NewPage()
 		if err != nil {
-			return err
+			return dirEntry{}, err
 		}
 		s.curPage = p.ID
 		s.curOff = 0
@@ -295,7 +424,7 @@ func (s *Store) Put(rec *Record) error {
 		if s.curOff == pager.PageDataSize {
 			p, err := s.bp.NewPage()
 			if err != nil {
-				return err
+				return dirEntry{}, err
 			}
 			s.curPage = p.ID
 			s.curOff = 0
@@ -303,15 +432,14 @@ func (s *Store) Put(rec *Record) error {
 		}
 		p, err := s.bp.Get(s.curPage)
 		if err != nil {
-			return err
+			return dirEntry{}, err
 		}
 		n := copy(p.Data[s.curOff:], data)
 		p.Unpin(true)
 		s.curOff += n
 		data = data[n:]
 	}
-	s.dir = append(s.dir, entry)
-	return nil
+	return entry, nil
 }
 
 // Get reads the record for docID. Quarantined documents return an error
@@ -359,6 +487,21 @@ func (s *Store) readRecord(docID uint32, e dirEntry) (*Record, error) {
 	return rec, nil
 }
 
+// GetAny reads the record for docID ignoring quarantine. The verification
+// and repair paths use it to re-attempt the decode Get refuses: a document
+// quarantined after a transient misread, or one whose page was repaired
+// under it, may in fact be healthy.
+func (s *Store) GetAny(docID uint32) (*Record, error) {
+	s.mu.Lock()
+	if int(docID) >= len(s.dir) {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("docstore: no record for document %d", docID)
+	}
+	e := s.dir[docID]
+	s.mu.Unlock()
+	return s.readRecord(docID, e)
+}
+
 // Quarantine marks docID as damaged: subsequent Gets fail fast with
 // ErrQuarantined and queries skip the document. It is idempotent and takes
 // effect immediately, in memory only — reopening the store clears it.
@@ -369,6 +512,14 @@ func (s *Store) Quarantine(docID uint32) {
 		s.quarantined = make(map[uint32]bool)
 	}
 	s.quarantined[docID] = true
+}
+
+// Unquarantine clears docID's quarantine mark after a successful repair (or
+// after verification shows the document was healthy all along).
+func (s *Store) Unquarantine(docID uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.quarantined, docID)
 }
 
 // IsQuarantined reports whether docID is quarantined.
@@ -408,6 +559,56 @@ func (s *Store) Verify() map[uint32]error {
 		}
 	}
 	return bad
+}
+
+// lastPage returns the last heap page an entry's bytes touch. Records span
+// pages contiguously: bytes [offset, offset+length) laid over PageDataSize-
+// sized payloads starting at e.page.
+func (e dirEntry) lastPage() pager.PageID {
+	if e.length == 0 {
+		return e.page
+	}
+	end := int(e.offset) + int(e.length) - 1
+	return e.page + pager.PageID(end/pager.PageDataSize)
+}
+
+// DocsOnPage returns, in ascending order, the ids of documents whose record
+// bytes touch page id. The scrubber uses it to quarantine exactly the
+// documents a failed page checksum implicates.
+func (s *Store) DocsOnPage(id pager.PageID) []uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []uint32
+	for doc, e := range s.dir {
+		if e.page <= id && id <= e.lastPage() {
+			out = append(out, uint32(doc))
+		}
+	}
+	return out
+}
+
+// PageReferenced reports whether page id holds live store data: the header
+// page, the current meta chain, any record's bytes, or the open append
+// cursor page. Unreferenced pages are garbage (orphaned meta chains, bytes
+// of rewritten records) and may be zeroed by a repair sweep.
+func (s *Store) PageReferenced(id pager.PageID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == 0 || id == s.curPage {
+		return true
+	}
+	if s.metaFirst != pager.InvalidPage {
+		metaPages := pager.PageID((s.metaLen + pager.PageDataSize - 1) / pager.PageDataSize)
+		if s.metaFirst <= id && id < s.metaFirst+metaPages {
+			return true
+		}
+	}
+	for _, e := range s.dir {
+		if e.page <= id && id <= e.lastPage() {
+			return true
+		}
+	}
+	return false
 }
 
 // SetCatalog stores a named per-symbol catalog (e.g. "maxgap").
@@ -530,6 +731,13 @@ func (s *Store) Flush() error {
 	binary.LittleEndian.PutUint32(p.Data[8:12], uint32(first))
 	binary.LittleEndian.PutUint64(p.Data[12:20], uint64(len(payload)))
 	p.Unpin(true)
+	s.metaFirst = first
+	s.metaLen = len(payload)
+	// The meta pages now occupy the file tail, so a record appended later
+	// that started on the old partially-filled page and spilled would land
+	// on non-contiguous pages — and records must span contiguous page ids
+	// (readRecord walks page+1). Force the next append onto a fresh page.
+	s.curPage = pager.InvalidPage
 	s.mu.Unlock()
 	return s.bp.FlushAll()
 }
@@ -538,9 +746,10 @@ func (s *Store) Flush() error {
 func Open(bp *pager.BufferPool) (*Store, error) {
 	s := &Store{
 		bp: bp, dict: &Dict{},
-		catalogs: map[string]map[vtrie.Symbol]int64{},
-		stats:    map[string]int64{},
-		curPage:  pager.InvalidPage,
+		catalogs:  map[string]map[vtrie.Symbol]int64{},
+		stats:     map[string]int64{},
+		curPage:   pager.InvalidPage,
+		metaFirst: pager.InvalidPage,
 	}
 	p, err := bp.Get(0)
 	if err != nil {
@@ -556,6 +765,8 @@ func Open(bp *pager.BufferPool) (*Store, error) {
 	if first == pager.InvalidPage {
 		return nil, fmt.Errorf("docstore: store was never flushed")
 	}
+	s.metaFirst = first
+	s.metaLen = length
 	payload := make([]byte, 0, length)
 	for page := first; len(payload) < length; page++ {
 		p, err := bp.Get(page)

@@ -262,3 +262,87 @@ func TestIOAccountingThroughPool(t *testing.T) {
 		t.Error("warm Get re-read pages physically")
 	}
 }
+
+// The quarantine list is the public face of degradation (query responses,
+// /healthz, scrub reports): it must come back ascending and deduplicated no
+// matter the order or multiplicity of Quarantine calls, so reports and tests
+// can compare it directly.
+func TestQuarantinedSortedDeduped(t *testing.T) {
+	s := newStore(t)
+	if got := s.Quarantined(); got != nil {
+		t.Fatalf("fresh store quarantined = %v, want nil", got)
+	}
+	for _, id := range []uint32{9, 2, 7, 2, 9, 9, 0, 7} {
+		s.Quarantine(id)
+	}
+	want := []uint32{0, 2, 7, 9}
+	got := s.Quarantined()
+	if len(got) != len(want) {
+		t.Fatalf("Quarantined() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Quarantined() = %v, want %v", got, want)
+		}
+	}
+	s.Unquarantine(2)
+	s.Unquarantine(42) // absent: no-op
+	got = s.Quarantined()
+	if len(got) != 3 || got[0] != 0 || got[1] != 7 || got[2] != 9 {
+		t.Fatalf("after unquarantine: %v, want [0 7 9]", got)
+	}
+	if !s.IsQuarantined(9) || s.IsQuarantined(2) {
+		t.Fatal("IsQuarantined out of sync with the list")
+	}
+	for _, id := range got {
+		s.Unquarantine(id)
+	}
+	if got := s.Quarantined(); got != nil {
+		t.Fatalf("emptied quarantine = %v, want nil", got)
+	}
+}
+
+// Records must occupy contiguous pages (readRecord walks page+1), but Flush
+// appends meta pages at the file tail. A record appended after a Flush that
+// continued on the pre-flush partial page and spilled would therefore land on
+// non-contiguous pages and read back as garbage. Regression: interleave
+// flushes with appends, including one spanning append per round.
+func TestAppendAfterFlushStaysContiguous(t *testing.T) {
+	s := newStore(t)
+	rng := rand.New(rand.NewSource(3))
+	var want []*Record
+	id := uint32(0)
+	for round := 0; round < 4; round++ {
+		// A few small records leave the append page partially filled.
+		for i := 0; i < 5; i++ {
+			r := randomRecord(rng, id, 20+rng.Intn(30))
+			if err := s.Put(r); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, r)
+			id++
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		// One record big enough to cross at least one page boundary.
+		big := randomRecord(rng, id, 6000)
+		if err := s.Put(big); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, big)
+		id++
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		got, err := s.Get(uint32(i))
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, w) {
+			t.Fatalf("record %d corrupted by post-flush append", i)
+		}
+	}
+}

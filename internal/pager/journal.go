@@ -28,7 +28,9 @@ import (
 // the record header, so a trusted record always has a complete image.
 //
 // The journal stores raw physical page images (including their integrity
-// headers), so restored pages verify exactly like ordinarily written ones.
+// headers). Rollback is byte-faithful: a page that was already corrupt
+// before the transaction rolls back to the same corrupt bytes, leaving the
+// scrubber to re-detect and repair it.
 //
 // The backing store is a pager File: two pages per record (header, image)
 // plus one header page. That reuses the File fault-injection machinery, so
@@ -239,8 +241,8 @@ func (j *Journal) Commit() error {
 }
 
 // Recover rolls an interrupted transaction back on target: every trusted
-// before-image is restored (and its checksum verified after the restore),
-// the file is truncated to its committed page count, and the journal is
+// before-image (record checksum intact) is restored byte-for-byte, the
+// file is truncated to its committed page count, and the journal is
 // deactivated. With no pending transaction it does nothing. It returns
 // whether a rollback happened.
 func (j *Journal) Recover(target File) (bool, error) {
@@ -275,11 +277,13 @@ func (j *Journal) Recover(target File) (bool, error) {
 		if uint32(pid) >= hdr.orig {
 			continue // page did not exist at the last commit; truncate handles it
 		}
+		// The record checksum above already proves the image is restored
+		// byte-for-byte. No page-level VerifyPage here: a page that was
+		// corrupt on disk BEFORE the transaction (e.g. one a repair was
+		// rewriting) must roll back to the same corrupt bytes, which the
+		// integrity layer above then re-detects.
 		if err := target.WritePage(pid, image[:]); err != nil {
 			return false, fmt.Errorf("pager: journal rollback of page %d: %w", pid, err)
-		}
-		if err := VerifyPage(pid, image[:]); err != nil {
-			return false, fmt.Errorf("pager: journal rollback: %w", err)
 		}
 	}
 	if target.NumPages() > hdr.orig {

@@ -590,6 +590,39 @@ func (bp *BufferPool) Close() error {
 	return journalErr
 }
 
+// RepairPage stages a rewrite of one on-disk page whose stored image is
+// corrupt. If the pool holds a frame for the page — content that was
+// checksum-verified when read, or was produced by this process — the frame
+// is marked dirty so the next flush re-seals and rewrites the disk copy
+// from it. Otherwise, when allowZero is set, a zeroed frame is staged: the
+// page then verifies clean but carries no data, which is only sound for
+// pages nothing references (orphans left behind by meta-chain rewrites or a
+// forest rebuild). It reports whether a repair was staged; the caller
+// commits it with FlushAll, so the rewrite rides the same journaled
+// atomic-commit protocol as every other write.
+func (bp *BufferPool) RepairPage(id PageID, allowZero bool) (bool, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if uint32(id) >= bp.file.NumPages() {
+		return false, fmt.Errorf("pager: repair of unallocated page %d (have %d)", id, bp.file.NumPages())
+	}
+	if fr, ok := bp.frames[id]; ok {
+		fr.dirty = true
+		return true, nil
+	}
+	if !allowZero {
+		return false, nil
+	}
+	fr, err := bp.newFrameLocked(id)
+	if err != nil {
+		return false, err
+	}
+	fr.dirty = true
+	fr.pins = 0
+	fr.elem = bp.lru.PushFront(fr)
+	return true, nil
+}
+
 // DropAll flushes and then discards every unpinned frame, returning the
 // pool to a cold state. Benchmarks call it before each query so physical
 // read counts are comparable to the paper's direct-I/O numbers. It returns

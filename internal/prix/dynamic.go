@@ -29,6 +29,10 @@ type DynamicIndex struct {
 	labeler *vtrie.DynamicLabeler
 	trees   map[vtrie.Symbol]*btree.Tree
 	nextID  uint32
+	// alpha and spread remember the labeler tuning so RepairForest can
+	// build a replacement labeler with the same parameters.
+	alpha  int
+	spread uint64
 	// gen counts successful Inserts; serving-layer caches use it (or the
 	// OnInsert hooks) to invalidate stale results.
 	gen     atomic.Uint64
@@ -61,6 +65,8 @@ func NewDynamicIndex(initial []*xmltree.Document, opts Options, dopts DynamicOpt
 		ix:      ix,
 		labeler: vtrie.NewDynamicLabeler(dopts.Alpha, dopts.Spread),
 		trees:   map[vtrie.Symbol]*btree.Tree{},
+		alpha:   dopts.Alpha,
+		spread:  dopts.Spread,
 	}
 	if di.ix.docid, err = ix.forest.Tree(docidTreeName); err != nil {
 		return nil, err
@@ -113,6 +119,11 @@ func (di *DynamicIndex) Insert(doc *xmltree.Document) error {
 func (di *DynamicIndex) insertLocked(doc *xmltree.Document) error {
 	di.mu.Lock()
 	defer di.mu.Unlock()
+	// Lock order is always di.mu before ix.repairMu; taking the repair lock
+	// here lets a scrubber that only knows the inner *Index serialize
+	// against dynamic writes too.
+	di.ix.repairMu.Lock()
+	defer di.ix.repairMu.Unlock()
 	id := di.nextID
 	rec, syms, err := di.ix.prepareDocument(id, doc)
 	if err != nil {
@@ -120,6 +131,9 @@ func (di *DynamicIndex) insertLocked(doc *xmltree.Document) error {
 	}
 	if len(syms) == 0 {
 		if err := di.ix.store.Put(rec); err != nil {
+			return err
+		}
+		if err := di.ix.writeStructure(rec); err != nil {
 			return err
 		}
 		di.nextID++
@@ -138,6 +152,9 @@ func (di *DynamicIndex) insertLocked(doc *xmltree.Document) error {
 		return err
 	}
 	if err := di.ix.store.Put(rec); err != nil {
+		return err
+	}
+	if err := di.ix.writeStructure(rec); err != nil {
 		return err
 	}
 	di.nextID++
@@ -214,6 +231,56 @@ func (di *DynamicIndex) Underflows() int { return di.labeler.Underflows() }
 
 // Quarantined proxies the docids quarantined in the document store.
 func (di *DynamicIndex) Quarantined() []uint32 { return di.ix.Quarantined() }
+
+// RepairForest rebuilds the forest from the surviving document records with
+// a fresh dynamic labeler (same α-prefix and spread as the original),
+// replacing Index.RepairForest for dynamic indexes: the labeler's in-memory
+// trie must be rebuilt alongside the postings or later Inserts would carve
+// ranges that no longer exist. All sequences are Prepared before Finalize,
+// so the relabeling pass cannot underflow unless a sequence exceeds the
+// spread capacity; in that case the error reports the rebuild failed and
+// the journal still holds the pre-rebuild committed image.
+func (di *DynamicIndex) RepairForest() ([]uint32, error) {
+	di.mu.Lock()
+	defer di.mu.Unlock()
+	di.ix.repairMu.Lock()
+	defer di.ix.repairMu.Unlock()
+	return di.ix.rebuildForestLocked(func(recs []*docstore.Record) error {
+		lab := vtrie.NewDynamicLabeler(di.alpha, di.spread)
+		for _, rec := range recs {
+			if len(rec.LPS) == 0 {
+				continue
+			}
+			if err := lab.Prepare(rec.LPS); err != nil {
+				return err
+			}
+		}
+		lab.Finalize()
+		di.trees = map[vtrie.Symbol]*btree.Tree{}
+		if err := lab.EmitPrefix(di.writePosting); err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			if len(rec.LPS) == 0 {
+				continue
+			}
+			created, terminal, err := lab.AddReport(rec.LPS, rec.DocID)
+			if err != nil {
+				return fmt.Errorf("prix: dynamic relabel of document %d: %w", rec.DocID, err)
+			}
+			for _, p := range created {
+				if err := di.writePosting(p); err != nil {
+					return err
+				}
+			}
+			if err := di.ix.docid.Insert(btree.KeyUint64(terminal.Left), encodeDocID(rec.DocID)); err != nil {
+				return err
+			}
+		}
+		di.labeler = lab
+		return nil
+	})
+}
 
 // Close closes the underlying index's storage.
 func (di *DynamicIndex) Close() error {

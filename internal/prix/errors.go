@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/docstore"
 	"repro/internal/pager"
+	"repro/internal/xmltree"
 )
 
 // ErrorClass partitions query and storage errors by what the caller should
@@ -31,15 +32,26 @@ const (
 // Classify maps an error from Match/Insert/Open to its class. Unknown
 // errors default to ClassPermanent: retrying something we cannot name is
 // how retry storms start.
+//
+// Every test uses errors.Is, so sentinels are found through fmt.Errorf
+// ("%w") chains and errors.Join trees alike. Corruption outranks
+// cancellation: a query that observed a bad page AND ran out of deadline
+// (the two arrive joined from retry wrappers) must surface the damage so
+// the scrubber quarantines and repairs it, instead of the report dying with
+// the request.
 func Classify(err error) ErrorClass {
 	switch {
 	case err == nil:
 		return ClassPermanent
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return ClassCanceled
 	case errors.Is(err, pager.ErrCorrupt), errors.Is(err, docstore.ErrBadRecord),
 		errors.Is(err, docstore.ErrQuarantined):
 		return ClassCorruption
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ClassCanceled
+	case errors.Is(err, xmltree.ErrLimit):
+		// A document over a parse limit blows the same limit on every
+		// retry; reject it for good.
+		return ClassPermanent
 	case errors.Is(err, pager.ErrInjected), isOSIOError(err):
 		return ClassTransient
 	default:

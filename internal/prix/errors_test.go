@@ -2,11 +2,14 @@ package prix
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"testing"
 
 	"repro/internal/docstore"
 	"repro/internal/pager"
+	"repro/internal/xmltree"
 )
 
 func TestClassify(t *testing.T) {
@@ -24,6 +27,16 @@ func TestClassify(t *testing.T) {
 		{pager.ErrInjected, ClassTransient},
 		{fmt.Errorf("wrapped: %w", pager.ErrInjected), ClassTransient},
 		{fmt.Errorf("prix: something else"), ClassPermanent},
+		// Multi-error chains (errors.Join) must be unwrapped down both arms.
+		{errors.Join(io.EOF, context.Canceled), ClassCanceled},
+		// Corruption outranks cancellation: a checksum failure surfaced while
+		// a deadline was expiring must still be treated as damage.
+		{errors.Join(pager.ErrCorrupt, context.DeadlineExceeded), ClassCorruption},
+		{errors.Join(context.Canceled, fmt.Errorf("doc: %w", docstore.ErrBadRecord)), ClassCorruption},
+		// Parser resource limits are permanent: retrying the same document
+		// can never succeed.
+		{&xmltree.LimitError{What: "element depth", Limit: 512}, ClassPermanent},
+		{fmt.Errorf("ingest: %w", &xmltree.LimitError{What: "token size", Limit: 1 << 20}), ClassPermanent},
 	}
 	for _, c := range cases {
 		if got := Classify(c.err); got != c.want {

@@ -12,6 +12,7 @@ package prix
 import (
 	"fmt"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/btree"
 	"repro/internal/docstore"
@@ -97,6 +98,14 @@ type Index struct {
 	store  *docstore.Store
 	docid  *btree.Tree
 	maxGap map[vtrie.Symbol]int64
+	// repairMu serializes structural repair (record rewrites, forest
+	// rebuilds, orphan sweeps — the writers) against everything that reads
+	// index structures: queries, verification and snapshots take it in read
+	// mode, so they never observe a repair in progress. DynamicIndex writes
+	// also take it in write mode (always after di.mu, never before), so a
+	// scrubber operating on the shared *Index needs no knowledge of the
+	// dynamic wrapper.
+	repairMu sync.RWMutex
 }
 
 // valuePrefix namespaces value strings away from element tags in the
@@ -163,12 +172,18 @@ func (ix *Index) addDocument(builder *vtrie.Builder, id uint32, doc *xmltree.Doc
 	if len(syms) == 0 {
 		// A single-node document has no sequence; it is still stored so
 		// single-tag fallbacks can see it, but cannot join the trie.
-		return ix.store.Put(rec)
+		if err := ix.store.Put(rec); err != nil {
+			return err
+		}
+		return ix.writeStructure(rec)
 	}
 	if err := builder.Add(syms, id); err != nil {
 		return err
 	}
-	return ix.store.Put(rec)
+	if err := ix.store.Put(rec); err != nil {
+		return err
+	}
+	return ix.writeStructure(rec)
 }
 
 // finish labels the trie, writes all postings and persists the store.
@@ -182,28 +197,7 @@ func (ix *Index) finish(builder *vtrie.Builder, bs *buildStats) error {
 		return err
 	}
 	ix.docid = docid
-	trees := map[vtrie.Symbol]*btree.Tree{}
-	var emitErr error
-	err = builder.Emit(func(p vtrie.Posting, docs []uint32) error {
-		t, ok := trees[p.Symbol]
-		if !ok {
-			t, emitErr = ix.forest.Tree(symTreeName(p.Symbol))
-			if emitErr != nil {
-				return emitErr
-			}
-			trees[p.Symbol] = t
-		}
-		if err := t.Insert(btree.KeyUint64(p.Left), encodePosting(p.Right, p.Level)); err != nil {
-			return err
-		}
-		for _, d := range docs {
-			if err := docid.Insert(btree.KeyUint64(p.Left), encodeDocID(d)); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	if err != nil {
+	if err := ix.emitTrie(builder); err != nil {
 		return err
 	}
 	ix.store.SetCatalog("maxgap", ix.maxGap)
@@ -284,6 +278,10 @@ func (ix *Index) NumDocs() int { return ix.store.NumDocs() }
 
 // Store exposes the document store (read-only use).
 func (ix *Index) Store() *docstore.Store { return ix.store }
+
+// Forest exposes the B+-tree forest (read-only use; the scrubber walks its
+// pages and invariants).
+func (ix *Index) Forest() *btree.Forest { return ix.forest }
 
 // MaxGap returns the catalog value for a symbol (0 if unseen).
 func (ix *Index) MaxGap(s vtrie.Symbol) int64 { return ix.maxGap[s] }

@@ -94,6 +94,11 @@ func (o *MatchOptions) context() context.Context {
 // Match finds all ordered (or unordered, per opts) occurrences of the query.
 // Results are sorted by (DocID, Positions).
 func (ix *Index) Match(q *twig.Query, opts MatchOptions) ([]Match, *QueryStats, error) {
+	// Queries run under the repair read-lock: a concurrent repair or forest
+	// rebuild (write-locked) can rewrite structures wholesale, and a query
+	// must see either the pre- or post-repair image, never a mix.
+	ix.repairMu.RLock()
+	defer ix.repairMu.RUnlock()
 	start := time.Now()
 	if err := opts.context().Err(); err != nil {
 		return nil, nil, fmt.Errorf("prix: match %q: %w", q, err)

@@ -15,6 +15,8 @@ import (
 // dummy children added by the extension are stripped, so the result equals
 // the original document either way.
 func (ix *Index) ReconstructDocument(docID uint32) (*xmltree.Document, error) {
+	ix.repairMu.RLock()
+	defer ix.repairMu.RUnlock()
 	rec, err := ix.store.Get(docID)
 	if err != nil {
 		return nil, err

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/prix"
+	"repro/internal/scrub"
 )
 
 // Config tunes the service.
@@ -97,6 +98,7 @@ type Server struct {
 	draining chan struct{} // closed when draining starts
 	drainOne sync.Once
 	inflight sync.WaitGroup
+	scr      *scrub.Scrubber
 }
 
 // New builds a service over the source. If the source is mutable
@@ -119,6 +121,11 @@ func (s *Server) Executor() *Executor { return s.exec }
 // Metrics returns the server's registry.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// SetScrubber attaches a background scrubber, enabling GET /scrub and
+// POST /repair. Call before serving; the server does not start or stop the
+// scrubber, it only reports on it and triggers repair passes.
+func (s *Server) SetScrubber(sc *scrub.Scrubber) { s.scr = sc }
+
 // Handler returns the service's route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -126,6 +133,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /scrub", s.handleScrub)
+	mux.HandleFunc("POST /repair", s.handleRepair)
 	return mux
 }
 
@@ -465,4 +474,40 @@ func (s *Server) Snapshot() StatsSnapshot {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// handleScrub reports the scrubber's counters and its last pass.
+func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	if s.scr == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":     true,
+		"stats":       s.scr.Stats(),
+		"last_report": s.scr.LastReport(),
+	})
+}
+
+// handleRepair runs one repair pass synchronously and returns its report.
+// This is the online-repair trigger: damage found by earlier scrub passes
+// (or by degraded queries) is healed without restarting the server, and the
+// response says what was rewritten, rebuilt or left for RestoreSnapshot.
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	if s.scr == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "no scrubber attached"})
+		return
+	}
+	rep, err := s.scr.RepairNow(r.Context())
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error":  err.Error(),
+			"report": rep,
+		})
+		return
+	}
+	// The repair may have flipped the service out of degraded mode;
+	// invalidate cached degraded results so full answers are recomputed.
+	s.exec.InvalidateCache()
+	writeJSON(w, http.StatusOK, rep)
 }

@@ -2,10 +2,38 @@ package xmltree
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 )
+
+// Default parse limits. They are far beyond anything in the paper's
+// datasets (DBLP's deepest path is 6 levels) while still small enough that
+// a hostile document cannot exhaust the stack or memory during ingest.
+const (
+	DefaultMaxDepth      = 512
+	DefaultMaxTokenBytes = 1 << 20
+)
+
+// ErrLimit is the sentinel under every parse-limit violation. prix.Classify
+// maps it to ClassPermanent: the document will blow the same limit on every
+// retry, so it must be rejected, not retried.
+var ErrLimit = errors.New("xmltree: parse limit exceeded")
+
+// LimitError reports which configured limit a document blew during parsing.
+type LimitError struct {
+	// What names the limit: "element depth" or "token size".
+	What string
+	// Limit is the configured bound that was exceeded.
+	Limit int64
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("xmltree: %s limit %d exceeded", e.What, e.Limit)
+}
+
+func (e *LimitError) Unwrap() error { return ErrLimit }
 
 // ParseOptions controls how raw XML is turned into an ordered labeled tree.
 type ParseOptions struct {
@@ -16,6 +44,29 @@ type ParseOptions struct {
 	// element-only tree (handy for structural experiments like TREEBANK
 	// where the paper's values were encrypted and unused).
 	DropValues bool
+	// MaxDepth bounds element nesting depth (0 means DefaultMaxDepth,
+	// negative disables the bound). Deeply nested documents would otherwise
+	// overflow the stack in the recursive passes downstream of parsing.
+	MaxDepth int
+	// MaxTokenBytes bounds the raw size of a single decoder token — a tag,
+	// one character-data run, a comment (0 means DefaultMaxTokenBytes,
+	// negative disables the bound). One giant token would otherwise be
+	// buffered wholesale before any tree-level accounting can see it.
+	MaxTokenBytes int64
+}
+
+func (o *ParseOptions) maxDepth() int {
+	if o.MaxDepth == 0 {
+		return DefaultMaxDepth
+	}
+	return o.MaxDepth
+}
+
+func (o *ParseOptions) maxTokenBytes() int64 {
+	if o.MaxTokenBytes == 0 {
+		return DefaultMaxTokenBytes
+	}
+	return o.MaxTokenBytes
 }
 
 // Parse reads one XML document from r and returns it as a Document with all
@@ -26,6 +77,8 @@ func Parse(id int, r io.Reader, opts ParseOptions) (*Document, error) {
 	dec := xml.NewDecoder(r)
 	var root *Node
 	var stack []*Node
+	maxDepth, maxToken := opts.maxDepth(), opts.maxTokenBytes()
+	lastOff := dec.InputOffset()
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
@@ -34,8 +87,19 @@ func Parse(id int, r io.Reader, opts ParseOptions) (*Document, error) {
 		if err != nil {
 			return nil, fmt.Errorf("xmltree: parse: %w", err)
 		}
+		// The raw bytes one token consumed are the offset delta; bounding it
+		// bounds the decoder's internal buffering per token.
+		if off := dec.InputOffset(); maxToken > 0 {
+			if off-lastOff > maxToken {
+				return nil, &LimitError{What: "token size", Limit: maxToken}
+			}
+			lastOff = off
+		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			if maxDepth > 0 && len(stack) >= maxDepth {
+				return nil, &LimitError{What: "element depth", Limit: int64(maxDepth)}
+			}
 			n := &Node{Label: t.Name.Local}
 			for _, a := range t.Attr {
 				attr := &Node{Label: a.Name.Local}

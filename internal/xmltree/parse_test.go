@@ -1,0 +1,75 @@
+package xmltree
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// nestedXML builds <a><a>...</a></a> nested depth levels deep.
+func nestedXML(depth int) string {
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("<a>")
+	}
+	for i := 0; i < depth; i++ {
+		b.WriteString("</a>")
+	}
+	return b.String()
+}
+
+func TestParseDepthLimit(t *testing.T) {
+	if _, err := Parse(0, strings.NewReader(nestedXML(10)), ParseOptions{MaxDepth: 10}); err != nil {
+		t.Fatalf("depth 10 under limit 10: %v", err)
+	}
+
+	_, err := Parse(0, strings.NewReader(nestedXML(11)), ParseOptions{MaxDepth: 10})
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("depth 11 over limit 10: err = %v, want ErrLimit", err)
+	}
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != "element depth" || le.Limit != 10 {
+		t.Fatalf("limit error = %+v, want element depth / 10", le)
+	}
+
+	// Negative disables the bound entirely.
+	deep := nestedXML(DefaultMaxDepth + 50)
+	if _, err := Parse(0, strings.NewReader(deep), ParseOptions{MaxDepth: -1}); err != nil {
+		t.Fatalf("disabled depth bound still rejected: %v", err)
+	}
+	// Zero means the default, which that same document exceeds.
+	if _, err := Parse(0, strings.NewReader(deep), ParseOptions{}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("default depth bound: err = %v, want ErrLimit", err)
+	}
+}
+
+func TestParseTokenSizeLimit(t *testing.T) {
+	big := "<a>" + strings.Repeat("x", 4096) + "</a>"
+	_, err := Parse(0, strings.NewReader(big), ParseOptions{MaxTokenBytes: 1024})
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("4KiB text under 1KiB token bound: err = %v, want ErrLimit", err)
+	}
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != "token size" || le.Limit != 1024 {
+		t.Fatalf("limit error = %+v, want token size / 1024", le)
+	}
+
+	if _, err := Parse(0, strings.NewReader(big), ParseOptions{MaxTokenBytes: -1}); err != nil {
+		t.Fatalf("disabled token bound still rejected: %v", err)
+	}
+	if doc, err := Parse(0, strings.NewReader(big), ParseOptions{}); err != nil {
+		t.Fatalf("default token bound rejected a 4KiB token: %v", err)
+	} else if doc.Root.Label != "a" {
+		t.Fatalf("root = %q", doc.Root.Label)
+	}
+}
+
+func TestParseLimitsOrdinaryDocument(t *testing.T) {
+	doc, err := ParseString(7, `<r><a x="1"><b>text</b></a><c/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Label != "r" || len(doc.Root.Children) != 2 {
+		t.Fatalf("unexpected tree shape: %+v", doc.Root)
+	}
+}
