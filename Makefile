@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz chaos bench serve clean ci
+.PHONY: all build test race vet fuzz chaos bench bench-smoke serve clean ci
 
 all: build vet test
 
 # Everything CI runs, in one target, so local and CI results agree.
-ci: build vet test race fuzz chaos
+ci: build vet test race fuzz chaos bench-smoke
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,13 @@ chaos:
 
 bench:
 	$(GO) run ./cmd/prixbench -table all -scale 1
+
+# Fast parallel-pipeline check: the serial-vs-parallel comparison on one
+# bundled dataset (the table asserts identical match counts, so it doubles
+# as a differential test), plus one iteration of the in-package benchmark.
+bench-smoke:
+	$(GO) run ./cmd/prixbench -table parallel -datasets SWISSPROT
+	$(GO) test ./internal/prix -run XXX -bench UnorderedArrangements -benchtime 1x
 
 serve:
 	$(GO) run ./cmd/prixbench -table serving

@@ -8,6 +8,8 @@
 //	prixbench -table fig6
 //	prixbench -table ablation
 //	prixbench -table serving -serve-clients 16   # concurrent QPS/latency
+//	prixbench -table parallel -parallelism 4     # pipelined vs serial, cold I/O
+//	prixbench -table parallel -datasets DBLP     # smoke-sized variant
 package main
 
 import (
@@ -15,6 +17,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -23,12 +27,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("prixbench: ")
 	var (
-		table    = flag.String("table", "all", "artefact: 2..9, fig6, ablation, serving or all")
+		table    = flag.String("table", "all", "artefact: 2..9, fig6, ablation, serving, parallel or all")
 		scale    = flag.Int("scale", 1, "dataset scale factor")
 		seed     = flag.Int64("seed", 1, "dataset generator seed")
 		pool     = flag.Int("pool", 0, "buffer pool pages (default 2000)")
 		clients  = flag.Int("serve-clients", 0, "serving bench: concurrent clients (default 8)")
 		requests = flag.Int("serve-requests", 0, "serving bench: total requests per dataset (default 2000)")
+		par      = flag.Int("parallelism", 4, "parallel/serving bench: query worker cap compared against serial")
+		ioDelay  = flag.Duration("iodelay", 2*time.Millisecond, "parallel bench: injected per-page read latency (2004-era disk)")
+		datasets = flag.String("datasets", "", "parallel bench: comma-separated dataset subset (default all)")
 	)
 	flag.Parse()
 	s := bench.NewSession(bench.Config{Scale: *scale, Seed: *seed, PoolPages: *pool})
@@ -64,7 +71,13 @@ func main() {
 		run(s.AblationPoolSize(w))
 		run(s.AblationCardinality(w))
 	case "serving":
-		run(s.Serving(w, bench.ServingConfig{Goroutines: *clients, Requests: *requests}))
+		run(s.Serving(w, bench.ServingConfig{Goroutines: *clients, Requests: *requests, Parallelism: *par}))
+	case "parallel":
+		var names []string
+		if *datasets != "" {
+			names = strings.Split(*datasets, ",")
+		}
+		run(s.Parallel(w, bench.ParallelConfig{Parallelism: *par, ReadDelay: *ioDelay, Datasets: names}))
 	case "all":
 		run(s.All(w))
 	default:

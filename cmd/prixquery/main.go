@@ -45,6 +45,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		countOnly = fs.Bool("count", false, "print only the match count")
 		limit     = fs.Int("limit", 20, "maximum matches to print")
 		pool      = fs.Int("pool", 0, "buffer pool pages (default 2000)")
+		par       = fs.Int("parallelism", 0, "query worker cap (0 = GOMAXPROCS, 1 = serial); results are identical at every setting")
 		timeout   = fs.Duration("timeout", 0, "per-query deadline (0 = none)")
 		recon     = fs.Int("reconstruct", -1, "instead of querying, rebuild document N from the index and print it")
 	)
@@ -88,6 +89,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	res, err := exec.Execute(ctx, q, core.QueryOptions{
 		Unordered:     *unordered,
 		DisableMaxGap: *nogap,
+		Parallelism:   *par,
 	})
 	if err != nil {
 		return fail(exitError, err)

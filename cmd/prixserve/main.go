@@ -41,6 +41,7 @@ func main() {
 		shards    = flag.Int("cache-shards", 0, "result cache shards (default 16)")
 		maxMatch  = flag.Int("max-matches", 0, "max matches serialized per response (default 1000)")
 		pool      = flag.Int("pool", 0, "buffer pool pages (default 2000)")
+		par       = flag.Int("parallelism", 0, "default per-query worker cap (0 = GOMAXPROCS, 1 = serial; requests may override)")
 		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 		scrubIv   = flag.Duration("scrub-interval", 30*time.Second, "background scrub pass interval (0 disables the scrubber)")
 		scrubFix  = flag.Bool("scrub-repair", true, "let scrub passes repair damage automatically (POST /repair works either way)")
@@ -60,6 +61,7 @@ func main() {
 		CacheCapacity:  *cacheCap,
 		CacheShards:    *shards,
 		MaxMatches:     *maxMatch,
+		Parallelism:    *par,
 	})
 	var sc *core.Scrubber
 	if *scrubIv > 0 {

@@ -23,6 +23,11 @@ type ServingConfig struct {
 	// CacheSize is the result cache capacity (default 1024 entries;
 	// negative disables caching so every request hits the engine).
 	CacheSize int
+	// Parallelism is the per-query worker cap handed to the engine
+	// (0 = engine default, 1 = serial). The Serving table adds a
+	// cache-off row at this setting when it is above 1, showing how
+	// per-query parallelism trades against cross-request concurrency.
+	Parallelism int
 }
 
 func (c ServingConfig) withDefaults() ServingConfig {
@@ -59,10 +64,11 @@ func (s *Session) servingRun(name string, sc ServingConfig) (servingRow, error) 
 		}
 		return execRP
 	}
+	qo := server.QueryOptions{Parallelism: sc.Parallelism}
 	// Warm the buffer pools once, sequentially, so the measured section
 	// reflects steady-state serving rather than first-touch page faults.
 	for _, qs := range ds.Queries {
-		if _, err := pick(qs).Execute(context.Background(), qs.Query(), server.QueryOptions{}); err != nil {
+		if _, err := pick(qs).Execute(context.Background(), qs.Query(), qo); err != nil {
 			return servingRow{}, fmt.Errorf("bench: serving warmup %s: %w", qs.ID, err)
 		}
 	}
@@ -78,7 +84,7 @@ func (s *Session) servingRun(name string, sc ServingConfig) (servingRow, error) 
 			for i := 0; i < perG; i++ {
 				qs := ds.Queries[(g+i)%len(ds.Queries)]
 				t0 := time.Now()
-				_, err := pick(qs).Execute(context.Background(), qs.Query(), server.QueryOptions{})
+				_, err := pick(qs).Execute(context.Background(), qs.Query(), qo)
 				if err != nil {
 					failures.Add(1)
 					continue
@@ -127,20 +133,32 @@ func (s *Session) Serving(w io.Writer, sc ServingConfig) error {
 	fmt.Fprintf(w, "\nServing throughput: %d clients x %d requests (Q1-Q9 mix)\n",
 		sc.Goroutines, sc.Requests)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Dataset\tCache\tClients\tRequests\tQPS\tp50\tp99\tHit-rate\tCollapsed")
-	for _, name := range datagen.Names() {
-		for _, cache := range []struct {
+	fmt.Fprintln(tw, "Dataset\tCache\tPar\tClients\tRequests\tQPS\tp50\tp99\tHit-rate\tCollapsed")
+	variants := []struct {
+		label string
+		size  int
+		par   int
+	}{{"on", sc.CacheSize, 1}, {"off", -1, 1}}
+	if sc.Parallelism > 1 {
+		// The concurrency row: cache off so every request exercises the
+		// engine's pipelined executor under cross-request load.
+		variants = append(variants, struct {
 			label string
 			size  int
-		}{{"on", sc.CacheSize}, {"off", -1}} {
+			par   int
+		}{"off", -1, sc.Parallelism})
+	}
+	for _, name := range datagen.Names() {
+		for _, v := range variants {
 			cfg := sc
-			cfg.CacheSize = cache.size
+			cfg.CacheSize = v.size
+			cfg.Parallelism = v.par
 			row, err := s.servingRun(name, cfg)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.0f\t%v\t%v\t%.1f%%\t%d\n",
-				row.dataset, cache.label, row.clients, row.requests, row.qps,
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.0f\t%v\t%v\t%.1f%%\t%d\n",
+				row.dataset, v.label, v.par, row.clients, row.requests, row.qps,
 				row.p50, row.p99, 100*row.hitRate, row.shared)
 		}
 	}

@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/pager"
 )
@@ -330,6 +331,100 @@ func (t *Tree) Scan(lo, hi []byte, loIncl, hiIncl bool, fn func(key, val []byte)
 			id = pageChildAt(p.Data, innerChildIndex(p.Data, lo))
 		}
 		p.Unpin(false)
+	}
+}
+
+// Prefetch warms the buffer pool with the pages a Scan over the same range
+// is about to traverse, reading up to par pages concurrently. A Scan walks
+// the leaf chain through next-pointers, so its cold reads form a serial
+// dependency chain; Prefetch instead enumerates the in-range children
+// level by level from the internal nodes, so the leaves load in parallel
+// (the pool's request coalescing dedups against the scan itself and
+// against concurrent prefetches). Purely best-effort: read errors are left
+// for the Scan to surface, and an eviction between warm and use only costs
+// a re-read. With hiIncl=false the boundary child may be warmed
+// needlessly; that is at most one extra page.
+func (t *Tree) Prefetch(lo, hi []byte, loIncl bool, par int) {
+	if par < 2 {
+		return
+	}
+	bp := t.forest.bp
+	// Readahead into a pool much smaller than the range would evict pages
+	// ahead of the scan consuming them — thrashing that multiplies
+	// physical reads instead of hiding them. Warm at most a quarter of the
+	// pool and leave the rest to the scan's own chain.
+	budget := bp.Capacity() / 4
+	level := []pager.PageID{t.root}
+	for len(level) > 0 && budget > 0 {
+		if len(level) > budget {
+			level = level[:budget]
+		}
+		budget -= len(level)
+		// Warm the level's non-resident pages concurrently first — they
+		// are exactly the reads a cold Scan would chain serially. In the
+		// warm steady state nothing is missing and no goroutine is
+		// spawned, keeping Prefetch near-free on the hot path.
+		var missing []pager.PageID
+		for _, id := range level {
+			if !bp.Contains(id) {
+				missing = append(missing, id)
+			}
+		}
+		if len(missing) > 1 {
+			sem := make(chan struct{}, par)
+			var wg sync.WaitGroup
+			for _, id := range missing {
+				sem <- struct{}{}
+				wg.Add(1)
+				go func(id pager.PageID) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					if p, err := bp.Get(id); err == nil {
+						p.Unpin(false)
+					}
+				}(id)
+			}
+			wg.Wait()
+		}
+		var next []pager.PageID
+		for li, id := range level {
+			p, err := bp.Get(id)
+			if err != nil {
+				continue
+			}
+			data := p.Data
+			if pageKind(data) != internalNode {
+				p.Unpin(false)
+				if li == 0 {
+					// The tree is balanced, so the whole level is leaves:
+					// they are warm now, and there is nothing below.
+					return
+				}
+				continue
+			}
+			{
+				ciLo := 0
+				switch {
+				case lo == nil:
+				case loIncl:
+					ciLo = innerChildIndexLower(data, lo)
+				default:
+					ciLo = innerChildIndex(data, lo)
+				}
+				// Biased right so duplicate keys equal to hi stay in
+				// range; bounds beyond this node's key span degenerate to
+				// [0, numKeys] naturally.
+				ciHi := pageNumKeys(data)
+				if hi != nil {
+					ciHi = innerChildIndex(data, hi)
+				}
+				for ci := ciLo; ci <= ciHi; ci++ {
+					next = append(next, pageChildAt(data, ci))
+				}
+			}
+			p.Unpin(false)
+		}
+		level = next
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // PageSize is the size of every page in bytes, matching the paper's setup.
@@ -304,6 +305,15 @@ type frame struct {
 	pins  int
 	dirty bool
 	elem  *list.Element // position in the LRU list when unpinned
+	// loading is non-nil while the frame's content is being read from the
+	// file (outside the pool mutex); it is closed when the read completes.
+	// Concurrent Gets for the page pin the frame and wait on it instead of
+	// issuing a second physical read. A loading frame is always pinned, so
+	// it can never be an eviction victim and is never dirty.
+	loading chan struct{}
+	// loadErr records a failed load for the waiters; the loader removes the
+	// frame from the pool before closing loading.
+	loadErr error
 }
 
 // BufferPool caches up to capacity pages of one File with LRU replacement.
@@ -321,6 +331,13 @@ type BufferPool struct {
 	frames   map[PageID]*frame
 	lru      *list.List // front = most recently used; holds unpinned frames only
 	stats    counters
+
+	// readDelay (nanoseconds) is an injected per-physical-read latency,
+	// simulating the seek-dominated device of the paper's 2004 evaluation.
+	// Benchmarks use it to make cold-start queries I/O-bound; production
+	// code leaves it at zero. It applies outside the pool mutex, so delayed
+	// reads from different workers overlap instead of serializing.
+	readDelay atomic.Int64
 
 	journal *Journal
 	// committedPages is the file's page count at the last commit; pages at
@@ -376,32 +393,91 @@ func (bp *BufferPool) Stats() Stats { return bp.stats.snapshot() }
 // ResetStats zeroes the I/O counters (e.g. between benchmark queries).
 func (bp *BufferPool) ResetStats() { bp.stats.reset() }
 
+// SetReadDelay injects a fixed latency before every physical page read,
+// simulating the paper's 2004-era seek-dominated device for benchmarks.
+// Zero (the default) disables it. The delay is slept outside the pool
+// mutex, so concurrent misses overlap their waits like real device queues.
+func (bp *BufferPool) SetReadDelay(d time.Duration) { bp.readDelay.Store(int64(d)) }
+
+// Contains reports whether the page is resident (a frame still loading
+// counts: a Get would wait on its channel, not the device). Readahead uses
+// it to skip pages that need no warming; the answer can go stale the
+// moment the lock drops, which only costs the caller a cheap duplicate
+// Get.
+func (bp *BufferPool) Contains(id PageID) bool {
+	bp.mu.Lock()
+	_, ok := bp.frames[id]
+	bp.mu.Unlock()
+	return ok
+}
+
 // Get pins the page with the given id, reading it from the file on a miss.
 // The physical read is integrity-checked: corrupt pages return a typed
 // *CorruptPageError and are never cached.
+//
+// Misses read the file outside the pool mutex: the frame is published in a
+// loading state and concurrent Gets for the same page wait on it (one
+// physical read, counted once) while Gets for other pages proceed — page
+// waits from different workers overlap instead of serializing behind one
+// lock.
 func (bp *BufferPool) Get(id PageID) (*Page, error) {
 	bp.mu.Lock()
-	defer bp.mu.Unlock()
 	bp.stats.logicalReads.Add(1)
 	if fr, ok := bp.frames[id]; ok {
 		bp.pinLocked(fr)
+		loading := fr.loading
+		bp.mu.Unlock()
+		if loading != nil {
+			<-loading
+			// The close happens after the loader's writes, so reading
+			// loadErr (and, on success, the frame data) is ordered.
+			if fr.loadErr != nil {
+				// The loader already removed the failed frame from the
+				// pool; the pin dies with it.
+				return nil, fr.loadErr
+			}
+		}
 		return &Page{ID: id, Data: fr.data[PageHeaderSize:], fr: fr, bp: bp}, nil
 	}
 	bp.stats.physicalReads.Add(1)
 	fr, err := bp.newFrameLocked(id)
 	if err != nil {
+		bp.mu.Unlock()
 		return nil, err
 	}
-	if err := bp.file.ReadPage(id, fr.data[:]); err != nil {
+	fr.loading = make(chan struct{})
+	bp.mu.Unlock()
+
+	err = bp.readFrame(id, fr)
+
+	bp.mu.Lock()
+	if err != nil {
+		fr.loadErr = err
 		delete(bp.frames, id)
-		return nil, err
 	}
-	if err := VerifyPage(id, fr.data[:]); err != nil {
-		bp.stats.corruptions.Add(1)
-		delete(bp.frames, id)
+	close(fr.loading)
+	fr.loading = nil
+	bp.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
 	return &Page{ID: id, Data: fr.data[PageHeaderSize:], fr: fr, bp: bp}, nil
+}
+
+// readFrame performs the physical read and integrity check for a loading
+// frame. It runs without the pool mutex.
+func (bp *BufferPool) readFrame(id PageID, fr *frame) error {
+	if d := bp.readDelay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	if err := bp.file.ReadPage(id, fr.data[:]); err != nil {
+		return err
+	}
+	if err := VerifyPage(id, fr.data[:]); err != nil {
+		bp.stats.corruptions.Add(1)
+		return err
+	}
+	return nil
 }
 
 // NewPage allocates a fresh zeroed page in the file and returns it pinned.
@@ -607,6 +683,13 @@ func (bp *BufferPool) RepairPage(id PageID, allowZero bool) (bool, error) {
 		return false, fmt.Errorf("pager: repair of unallocated page %d (have %d)", id, bp.file.NumPages())
 	}
 	if fr, ok := bp.frames[id]; ok {
+		if fr.loading != nil {
+			// A reader is mid-load on this page (possible only when repair
+			// runs without excluding queries): its content is not yet
+			// verified, and staging a second frame would alias the page.
+			// Report nothing staged; the caller retries after the load.
+			return false, nil
+		}
 		fr.dirty = true
 		return true, nil
 	}
@@ -621,6 +704,26 @@ func (bp *BufferPool) RepairPage(id PageID, allowZero bool) (bool, error) {
 	fr.pins = 0
 	fr.elem = bp.lru.PushFront(fr)
 	return true, nil
+}
+
+// DropClean discards every clean, unpinned frame and reports how many it
+// evicted. Unlike DropAll it never flushes, never touches the I/O counters
+// and never fails: frames another reader has pinned (or a writer has
+// dirtied) simply survive. Queries that want the paper's cold-cache start
+// call it so concurrent queries keep their own delta accounting intact.
+func (bp *BufferPool) DropClean() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for id, fr := range bp.frames {
+		if fr.pins > 0 || fr.dirty {
+			continue
+		}
+		bp.lru.Remove(fr.elem)
+		delete(bp.frames, id)
+		n++
+	}
+	return n
 }
 
 // DropAll flushes and then discards every unpinned frame, returning the

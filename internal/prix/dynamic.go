@@ -181,8 +181,11 @@ func (di *DynamicIndex) Index() *Index { return di.ix }
 
 // Match runs a query against the current snapshot of the index, serialized
 // against Insert. WarmCache is forced: concurrent readers share the buffer
-// pools, so the cold-start reset of the one-shot path would race (per-query
-// PagesRead is therefore a best-effort delta).
+// pools, so a cold-start cache drop would evict pages other queries are
+// mid-way through (per-query PagesRead is a best-effort delta either way).
+// MatchOptions.Parallelism flows through unchanged — the parallel pipeline
+// runs entirely under the read lock, so it serializes against Insert as a
+// unit exactly like a serial query.
 func (di *DynamicIndex) Match(q *twig.Query, opts MatchOptions) ([]Match, *QueryStats, error) {
 	di.mu.RLock()
 	defer di.mu.RUnlock()

@@ -38,6 +38,7 @@ func RiskOfFalseDismissal(q *twig.Query) bool {
 // simply delegates to Match. The trade-off is documented: candidate
 // enumeration touches every document containing all the query's labels.
 func (ix *Index) MatchExhaustive(q *twig.Query, opts MatchOptions) ([]Match, *QueryStats, error) {
+	pagesBefore := ix.PagesRead()
 	ms, stats, err := ix.Match(q, opts)
 	switch {
 	case errors.Is(err, ErrNeedsExtendedIndex):
@@ -119,16 +120,12 @@ func (ix *Index) MatchExhaustive(q *twig.Query, opts MatchOptions) ([]Match, *Qu
 		if out[i].DocID != out[j].DocID {
 			return out[i].DocID < out[j].DocID
 		}
-		a, b := out[i].Images, out[j].Images
-		for k := range a {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return false
+		return lessInt32s(out[i].Images, out[j].Images)
 	})
 	stats.Matches = len(out)
-	stats.PagesRead = ix.PagesRead()
+	// Delta, not absolute: the counters are monotonic across queries, and
+	// this span covers both the inner index match and the exhaustive pass.
+	stats.PagesRead = ix.PagesRead() - pagesBefore
 	return out, stats, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/btree"
 	"repro/internal/docstore"
@@ -289,8 +290,11 @@ func (ix *Index) MaxGap(s vtrie.Symbol) int64 { return ix.maxGap[s] }
 // Stat proxies a named build statistic.
 func (ix *Index) Stat(name string) (int64, bool) { return ix.store.Stat(name) }
 
-// ResetIOStats zeroes both buffer pools' counters and drops cached pages,
-// giving every query the paper's cold-cache start.
+// ResetIOStats zeroes both buffer pools' counters and drops cached pages.
+// It is a test/benchmark convenience for callers that own the index
+// exclusively: the query path never calls it — Match accounts PagesRead as
+// a before/after delta of the monotonic counters (see DropCaches), so
+// concurrent queries cannot clobber each other's accounting.
 func (ix *Index) ResetIOStats() error {
 	if err := ix.forest.BufferPool().DropAll(); err != nil {
 		return err
@@ -303,8 +307,26 @@ func (ix *Index) ResetIOStats() error {
 	return nil
 }
 
-// PagesRead returns the physical pages read since the last reset, summed
-// over the forest and document-store pools.
+// DropCaches evicts every clean, unpinned page from both buffer pools
+// without touching the I/O counters, giving the next query a (near-)cold
+// start. Pages a concurrent query has pinned this instant survive, so it
+// is always safe to call with other queries in flight.
+func (ix *Index) DropCaches() {
+	ix.forest.BufferPool().DropClean()
+	ix.store.BufferPool().DropClean()
+}
+
+// SetReadDelay injects a per-physical-read latency on both buffer pools,
+// simulating the paper's 2004-era disk for I/O-bound benchmarks (see
+// pager.BufferPool.SetReadDelay). Zero disables it.
+func (ix *Index) SetReadDelay(d time.Duration) {
+	ix.forest.BufferPool().SetReadDelay(d)
+	ix.store.BufferPool().SetReadDelay(d)
+}
+
+// PagesRead returns the physical pages read so far, summed over the forest
+// and document-store pools. The counters are monotonic (outside an explicit
+// ResetIOStats), so per-query accounting is a before/after delta.
 func (ix *Index) PagesRead() uint64 {
 	return ix.forest.BufferPool().Stats().PhysicalReads +
 		ix.store.BufferPool().Stats().PhysicalReads

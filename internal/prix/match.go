@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -71,11 +72,23 @@ type MatchOptions struct {
 	// ArrangementLimit caps unordered arrangements (default 720).
 	ArrangementLimit int
 	// WarmCache runs the query against whatever the buffer pools already
-	// hold instead of dropping them first. The default (cold) start
-	// reproduces the paper's per-query "Disk IO" accounting but mutates
-	// shared pool state, so concurrent Match calls must set WarmCache.
-	// PagesRead is then a best-effort delta across concurrent queries.
+	// hold instead of dropping clean cached pages first. The default
+	// (cold) start reproduces the paper's per-query "Disk IO" accounting.
+	// Either setting is safe with concurrent Match calls: PagesRead is a
+	// before/after delta of monotonic counters, so it is exact when the
+	// query runs alone and a best-effort delta when queries overlap (a
+	// concurrent cold start can evict pages this query then re-reads).
 	WarmCache bool
+	// Parallelism caps the workers executing the query: the Algorithm 1
+	// trie descent streams (document, subsequence) candidates into a
+	// bounded channel consumed by a pool running Algorithm 2 refinement,
+	// unordered branch arrangements fan out across workers, and
+	// single-node document scans shard the docid space. 0 means
+	// GOMAXPROCS; 1 runs the exact legacy serial path. Results are
+	// identical at every setting: candidates carry their emission order,
+	// so deduplication and the final sort are deterministic regardless of
+	// worker interleaving.
+	Parallelism int
 	// Ctx, when non-nil, bounds the query: cancellation or deadline expiry
 	// is observed between B+-tree range queries (and periodically during
 	// single-tag document scans), aborting the match with the context's
@@ -91,6 +104,28 @@ func (o *MatchOptions) context() context.Context {
 	return context.Background()
 }
 
+// workers resolves Parallelism: 0 means GOMAXPROCS, anything below 1 is 1.
+func (o *MatchOptions) workers() int {
+	if o.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
+}
+
+// merge folds a worker's (or arrangement's) accounting into s. Counters
+// add; Degraded is sticky, so a quarantine observed on any worker is never
+// lost. Matches, PagesRead and Elapsed are owned by Match itself and set
+// once at the end.
+func (s *QueryStats) merge(o *QueryStats) {
+	s.RangeQueries += o.RangeQueries
+	s.TriePathsPruned += o.TriePathsPruned
+	s.Candidates += o.Candidates
+	s.Degraded = s.Degraded || o.Degraded
+}
+
 // Match finds all ordered (or unordered, per opts) occurrences of the query.
 // Results are sorted by (DocID, Positions).
 func (ix *Index) Match(q *twig.Query, opts MatchOptions) ([]Match, *QueryStats, error) {
@@ -103,12 +138,15 @@ func (ix *Index) Match(q *twig.Query, opts MatchOptions) ([]Match, *QueryStats, 
 	if err := opts.context().Err(); err != nil {
 		return nil, nil, fmt.Errorf("prix: match %q: %w", q, err)
 	}
-	var pagesBefore uint64
-	if opts.WarmCache {
-		pagesBefore = ix.PagesRead()
-	} else if err := ix.ResetIOStats(); err != nil {
-		return nil, nil, err
+	// Per-query I/O accounting is a before/after delta of the monotonic
+	// physical-read counters. A cold start evicts clean cached pages first
+	// but never resets the counters: the old in-query ResetIOStats zeroed
+	// them under repairMu.RLock, so two concurrent queries reset each
+	// other's baseline and reported garbage PagesRead.
+	if !opts.WarmCache {
+		ix.DropCaches()
 	}
+	pagesBefore := ix.PagesRead()
 	stats := &QueryStats{}
 	if q.Size() == 1 {
 		ms, err := ix.matchSingleNode(q, opts, stats)
@@ -132,35 +170,15 @@ func (ix *Index) Match(q *twig.Query, opts MatchOptions) ([]Match, *QueryStats, 
 		}
 		queries = arr
 	}
-	var out []Match
-	seen := map[string]bool{}
-	for _, qq := range queries {
-		ms, err := ix.matchOrdered(qq, opts, stats)
-		if err != nil {
-			return nil, nil, err
-		}
-		for _, m := range ms {
-			if opts.Unordered {
-				k := imageSetKey(m)
-				if seen[k] {
-					continue
-				}
-				seen[k] = true
-			}
-			out = append(out, m)
-		}
+	out, err := ix.matchArrangements(queries, opts, stats)
+	if err != nil {
+		return nil, nil, err
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].DocID != out[j].DocID {
 			return out[i].DocID < out[j].DocID
 		}
-		a, b := out[i].Positions, out[j].Positions
-		for k := range a {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return false
+		return lessInt32s(out[i].Positions, out[j].Positions)
 	})
 	stats.Matches = len(out)
 	stats.PagesRead = ix.PagesRead() - pagesBefore
@@ -175,6 +193,23 @@ func (ix *Index) Count(q *twig.Query, opts MatchOptions) (int, *QueryStats, erro
 		return 0, nil, err
 	}
 	return len(ms), stats, nil
+}
+
+// lessInt32s orders two position (or image) lists lexicographically with a
+// length tie-break, so a comparator over lists of different lengths (a
+// single-node proxy vs. an extended witness) can never read out of bounds
+// or produce an unstable order.
+func lessInt32s(a, b []int32) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for k := 0; k < n; k++ {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return len(a) < len(b)
 }
 
 func imageSetKey(m Match) string {
@@ -317,13 +352,27 @@ func (ix *Index) compile(q *twig.Query) (*plan, error) {
 }
 
 // matchOrdered runs filtering + refinement for one (arranged) query.
-func (ix *Index) matchOrdered(q *twig.Query, opts MatchOptions, stats *QueryStats) ([]Match, error) {
+// workers > 1 decouples the two algorithms into the pipelined path
+// (parallel.go); 1 is the exact legacy inline path. fetch, when non-nil,
+// replaces Index.getRecord as the record source — the arrangement fan-out
+// passes a query-wide memoizing cache so a record shared by candidates of
+// several arrangements is fetched and decoded once. nil keeps the legacy
+// fetch-per-candidate behaviour (and lets the pipelined path build its own
+// per-query cache).
+func (ix *Index) matchOrdered(q *twig.Query, opts MatchOptions, stats *QueryStats,
+	workers int, fetch recordSource) ([]Match, error) {
 	p, err := ix.compile(q)
 	if err != nil {
 		return nil, err
 	}
 	if p == nil {
 		return nil, nil
+	}
+	if workers > 1 {
+		return ix.matchPipelined(p, opts, stats, workers, fetch)
+	}
+	if fetch == nil {
+		fetch = ix.getRecord
 	}
 	var out []Match
 	// Wildcard edges make the matched subsequence a proxy witness: one
@@ -333,7 +382,7 @@ func (ix *Index) matchOrdered(q *twig.Query, opts MatchOptions, stats *QueryStat
 	S := make([]int32, len(p.syms))
 	err = ix.findSubsequence(p, opts, stats, 0, 0, vtrie.MaxRange, S, func(docID uint32) error {
 		stats.Candidates++
-		m, ok, err := ix.refine(p, docID, S, stats)
+		m, ok, err := ix.refine(p, docID, S, stats, fetch)
 		if err != nil {
 			return err
 		}
@@ -445,10 +494,15 @@ func (ix *Index) getRecord(docID uint32, stats *QueryStats) (*docstore.Record, e
 // store (ascending; empty when healthy).
 func (ix *Index) Quarantined() []uint32 { return ix.store.Quarantined() }
 
+// recordSource fetches one document record for refinement. The serial path
+// passes Index.getRecord; the pipelined path passes a per-query memoizing
+// cache so a record shared by many candidates is fetched once.
+type recordSource func(docID uint32, stats *QueryStats) (*docstore.Record, error)
+
 // refine is Algorithm 2: connectedness (with the §4.5 wildcard chase), gap
 // consistency, frequency consistency and leaf matching.
-func (ix *Index) refine(p *plan, docID uint32, S []int32, stats *QueryStats) (Match, bool, error) {
-	rec, err := ix.getRecord(docID, stats)
+func (ix *Index) refine(p *plan, docID uint32, S []int32, stats *QueryStats, fetch recordSource) (Match, bool, error) {
+	rec, err := fetch(docID, stats)
 	if err != nil {
 		return Match{}, false, err
 	}

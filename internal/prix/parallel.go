@@ -1,0 +1,492 @@
+package prix
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/docstore"
+	"repro/internal/twig"
+	"repro/internal/vtrie"
+)
+
+// This file is the parallel query-execution pipeline. Three independent
+// axes of the read-only query path are decomposed across workers:
+//
+//   - within one (arranged) query, the Algorithm 1 trie descent emits
+//     (document, subsequence) candidates into a bounded channel consumed
+//     by a pool running Algorithm 2 refinement (matchPipelined);
+//   - an unordered query's branch arrangements fan out across workers
+//     instead of looping (matchArrangements);
+//   - single-node queries shard the document scan (single.go).
+//
+// Determinism contract: every candidate carries its emission order from
+// the (serial, deterministic) descent, reductions happen in that order,
+// and arrangement results are deduplicated in arrangement order — so any
+// Parallelism setting returns byte-identical matches and identical
+// counter stats to the serial path. Workers write only their own
+// QueryStats slot; the slots are merged after the pool drains.
+
+// matchArrangements runs every arranged query and applies the unordered
+// image-set deduplication in arrangement order (identical to the legacy
+// serial loop). With one arrangement the full worker budget goes to the
+// refinement pipeline; with several, arrangements are the coarser (and
+// cheaper) unit, so they get the workers and split the remainder.
+func (ix *Index) matchArrangements(queries []*twig.Query, opts MatchOptions, stats *QueryStats) ([]Match, error) {
+	workers := opts.workers()
+	perArrangement := make([][]Match, len(queries))
+	if len(queries) == 1 || workers <= 1 {
+		for qi, qq := range queries {
+			ms, err := ix.matchOrdered(qq, opts, stats, workers, nil)
+			if err != nil {
+				return nil, err
+			}
+			perArrangement[qi] = ms
+		}
+	} else if err := ix.fanOutArrangements(queries, opts, stats, workers, perArrangement); err != nil {
+		return nil, err
+	}
+	if !opts.Unordered {
+		return perArrangement[0], nil
+	}
+	seen := map[string]bool{}
+	var out []Match
+	for _, ms := range perArrangement {
+		for _, m := range ms {
+			k := imageSetKey(m)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// fanOutArrangements distributes the arranged queries over min(workers,
+// len(queries)) goroutines, each arrangement running matchOrdered with the
+// leftover worker budget. All arrangements share one memoizing record
+// cache: their candidate sets overlap heavily (the same documents survive
+// filtering under every branch order), so each record is fetched and
+// decoded once per query instead of once per candidate per arrangement.
+// The first failure cancels the rest through a derived context.
+func (ix *Index) fanOutArrangements(queries []*twig.Query, opts MatchOptions, stats *QueryStats,
+	workers int, perArrangement [][]Match) error {
+	ctx, cancel := context.WithCancel(opts.context())
+	defer cancel()
+	aopts := opts
+	aopts.Ctx = ctx
+	aw := workers
+	if len(queries) < aw {
+		aw = len(queries)
+	}
+	// Every arrangement keeps the full worker budget for its own pipeline:
+	// the descent subtree fan-out is where a cold query's I/O waits
+	// actually overlap (nearly all pages are forest pages), and
+	// arrangements alone overlap poorly — they touch near-identical page
+	// sets in near-identical order, so the coalescing pager chains their
+	// waits instead of spreading them. The extra goroutines (aw·inner >
+	// workers) are I/O-parked almost always and cost no meaningful CPU.
+	inner := workers
+	cache := newRecordCache(ix)
+	astats := make([]QueryStats, len(queries))
+	errs := make([]error, len(queries))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < aw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := range idxCh {
+				ms, err := ix.matchOrdered(queries[qi], aopts, &astats[qi], inner, cache.get)
+				if err != nil {
+					errs[qi] = err
+					cancel()
+					continue
+				}
+				perArrangement[qi] = ms
+			}
+		}()
+	}
+	for qi := range queries {
+		idxCh <- qi
+	}
+	close(idxCh)
+	wg.Wait()
+	for qi := range astats {
+		stats.merge(&astats[qi])
+	}
+	// Prefer the real failure over the cancellations it caused in the
+	// other arrangements; among several, the lowest arrangement index wins
+	// so the reported error is deterministic.
+	var ctxErr, realErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		switch {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			if ctxErr == nil {
+				ctxErr = err
+			}
+		default:
+			if realErr == nil {
+				realErr = err
+			}
+		}
+	}
+	if realErr != nil {
+		return realErr
+	}
+	return ctxErr
+}
+
+// errRefineAborted unblocks the trie descent once a refinement worker has
+// failed; the worker's error replaces it at the pipeline's mouth.
+var errRefineAborted = errors.New("prix: refinement aborted")
+
+// candidate is one (document, subsequence) tuple crossing the Algorithm 1
+// → Algorithm 2 boundary. S is copied per candidate: the descent mutates
+// its shared buffer in place, which only the inline path may alias.
+type candidate struct {
+	entry *candEntry // shared dedup entry carrying the ordering key
+	docID uint32
+	S     []int32
+}
+
+// refined is one surviving match tagged with its candidate's dedup entry.
+type refined struct {
+	entry *candEntry
+	m     Match
+}
+
+// candEntry is the per-(document, S) dedup slot. bestOrd is the minimum
+// descent path over every emission of the tuple — exactly the position at
+// which the serial first-wins dedup would have refined it — so the
+// reduction recovers the serial order no matter which concurrent emission
+// actually reached the refinement pool first. Writes happen under the
+// pipeline's dedup mutex; the reduction reads after every producer and
+// worker has joined.
+type candEntry struct {
+	bestOrd string
+}
+
+// encodePath renders a descent path (one hit index per trie level plus the
+// docid-scan ordinal) as a fixed-width big-endian string, so lexicographic
+// comparison equals the serial depth-first emission order.
+func encodePath(path []int32) string {
+	b := make([]byte, 0, len(path)*4)
+	for _, v := range path {
+		b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return string(b)
+}
+
+// descent fans the Algorithm 1 trie walk out across a bounded worker pool.
+// The per-hit recursions at every level are independent subtrees of the
+// virtual trie, and — as the forest pools hold nearly all of a cold
+// query's pages — they are where the I/O waits live; walking them
+// concurrently is what overlaps those waits. Each spawned branch gets its
+// own S buffer, path prefix and QueryStats slot; emissions are tagged with
+// the branch path, so the reduction is independent of scheduling.
+type descent struct {
+	ix   *Index
+	p    *plan
+	opts MatchOptions
+	par  int           // readahead width for range scans
+	sem  chan struct{} // free extra descent workers
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	errs []error       // one per spawned branch, in spawn order
+	kids []*QueryStats // spawned branches' stats slots
+	emit func(path []int32, docID uint32, S []int32, stats *QueryStats) error
+}
+
+// run walks every subtree and blocks until the spawned branches join,
+// merging their stats into stats. The returned error prefers a real
+// failure over the cancellations (and refinement aborts) it caused.
+func (d *descent) run(stats *QueryStats, S []int32) error {
+	root := d.step(stats, 0, 0, vtrie.MaxRange, S, make([]int32, 0, len(d.p.syms)+1))
+	d.wg.Wait()
+	for _, ks := range d.kids {
+		stats.merge(ks)
+	}
+	err := root
+	for _, e := range d.errs {
+		if e == nil {
+			continue
+		}
+		if err == nil || isSecondaryErr(err) && !isSecondaryErr(e) {
+			err = e
+		}
+	}
+	return err
+}
+
+// isSecondaryErr reports errors that are consequences of another failure
+// (cancellation fan-out, refinement abort) rather than causes.
+func isSecondaryErr(err error) bool {
+	return errors.Is(err, errRefineAborted) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// step mirrors Index.findSubsequence exactly — one range query per level,
+// MaxGap pruning, docid scan at the last level — but hands whole hit
+// subtrees to free workers instead of always recursing inline. Spawning
+// only moves work between goroutines; the path tags keep the reduction
+// order fixed.
+func (d *descent) step(stats *QueryStats, i int, ql, qr uint64, S, path []int32) error {
+	if err := d.opts.context().Err(); err != nil {
+		return fmt.Errorf("prix: match canceled: %w", err)
+	}
+	tree := d.ix.forest.Lookup(symTreeName(d.p.syms[i]))
+	if tree == nil {
+		return nil
+	}
+	stats.RangeQueries++
+	// Readahead: a cold Scan discovers each next leaf only from the
+	// previous one, a serial chain of device waits; warming the in-range
+	// leaves from the internal nodes first turns that chain into
+	// min(par, leaves) concurrent reads.
+	tree.Prefetch(btree.KeyUint64(ql), btree.KeyUint64(qr), false, d.par)
+	type hit struct {
+		left, right uint64
+		level       uint32
+	}
+	var hits []hit
+	err := tree.Scan(btree.KeyUint64(ql), btree.KeyUint64(qr), false, true, func(k, v []byte) bool {
+		r, lvl := decodePosting(v)
+		hits = append(hits, hit{left: btree.Uint64Key(k), right: r, level: lvl})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	last := i == len(d.p.syms)-1
+	for hi, h := range hits {
+		S[i] = int32(h.level)
+		if i > 0 && !d.opts.DisableMaxGap {
+			if rule := d.p.prune[i]; rule.kind != 0 {
+				gap := int64(S[i] - S[i-1])
+				mg := d.ix.maxGap[rule.sym]
+				if (rule.kind == 1 && gap > mg+1) || (rule.kind == 2 && gap >= mg) {
+					stats.TriePathsPruned++
+					continue
+				}
+			}
+		}
+		if last {
+			stats.RangeQueries++
+			d.ix.docid.Prefetch(btree.KeyUint64(h.left), btree.KeyUint64(h.right), true, d.par)
+			ord := int32(0)
+			var emitErr error
+			scanErr := d.ix.docid.Scan(btree.KeyUint64(h.left), btree.KeyUint64(h.right), true, true,
+				func(k, v []byte) bool {
+					if e := d.emit(append(path, int32(hi), ord), decodeDocID(v), S, stats); e != nil {
+						emitErr = e
+						return false
+					}
+					ord++
+					return true
+				})
+			if scanErr != nil {
+				return scanErr
+			}
+			if emitErr != nil {
+				return emitErr
+			}
+			continue
+		}
+		spawned := false
+		select {
+		case d.sem <- struct{}{}:
+			// A worker is free: hand it this hit's whole subtree, with
+			// copies of the S prefix and path (the inline loop keeps
+			// mutating the originals).
+			branchS := make([]int32, len(S))
+			copy(branchS, S[:i+1])
+			branchPath := append(append(make([]int32, 0, cap(path)), path...), int32(hi))
+			ks := &QueryStats{}
+			d.mu.Lock()
+			d.kids = append(d.kids, ks)
+			slot := len(d.errs)
+			d.errs = append(d.errs, nil)
+			d.mu.Unlock()
+			d.wg.Add(1)
+			go func() {
+				defer d.wg.Done()
+				defer func() { <-d.sem }()
+				if err := d.step(ks, i+1, h.left, h.right, branchS, branchPath); err != nil {
+					d.mu.Lock()
+					d.errs[slot] = err
+					d.mu.Unlock()
+				}
+			}()
+			spawned = true
+		default:
+		}
+		if !spawned {
+			if err := d.step(stats, i+1, h.left, h.right, S, append(path, int32(hi))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// matchPipelined is matchOrdered with Algorithm 1 and Algorithm 2
+// decoupled: the trie descent — itself fanned out across workers, one hit
+// subtree at a time (see descent) — streams candidates into a bounded
+// channel; `workers` goroutines refine them concurrently, each with its
+// own QueryStats slot and output slice. Identical (document, S) candidates
+// are deduplicated at emission so the same record is fetched once (they
+// can only produce the identical match the embedding dedup would drop
+// anyway); the Candidates counter still counts every emission, like the
+// serial path.
+func (ix *Index) matchPipelined(p *plan, opts MatchOptions, stats *QueryStats,
+	workers int, fetch recordSource) ([]Match, error) {
+	ch := make(chan candidate, 2*workers)
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	var workerErr error // written once under abortOnce, read after wg.Wait
+	wstats := make([]QueryStats, workers)
+	wout := make([][]refined, workers)
+	if fetch == nil {
+		fetch = newRecordCache(ix).get
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for c := range ch {
+				m, ok, err := ix.refine(p, c.docID, c.S, &wstats[w], fetch)
+				if err != nil {
+					abortOnce.Do(func() { workerErr = err; close(abort) })
+					continue // keep draining so the producers never block
+				}
+				if ok {
+					wout[w] = append(wout[w], refined{entry: c.entry, m: m})
+				}
+			}
+		}(w)
+	}
+	var seenMu sync.Mutex
+	seen := map[string]*candEntry{}
+	d := &descent{
+		ix: ix, p: p, opts: opts, par: workers,
+		sem: make(chan struct{}, workers-1),
+		emit: func(path []int32, docID uint32, S []int32, wstats *QueryStats) error {
+			wstats.Candidates++
+			k := candidateKey(docID, S)
+			ord := encodePath(path)
+			seenMu.Lock()
+			if e, ok := seen[k]; ok {
+				// Already scheduled for refinement; only remember the
+				// earliest emission position for the reduction.
+				if ord < e.bestOrd {
+					e.bestOrd = ord
+				}
+				seenMu.Unlock()
+				return nil
+			}
+			e := &candEntry{bestOrd: ord}
+			seen[k] = e
+			seenMu.Unlock()
+			c := candidate{entry: e, docID: docID, S: append([]int32(nil), S...)}
+			select {
+			case ch <- c:
+				return nil
+			case <-abort:
+				return errRefineAborted
+			}
+		},
+	}
+	perr := d.run(stats, make([]int32, len(p.syms)))
+	close(ch)
+	wg.Wait()
+	for w := range wstats {
+		stats.merge(&wstats[w])
+	}
+	if workerErr != nil {
+		return nil, workerErr
+	}
+	if perr != nil {
+		return nil, perr
+	}
+	// Reduce in serial emission order — every refined match sorts at its
+	// candidate's earliest descent path — so the surviving witness for
+	// each embedding is the same one the serial first-wins dedup keeps.
+	var all []refined
+	for _, o := range wout {
+		all = append(all, o...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].entry.bestOrd < all[j].entry.bestOrd })
+	seenEmb := map[string]bool{}
+	var out []Match
+	for _, r := range all {
+		k := embeddingKey(r.m)
+		if !seenEmb[k] {
+			seenEmb[k] = true
+			out = append(out, r.m)
+		}
+	}
+	return out, nil
+}
+
+// candidateKey renders a (document, subsequence) tuple as a map key.
+func candidateKey(docID uint32, S []int32) string {
+	b := make([]byte, 0, 4+len(S)*4)
+	b = append(b, byte(docID), byte(docID>>8), byte(docID>>16), byte(docID>>24))
+	for _, v := range S {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// recordCache memoizes record fetches within one pipelined query, so a
+// record many candidates refine against crosses the docstore (and, cold,
+// the disk) once. Outcomes are cached — including the quarantined "skip"
+// outcome, which re-marks Degraded on every hitting worker's stats —
+// but transient errors are not, so a retry can still succeed.
+type recordCache struct {
+	ix *Index
+	mu sync.Mutex
+	m  map[uint32]cachedRecord
+}
+
+type cachedRecord struct {
+	rec      *docstore.Record
+	degraded bool
+}
+
+func newRecordCache(ix *Index) *recordCache {
+	return &recordCache{ix: ix, m: map[uint32]cachedRecord{}}
+}
+
+func (c *recordCache) get(docID uint32, stats *QueryStats) (*docstore.Record, error) {
+	c.mu.Lock()
+	e, ok := c.m[docID]
+	c.mu.Unlock()
+	if ok {
+		if e.degraded {
+			stats.Degraded = true
+		}
+		return e.rec, nil
+	}
+	// Two workers missing the same doc at once both fetch (harmless: the
+	// store is internally synchronized); the cache keeps whichever lands
+	// last. Holding the mutex across the fetch would serialize the pool.
+	rec, err := c.ix.getRecord(docID, stats)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.m[docID] = cachedRecord{rec: rec, degraded: rec == nil}
+	c.mu.Unlock()
+	return rec, nil
+}

@@ -2,6 +2,7 @@ package prix
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/docstore"
 	"repro/internal/twig"
@@ -20,8 +21,49 @@ func (ix *Index) matchSingleNode(q *twig.Query, opts MatchOptions, stats *QueryS
 	if !ok {
 		return nil, nil
 	}
+	n := ix.store.NumDocs()
+	workers := opts.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return ix.scanSingleNode(q, opts, stats, sym, 0, n)
+	}
+	// Shard [0, n) into contiguous docid ranges, one worker each; the
+	// serial path emits in ascending docid order, so concatenating the
+	// shards in range order reproduces it exactly. Each worker gets its
+	// own stats slot, merged below.
+	outs := make([][]Match, workers)
+	wstats := make([]QueryStats, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			outs[w], errs[w] = ix.scanSingleNode(q, opts, &wstats[w], sym, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
 	var out []Match
-	for docID := 0; docID < ix.store.NumDocs(); docID++ {
+	for w := 0; w < workers; w++ {
+		stats.merge(&wstats[w])
+	}
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		out = append(out, outs[w]...)
+	}
+	return out, nil
+}
+
+// scanSingleNode scans the docid range [lo, hi) for the labeled nodes.
+func (ix *Index) scanSingleNode(q *twig.Query, opts MatchOptions, stats *QueryStats,
+	sym vtrie.Symbol, lo, hi int) ([]Match, error) {
+	var out []Match
+	for docID := lo; docID < hi; docID++ {
 		if docID%64 == 0 {
 			if err := opts.context().Err(); err != nil {
 				return nil, fmt.Errorf("prix: match canceled: %w", err)

@@ -36,6 +36,12 @@ type QueryOptions struct {
 	Unordered bool
 	// DisableMaxGap turns off Theorem 4 pruning.
 	DisableMaxGap bool
+	// Parallelism caps the workers the engine's pipelined executor uses for
+	// this query (prix.MatchOptions.Parallelism): 0 means GOMAXPROCS, 1 the
+	// serial path. It is deliberately NOT part of the result-cache key —
+	// results are byte-identical at every setting, so requests differing
+	// only in Parallelism share cache entries and singleflight leaders.
+	Parallelism int
 }
 
 // key renders the options' contribution to the cache key.
@@ -140,9 +146,10 @@ const transientRetryBackoff = 25 * time.Millisecond
 // bounded so an unhealthy disk degrades to fast errors, not a retry storm.
 func (e *Executor) run(ctx context.Context, q *twig.Query, qo QueryOptions, key string) (*cached, error) {
 	mo := prix.MatchOptions{
-		WarmCache:     true, // shared pools: cold-start resets would race
+		WarmCache:     true, // shared pools: queries keep each other's pages hot
 		Unordered:     qo.Unordered,
 		DisableMaxGap: qo.DisableMaxGap,
+		Parallelism:   qo.Parallelism,
 		Ctx:           ctx,
 	}
 	ms, stats, err := e.src.Match(q, mo)

@@ -50,6 +50,12 @@ type Config struct {
 	// negative means unlimited). The count field always reports the full
 	// cardinality.
 	MaxMatches int
+	// Parallelism is the default per-query worker cap handed to the engine
+	// (prix.MatchOptions.Parallelism) when a request does not set its own:
+	// 0 means GOMAXPROCS, 1 the serial path. Results are identical at every
+	// setting; this only trades single-query latency against cross-request
+	// throughput on a loaded server.
+	Parallelism int
 }
 
 // Defaults for Config zero values.
@@ -180,6 +186,10 @@ type QueryRequest struct {
 	CountOnly bool `json:"count_only,omitempty"`
 	// Limit caps the matches serialized (0 = server default).
 	Limit int `json:"limit,omitempty"`
+	// Parallelism overrides the server's default per-query worker cap
+	// (0 = server default; 1 = serial). Results are identical at every
+	// setting, so it never affects result caching.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // QueryResponse is the POST /query response.
@@ -313,9 +323,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	par := s.cfg.Parallelism
+	if req.Parallelism > 0 {
+		par = req.Parallelism
+	}
 	res, err := s.exec.Execute(ctx, q, QueryOptions{
 		Unordered:     req.Unordered,
 		DisableMaxGap: req.NoMaxGap,
+		Parallelism:   par,
 	})
 	if err != nil {
 		switch {
