@@ -27,7 +27,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("prixbench: ")
 	var (
-		table    = flag.String("table", "all", "artefact: 2..9, fig6, ablation, serving, parallel or all")
+		table    = flag.String("table", "all", "artefact: 2..9, fig6, ablation, serving, parallel, stages or all")
 		scale    = flag.Int("scale", 1, "dataset scale factor")
 		seed     = flag.Int64("seed", 1, "dataset generator seed")
 		pool     = flag.Int("pool", 0, "buffer pool pages (default 2000)")
@@ -78,6 +78,12 @@ func main() {
 			names = strings.Split(*datasets, ",")
 		}
 		run(s.Parallel(w, bench.ParallelConfig{Parallelism: *par, ReadDelay: *ioDelay, Datasets: names}))
+	case "stages":
+		var names []string
+		if *datasets != "" {
+			names = strings.Split(*datasets, ",")
+		}
+		run(s.Stages(w, bench.StagesConfig{Datasets: names}))
 	case "all":
 		run(s.All(w))
 	default:

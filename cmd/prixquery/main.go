@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		limit     = fs.Int("limit", 20, "maximum matches to print")
 		pool      = fs.Int("pool", 0, "buffer pool pages (default 2000)")
 		par       = fs.Int("parallelism", 0, "query worker cap (0 = GOMAXPROCS, 1 = serial); results are identical at every setting")
+		trace     = fs.Bool("trace", false, "print the per-stage execution span tree after the results")
 		timeout   = fs.Duration("timeout", 0, "per-query deadline (0 = none)")
 		recon     = fs.Int("reconstruct", -1, "instead of querying, rebuild document N from the index and print it")
 	)
@@ -86,10 +87,15 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	// One-shot execution: no result cache, same path as the HTTP service.
 	exec := core.NewExecutor(ix, -1, 0, nil)
+	var tr *core.Trace
+	if *trace {
+		tr = core.NewTrace(fs.Arg(0))
+	}
 	res, err := exec.Execute(ctx, q, core.QueryOptions{
 		Unordered:     *unordered,
 		DisableMaxGap: *nogap,
 		Parallelism:   *par,
+		Trace:         tr,
 	})
 	if err != nil {
 		return fail(exitError, err)
@@ -97,15 +103,19 @@ func run(args []string, stdout, stderr *os.File) int {
 	ms, stats := res.Matches, res.Stats
 	fmt.Fprintf(stdout, "%d matches in %v (%d range queries, %d candidates, %d pages read)\n",
 		len(ms), stats.Elapsed, stats.RangeQueries, stats.Candidates, stats.PagesRead)
-	if *countOnly {
-		return exitOK
-	}
-	for i, m := range ms {
-		if i >= *limit {
-			fmt.Fprintf(stdout, "... and %d more\n", len(ms)-*limit)
-			break
+	if !*countOnly {
+		for i, m := range ms {
+			if i >= *limit {
+				fmt.Fprintf(stdout, "... and %d more\n", len(ms)-*limit)
+				break
+			}
+			fmt.Fprintf(stdout, "doc %d: images %v\n", m.DocID, m.Images)
 		}
-		fmt.Fprintf(stdout, "doc %d: images %v\n", m.DocID, m.Images)
+	}
+	if tr != nil {
+		tr.Finish()
+		fmt.Fprintln(stdout)
+		core.RenderTrace(stdout, tr)
 	}
 	return exitOK
 }

@@ -2,7 +2,10 @@
 // HTTP service: POST /query executes an XPath-subset query, GET /healthz,
 // GET /metrics (Prometheus text) and GET /stats expose service health,
 // GET /scrub reports the background integrity scrubber and POST /repair
-// runs an online repair pass without restarting the server.
+// runs an online repair pass without restarting the server. Per-query
+// observability: POST /query?trace=1 returns the execution span tree,
+// GET /debug/slowlog serves the slow-query ring buffer and /debug/pprof/
+// exposes the runtime profiler.
 //
 // Usage:
 //
@@ -45,6 +48,10 @@ func main() {
 		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 		scrubIv   = flag.Duration("scrub-interval", 30*time.Second, "background scrub pass interval (0 disables the scrubber)")
 		scrubFix  = flag.Bool("scrub-repair", true, "let scrub passes repair damage automatically (POST /repair works either way)")
+		slowCap   = flag.Int("slowlog", 0, "slow-query ring buffer entries at GET /debug/slowlog (default 64; negative disables)")
+		slowAfter = flag.Duration("slowlog-threshold", 0, "log queries at or above this elapsed time (default 100ms; negative logs all)")
+		noTrace   = flag.Bool("no-tracing", false, "disable per-query span collection (stage histograms, slowlog traces, ?trace=1)")
+		noPprof   = flag.Bool("no-pprof", false, "remove the net/http/pprof handlers from /debug/pprof/")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -55,13 +62,17 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := core.NewServer(ix, core.ServerConfig{
-		MaxInFlight:    *inflight,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTO,
-		CacheCapacity:  *cacheCap,
-		CacheShards:    *shards,
-		MaxMatches:     *maxMatch,
-		Parallelism:    *par,
+		MaxInFlight:      *inflight,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTO,
+		CacheCapacity:    *cacheCap,
+		CacheShards:      *shards,
+		MaxMatches:       *maxMatch,
+		Parallelism:      *par,
+		SlowLogCapacity:  *slowCap,
+		SlowLogThreshold: *slowAfter,
+		DisableTracing:   *noTrace,
+		DisablePprof:     *noPprof,
 	})
 	var sc *core.Scrubber
 	if *scrubIv > 0 {

@@ -81,15 +81,19 @@ func (s *Session) parallelDataset(w io.Writer, e *Engines, cfg ParallelConfig) e
 			}{fmt.Sprintf("unordered·%d-arr", len(arr)), true})
 		}
 		for _, mode := range modes {
-			serial, err := e.RunPRIX(qs, prix.MatchOptions{
-				Unordered: mode.unordered, Parallelism: 1,
-			})
+			// Every run gets its own MatchOptions copy: options now carry
+			// per-run state (the trace pointer), so one struct shared across
+			// the serial and parallel runs would alias stats and spans.
+			base := prix.MatchOptions{Unordered: mode.unordered}
+			smo := base
+			smo.Parallelism = 1
+			serial, err := e.RunPRIX(qs, smo)
 			if err != nil {
 				return err
 			}
-			par, err := e.RunPRIX(qs, prix.MatchOptions{
-				Unordered: mode.unordered, Parallelism: cfg.Parallelism,
-			})
+			pmo := base
+			pmo.Parallelism = cfg.Parallelism
+			par, err := e.RunPRIX(qs, pmo)
 			if err != nil {
 				return err
 			}

@@ -64,10 +64,10 @@ func (s *Session) servingRun(name string, sc ServingConfig) (servingRow, error) 
 		}
 		return execRP
 	}
-	qo := server.QueryOptions{Parallelism: sc.Parallelism}
 	// Warm the buffer pools once, sequentially, so the measured section
 	// reflects steady-state serving rather than first-touch page faults.
 	for _, qs := range ds.Queries {
+		qo := server.QueryOptions{Parallelism: sc.Parallelism}
 		if _, err := pick(qs).Execute(context.Background(), qs.Query(), qo); err != nil {
 			return servingRow{}, fmt.Errorf("bench: serving warmup %s: %w", qs.ID, err)
 		}
@@ -83,6 +83,10 @@ func (s *Session) servingRun(name string, sc ServingConfig) (servingRow, error) 
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				qs := ds.Queries[(g+i)%len(ds.Queries)]
+				// Each request gets its own options value: QueryOptions
+				// carries per-request state (the trace pointer), so a struct
+				// shared across goroutines would alias it.
+				qo := server.QueryOptions{Parallelism: sc.Parallelism}
 				t0 := time.Now()
 				_, err := pick(qs).Execute(context.Background(), qs.Query(), qo)
 				if err != nil {

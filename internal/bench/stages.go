@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/obs"
+	"repro/internal/prix"
+)
+
+// StagesConfig tunes the per-stage breakdown table.
+type StagesConfig struct {
+	// ReadDelay is the injected per-physical-read latency (default 200µs):
+	// enough for I/O-bound stages to dominate untracked glue without the
+	// table taking minutes.
+	ReadDelay time.Duration
+	// Datasets restricts the run (empty = all bundled datasets).
+	Datasets []string
+}
+
+func (c StagesConfig) withDefaults() StagesConfig {
+	if c.ReadDelay == 0 {
+		c.ReadDelay = 200 * time.Microsecond
+	}
+	if len(c.Datasets) == 0 {
+		c.Datasets = datagen.Names()
+	}
+	return c
+}
+
+// Stages prints the stage-level cost breakdown of every bundled query:
+// each runs cold-cache on the serial path (Parallelism 1, where the stage
+// taxonomy partitions wall time) under a trace, and the table reports each
+// stage's share. This is the observability layer's answer to the paper's
+// filtering-vs-refinement cost split: descent+prefetch is Algorithm 1,
+// fetch..leaves is Algorithm 2, and the final column checks that the stage
+// sum accounts for the measured wall time.
+func (s *Session) Stages(w io.Writer, cfg StagesConfig) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "\nStage breakdown: cold-cache serial execution, %v per physical read\n", cfg.ReadDelay)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "Dataset\tQuery\tWall(ms)")
+	for _, name := range obs.StageNames() {
+		fmt.Fprintf(tw, "\t%s%%", name)
+	}
+	fmt.Fprintln(tw, "\tsum%")
+	for _, name := range cfg.Datasets {
+		e, err := s.Engines(name)
+		if err != nil {
+			return err
+		}
+		e.RP.SetReadDelay(cfg.ReadDelay)
+		e.EP.SetReadDelay(cfg.ReadDelay)
+		err = s.stagesDataset(tw, e)
+		e.RP.SetReadDelay(0)
+		e.EP.SetReadDelay(0)
+		if err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+func (s *Session) stagesDataset(w io.Writer, e *Engines) error {
+	for _, qs := range e.Dataset.Queries {
+		tr := obs.NewTrace(qs.ID)
+		row, err := e.RunPRIX(qs, prix.MatchOptions{Parallelism: 1, Trace: tr})
+		if err != nil {
+			return err
+		}
+		tr.Finish()
+		durs, _ := tr.StageTotals()
+		var sum time.Duration
+		for _, d := range durs {
+			sum += d
+		}
+		wall := row.Elapsed
+		fmt.Fprintf(w, "%s\t%s\t%.2f", e.Dataset.Name, qs.ID, float64(wall.Microseconds())/1000)
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			fmt.Fprintf(w, "\t%.1f", 100*float64(durs[st])/float64(wall))
+		}
+		fmt.Fprintf(w, "\t%.1f\n", 100*float64(sum)/float64(wall))
+	}
+	return nil
+}

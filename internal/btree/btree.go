@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/pager"
 )
@@ -343,10 +344,13 @@ func (t *Tree) Scan(lo, hi []byte, loIncl, hiIncl bool, fn func(key, val []byte)
 // against concurrent prefetches). Purely best-effort: read errors are left
 // for the Scan to surface, and an eviction between warm and use only costs
 // a re-read. With hiIncl=false the boundary child may be warmed
-// needlessly; that is at most one extra page.
-func (t *Tree) Prefetch(lo, hi []byte, loIncl bool, par int) {
+// needlessly; that is at most one extra page. The return value is the
+// number of non-resident pages warmed concurrently (span attribution for
+// the query tracer); 0 means the readahead had nothing to do.
+func (t *Tree) Prefetch(lo, hi []byte, loIncl bool, par int) int {
+	var warmed atomic.Int64
 	if par < 2 {
-		return
+		return 0
 	}
 	bp := t.forest.bp
 	// Readahead into a pool much smaller than the range would evict pages
@@ -380,6 +384,7 @@ func (t *Tree) Prefetch(lo, hi []byte, loIncl bool, par int) {
 					defer wg.Done()
 					defer func() { <-sem }()
 					if p, err := bp.Get(id); err == nil {
+						warmed.Add(1)
 						p.Unpin(false)
 					}
 				}(id)
@@ -398,7 +403,7 @@ func (t *Tree) Prefetch(lo, hi []byte, loIncl bool, par int) {
 				if li == 0 {
 					// The tree is balanced, so the whole level is leaves:
 					// they are warm now, and there is nothing below.
-					return
+					return int(warmed.Load())
 				}
 				continue
 			}
@@ -426,6 +431,7 @@ func (t *Tree) Prefetch(lo, hi []byte, loIncl bool, par int) {
 		}
 		level = next
 	}
+	return int(warmed.Load())
 }
 
 // scanLeaves iterates leaf pages starting at the pinned page p (ownership

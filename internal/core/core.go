@@ -9,6 +9,7 @@ package core
 import (
 	"io"
 
+	"repro/internal/obs"
 	"repro/internal/prix"
 	"repro/internal/scrub"
 	"repro/internal/server"
@@ -33,6 +34,22 @@ type Match = prix.Match
 
 // QueryStats reports per-query work (range queries, candidates, pages).
 type QueryStats = prix.QueryStats
+
+// Trace collects a per-query span tree when attached to
+// MatchOptions.Trace; a nil *Trace keeps the engine's zero-overhead path.
+type Trace = obs.Trace
+
+// Span is one timed node of a Trace's tree.
+type Span = obs.Span
+
+// SpanJSON is the wire form of a span tree (Trace.Tree).
+type SpanJSON = obs.SpanJSON
+
+// NewTrace starts an empty trace whose root span has the given name.
+func NewTrace(name string) *Trace { return obs.NewTrace(name) }
+
+// RenderTrace pretty-prints a finished trace's span tree to w.
+func RenderTrace(w io.Writer, tr *Trace) { obs.Render(w, tr) }
 
 // Query is a parsed twig query.
 type Query = twig.Query

@@ -1,0 +1,459 @@
+// Package obs is the query-observability layer: hierarchical spans with
+// monotonic stage timings, per-span I/O attribution and bounded attribute
+// bags. A Trace is created per query and threaded through the engine via
+// MatchOptions; every pipeline component opens child spans and charges its
+// work to a fixed stage taxonomy (trie descent, prefetch, channel waits,
+// the refinement phases, reduction).
+//
+// The package is allocation-conscious by design: every method is safe on a
+// nil *Span or nil *Trace and the nil path performs no allocation, no time
+// syscall and no atomic — so the untraced hot path stays exactly as fast
+// as before instrumentation (see the AllocsPerRun regression tests).
+//
+// Concurrency contract: a Span's stage accumulators and attributes are
+// owned by the goroutine executing that pipeline piece — never shared —
+// while child-span creation is serialized through the trace mutex, so
+// concurrent workers can hang their spans off a shared parent. Children
+// are ordered deterministically at read time: sorted by their explicit
+// ordering key (descent path, worker ordinal, arrangement index), not by
+// the scheduling-dependent creation order, so span trees from concurrent
+// workers merge identically run to run.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stage enumerates where query time goes. The taxonomy follows the
+// paper's pipeline: Algorithm 1 trie descent (with B+-tree readahead),
+// the candidate hand-off, and the Algorithm 2 refinement phases.
+type Stage uint8
+
+const (
+	// StageCompile is query preparation against the index dictionary.
+	StageCompile Stage = iota
+	// StageColdStart is dropping clean cached pages before a cold query.
+	StageColdStart
+	// StageDescent is the Algorithm 1 virtual-trie walk: B+-tree range
+	// scans, MaxGap pruning and docid scans. For single-node queries it is
+	// the document scan's non-fetch remainder.
+	StageDescent
+	// StagePrefetch is B+-tree readahead ahead of the descent's scans.
+	StagePrefetch
+	// StageEmitWait is the producer side of the candidate hand-off: time
+	// the descent spends blocked sending into the bounded channel (serial
+	// path: zero — candidates refine inline).
+	StageEmitWait
+	// StageCandWait is the consumer side: time a refinement worker spends
+	// blocked receiving from the candidate channel.
+	StageCandWait
+	// StageFetch is document-record reads (docstore page I/O + decode).
+	StageFetch
+	// StageConnect is refinement by connectedness (Algorithm 2 lines 1-4
+	// with the wildcard chase of §4.5), including building N from S.
+	StageConnect
+	// StageStructure is refinement by structure: gap consistency and
+	// frequency consistency (Definitions 3-4).
+	StageStructure
+	// StageLeaves is root placement, leaf matching (§4.4) and building the
+	// canonical embedding.
+	StageLeaves
+	// StageReduce is deduplication and result ordering: the embedding
+	// dedup, unordered image-set dedup and the final sort.
+	StageReduce
+	// NumStages is the number of stages (array sizing).
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"compile", "cold_start", "descent", "prefetch", "emit_wait",
+	"cand_wait", "fetch", "connect", "structure", "leaves", "reduce",
+}
+
+// String returns the stage's stable snake_case name (used as the metric
+// label and the JSON key).
+func (st Stage) String() string {
+	if st < NumStages {
+		return stageNames[st]
+	}
+	return "unknown"
+}
+
+// StageNames returns every stage name in enum order, for metric
+// registration and table headers.
+func StageNames() []string {
+	out := make([]string, NumStages)
+	for i := range stageNames {
+		out[i] = stageNames[i]
+	}
+	return out
+}
+
+// IOFunc samples live (physical, logical) page-read counters. Spans call
+// it at their start and end to attribute I/O deltas, so it must be cheap
+// (two atomic loads) and monotonic.
+type IOFunc func() (physical, logical uint64)
+
+// Trace is one query's span tree. The zero of *Trace (nil) is a valid
+// "tracing off" value: Root returns a nil span and the whole span API
+// no-ops from there.
+type Trace struct {
+	start time.Time
+	mu    sync.Mutex // guards child creation and tree reads
+	root  *Span
+}
+
+// NewTrace starts a trace rooted at a span with the given name.
+func NewTrace(name string) *Trace {
+	t := &Trace{start: time.Now()}
+	t.root = &Span{t: t, name: name, endNS: -1}
+	return t
+}
+
+// Root returns the root span (nil on a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// nowNS is nanoseconds since the trace began (monotonic).
+func (t *Trace) nowNS() int64 { return int64(time.Since(t.start)) }
+
+// Finish ends every still-open span in the tree (idempotent). Call it
+// after the traced operation returns and before reading the tree.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.nowNS()
+	var end func(s *Span)
+	end = func(s *Span) {
+		if s.endNS < 0 {
+			s.endNS = now
+			if s.io != nil {
+				s.phys1, s.logi1 = s.io()
+			}
+		}
+		for _, c := range s.children {
+			end(c)
+		}
+	}
+	end(t.root)
+}
+
+// StageTotals sums the stage accumulators over the whole tree. Every
+// nanosecond of instrumented work is charged to exactly one span's
+// accumulator, so the totals never double-count nested spans.
+func (t *Trace) StageTotals() (durs [NumStages]time.Duration, counts [NumStages]int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		for st := Stage(0); st < NumStages; st++ {
+			durs[st] += time.Duration(s.stages[st])
+			counts[st] += s.counts[st]
+		}
+		for _, c := range s.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return
+}
+
+// WallTime is the root span's duration (elapsed-so-far before Finish).
+func (t *Trace) WallTime() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.root.Duration()
+}
+
+// maxAttrs bounds a span's attribute bag; sets beyond the bound are
+// dropped silently so a runaway caller cannot balloon a trace.
+const maxAttrs = 16
+
+// attr is one key/value pair; a bounded slice beats a map here (tiny N,
+// no hashing, deterministic insertion order preserved for rendering).
+type attr struct {
+	key   string
+	str   string
+	num   int64
+	isStr bool
+}
+
+// Span is one timed node of the trace tree. All methods are nil-safe
+// no-ops. The stage accumulators and attributes are owned by a single
+// goroutine; only child creation is synchronized (via the trace mutex).
+type Span struct {
+	t        *Trace
+	name     string
+	key      string // deterministic sibling-ordering key ("" sorts first)
+	io       IOFunc
+	startNS  int64
+	endNS    int64 // -1 while open
+	phys0    uint64
+	logi0    uint64
+	phys1    uint64
+	logi1    uint64
+	stages   [NumStages]int64
+	counts   [NumStages]int64
+	attrs    []attr
+	children []*Span
+}
+
+// Now returns nanoseconds since the trace began, 0 on a nil span (no
+// time syscall on the untraced path).
+func (s *Span) Now() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.t.nowNS()
+}
+
+// Start opens a stage window: pair it with Stage. Returns 0 on nil.
+func (s *Span) Start() int64 { return s.Now() }
+
+// Stage closes a window opened by Start, accumulating the elapsed time
+// into the stage and bumping its window count.
+func (s *Span) Stage(st Stage, startNS int64) {
+	if s == nil {
+		return
+	}
+	s.stages[st] += s.t.nowNS() - startNS
+	s.counts[st]++
+}
+
+// AddStage credits a pre-computed duration (clamped at zero) and n
+// windows to a stage. Used for derived stages such as "walk time minus
+// its timed sub-stages".
+func (s *Span) AddStage(st Stage, d time.Duration, n int64) {
+	if s == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.stages[st] += int64(d)
+	s.counts[st] += n
+}
+
+// StageNS returns the accumulated nanoseconds of a stage.
+func (s *Span) StageNS(st Stage) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.stages[st]
+}
+
+// StageDuration returns the accumulated time of a stage.
+func (s *Span) StageDuration(st Stage) time.Duration { return time.Duration(s.StageNS(st)) }
+
+// StageCount returns how many windows were accumulated into a stage.
+func (s *Span) StageCount(st Stage) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.counts[st]
+}
+
+// Child opens an unkeyed child span inheriting the parent's I/O source.
+func (s *Span) Child(name string) *Span { return s.child(name, "", s.ioSource()) }
+
+// ChildKeyed opens a child span with an explicit sibling-ordering key.
+// Concurrent creators may race on creation order; the key — not arrival —
+// orders siblings when the tree is read, keeping traces deterministic.
+func (s *Span) ChildKeyed(name, key string) *Span { return s.child(name, key, s.ioSource()) }
+
+// ChildIO opens a keyed child with its own I/O source (e.g. a specific
+// index's buffer pools), sampled at the child's start and end.
+func (s *Span) ChildIO(name, key string, io IOFunc) *Span { return s.child(name, key, io) }
+
+func (s *Span) ioSource() IOFunc {
+	if s == nil {
+		return nil
+	}
+	return s.io
+}
+
+func (s *Span) child(name, key string, io IOFunc) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{t: s.t, name: name, key: key, io: io, startNS: s.t.nowNS(), endNS: -1}
+	if io != nil {
+		c.phys0, c.logi0 = io()
+	}
+	s.t.mu.Lock()
+	s.children = append(s.children, c)
+	s.t.mu.Unlock()
+	return c
+}
+
+// End closes the span, sampling its I/O source. Idempotent; open spans
+// are also closed by Trace.Finish.
+func (s *Span) End() {
+	if s == nil || s.endNS >= 0 {
+		return
+	}
+	s.endNS = s.t.nowNS()
+	if s.io != nil {
+		s.phys1, s.logi1 = s.io()
+	}
+}
+
+// SetStr sets a string attribute (replacing an existing key; dropped
+// beyond the bag bound).
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	for i := range s.attrs {
+		if s.attrs[i].key == key {
+			s.attrs[i] = attr{key: key, str: v, isStr: true}
+			return
+		}
+	}
+	if len(s.attrs) < maxAttrs {
+		s.attrs = append(s.attrs, attr{key: key, str: v, isStr: true})
+	}
+}
+
+// SetInt sets an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	for i := range s.attrs {
+		if s.attrs[i].key == key {
+			s.attrs[i] = attr{key: key, num: v}
+			return
+		}
+	}
+	if len(s.attrs) < maxAttrs {
+		s.attrs = append(s.attrs, attr{key: key, num: v})
+	}
+}
+
+// AddInt accumulates into an integer attribute (creating it at v).
+func (s *Span) AddInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	for i := range s.attrs {
+		if s.attrs[i].key == key {
+			s.attrs[i].num += v
+			return
+		}
+	}
+	if len(s.attrs) < maxAttrs {
+		s.attrs = append(s.attrs, attr{key: key, num: v})
+	}
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Key returns the span's sibling-ordering key.
+func (s *Span) Key() string {
+	if s == nil {
+		return ""
+	}
+	return s.key
+}
+
+// Duration is the span's wall time (elapsed-so-far while open).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	end := s.endNS
+	if end < 0 {
+		end = s.t.nowNS()
+	}
+	return time.Duration(end - s.startNS)
+}
+
+// PagesRead is the physical page reads attributed to the span (0 until
+// ended or without an I/O source).
+func (s *Span) PagesRead() uint64 {
+	if s == nil || s.endNS < 0 || s.phys1 < s.phys0 {
+		return 0
+	}
+	return s.phys1 - s.phys0
+}
+
+// CacheHits is the buffer-pool hits attributed to the span: logical
+// minus physical reads over its window.
+func (s *Span) CacheHits() uint64 {
+	if s == nil || s.endNS < 0 {
+		return 0
+	}
+	logical := s.logi1 - s.logi0
+	physical := s.phys1 - s.phys0
+	if s.logi1 < s.logi0 || s.phys1 < s.phys0 || logical < physical {
+		return 0
+	}
+	return logical - physical
+}
+
+// Int returns an integer attribute's value.
+func (s *Span) Int(key string) (int64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	for i := range s.attrs {
+		if s.attrs[i].key == key && !s.attrs[i].isStr {
+			return s.attrs[i].num, true
+		}
+	}
+	return 0, false
+}
+
+// Str returns a string attribute's value.
+func (s *Span) Str(key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	for i := range s.attrs {
+		if s.attrs[i].key == key && s.attrs[i].isStr {
+			return s.attrs[i].str, true
+		}
+	}
+	return "", false
+}
+
+// Children returns the child spans in deterministic order: sorted by
+// ordering key (then name), with creation order as the final tie-break.
+// The returned slice is a copy; take it after the traced work is done
+// (or after Trace.Finish) — it snapshots under the trace mutex.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.t.mu.Lock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	s.t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].key != out[j].key {
+			return out[i].key < out[j].key
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}

@@ -393,6 +393,13 @@ func (bp *BufferPool) Stats() Stats { return bp.stats.snapshot() }
 // ResetStats zeroes the I/O counters (e.g. between benchmark queries).
 func (bp *BufferPool) ResetStats() { bp.stats.reset() }
 
+// ReadCounts returns the live (physical, logical) read counters as two
+// atomic loads, without building a full Stats snapshot. The query tracer
+// samples this on every span boundary, so it must stay this cheap.
+func (bp *BufferPool) ReadCounts() (physical, logical uint64) {
+	return bp.stats.physicalReads.Load(), bp.stats.logicalReads.Load()
+}
+
 // SetReadDelay injects a fixed latency before every physical page read,
 // simulating the paper's 2004-era seek-dominated device for benchmarks.
 // Zero (the default) disables it. The delay is slept outside the pool

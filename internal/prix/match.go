@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/docstore"
+	"repro/internal/obs"
 	"repro/internal/prufer"
 	"repro/internal/twig"
 	"repro/internal/vtrie"
@@ -46,6 +47,12 @@ type QueryStats struct {
 	Matches int
 	// PagesRead is the physical page reads during the query (cold start).
 	PagesRead uint64
+	// RecordFetches counts document records read from the store (each
+	// memoized-cache miss once; the serial path fetches per candidate).
+	RecordFetches int
+	// RecordCacheHits counts record lookups served by the per-query
+	// memoizing record cache instead of the store.
+	RecordCacheHits int
 	// Elapsed is wall-clock query time.
 	Elapsed time.Duration
 	// Degraded reports that at least one document was skipped because its
@@ -94,6 +101,15 @@ type MatchOptions struct {
 	// single-tag document scans), aborting the match with the context's
 	// error. Nil means no cancellation (context.Background).
 	Ctx context.Context
+	// Trace, when non-nil, collects a hierarchical span tree for this
+	// query: per-stage timings (descent, prefetch, channel waits, each
+	// refinement phase, reduction) and per-span page-read/cache-hit
+	// deltas. Nil (the default) keeps the hot path free of tracing work —
+	// no time syscalls, no allocations. A Trace must not be shared by
+	// concurrent Match calls except through one caller's coordinated
+	// fan-out (e.g. Dual's speculative match); it is finished and read by
+	// the caller.
+	Trace *obs.Trace
 }
 
 // context resolves the options' context, defaulting to Background.
@@ -123,6 +139,8 @@ func (s *QueryStats) merge(o *QueryStats) {
 	s.RangeQueries += o.RangeQueries
 	s.TriePathsPruned += o.TriePathsPruned
 	s.Candidates += o.Candidates
+	s.RecordFetches += o.RecordFetches
+	s.RecordCacheHits += o.RecordCacheHits
 	s.Degraded = s.Degraded || o.Degraded
 }
 
@@ -143,19 +161,24 @@ func (ix *Index) Match(q *twig.Query, opts MatchOptions) ([]Match, *QueryStats, 
 	// but never resets the counters: the old in-query ResetIOStats zeroed
 	// them under repairMu.RLock, so two concurrent queries reset each
 	// other's baseline and reported garbage PagesRead.
+	sp := ix.matchSpan(opts.Trace, q)
 	if !opts.WarmCache {
+		t0 := sp.Start()
 		ix.DropCaches()
+		sp.Stage(obs.StageColdStart, t0)
 	}
 	pagesBefore := ix.PagesRead()
 	stats := &QueryStats{}
 	if q.Size() == 1 {
-		ms, err := ix.matchSingleNode(q, opts, stats)
+		ms, err := ix.matchSingleNode(q, opts, stats, sp)
 		if err != nil {
+			sp.End()
 			return nil, nil, err
 		}
 		stats.Matches = len(ms)
 		stats.PagesRead = ix.PagesRead() - pagesBefore
 		stats.Elapsed = time.Since(start)
+		finishMatchSpan(sp, stats)
 		return ms, stats, nil
 	}
 	queries := []*twig.Query{q}
@@ -166,23 +189,28 @@ func (ix *Index) Match(q *twig.Query, opts MatchOptions) ([]Match, *QueryStats, 
 		}
 		arr, truncated := q.Arrangements(limit)
 		if truncated {
+			sp.End()
 			return nil, nil, fmt.Errorf("prix: too many branch arrangements for unordered match of %q", q)
 		}
 		queries = arr
 	}
-	out, err := ix.matchArrangements(queries, opts, stats)
+	out, err := ix.matchArrangements(queries, opts, stats, sp)
 	if err != nil {
+		sp.End()
 		return nil, nil, err
 	}
+	t0 := sp.Start()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].DocID != out[j].DocID {
 			return out[i].DocID < out[j].DocID
 		}
 		return lessInt32s(out[i].Positions, out[j].Positions)
 	})
+	sp.Stage(obs.StageReduce, t0)
 	stats.Matches = len(out)
 	stats.PagesRead = ix.PagesRead() - pagesBefore
 	stats.Elapsed = time.Since(start)
+	finishMatchSpan(sp, stats)
 	return out, stats, nil
 }
 
@@ -360,8 +388,10 @@ func (ix *Index) compile(q *twig.Query) (*plan, error) {
 // fetch-per-candidate behaviour (and lets the pipelined path build its own
 // per-query cache).
 func (ix *Index) matchOrdered(q *twig.Query, opts MatchOptions, stats *QueryStats,
-	workers int, fetch recordSource) ([]Match, error) {
+	workers int, fetch recordSource, sp *obs.Span) ([]Match, error) {
+	t0 := sp.Start()
 	p, err := ix.compile(q)
+	sp.Stage(obs.StageCompile, t0)
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +399,7 @@ func (ix *Index) matchOrdered(q *twig.Query, opts MatchOptions, stats *QueryStat
 		return nil, nil
 	}
 	if workers > 1 {
-		return ix.matchPipelined(p, opts, stats, workers, fetch)
+		return ix.matchPipelined(p, opts, stats, workers, fetch, sp)
 	}
 	if fetch == nil {
 		fetch = ix.getRecord
@@ -380,21 +410,35 @@ func (ix *Index) matchOrdered(q *twig.Query, opts MatchOptions, stats *QueryStat
 	// are deduplicated by their canonical image tuple.
 	seen := map[string]bool{}
 	S := make([]int32, len(p.syms))
+	// The serial path interleaves refinement inside the descent's emit
+	// callback, so descent time is derived: the filter loop's wall time
+	// minus the time spent inside emits (which the refine span accounts
+	// stage by stage).
+	fsp := sp.Child("filter")
+	rsp := sp.Child("refine")
+	var emitNS int64
+	f0 := fsp.Start()
 	err = ix.findSubsequence(p, opts, stats, 0, 0, vtrie.MaxRange, S, func(docID uint32) error {
+		e0 := rsp.Start()
 		stats.Candidates++
-		m, ok, err := ix.refine(p, docID, S, stats, fetch)
-		if err != nil {
-			return err
-		}
-		if ok {
+		m, ok, err := ix.refine(p, docID, S, stats, fetch, rsp)
+		if err == nil && ok {
+			d0 := rsp.Start()
 			k := embeddingKey(m)
 			if !seen[k] {
 				seen[k] = true
 				out = append(out, m)
 			}
+			rsp.Stage(obs.StageReduce, d0)
 		}
-		return nil
+		if rsp != nil {
+			emitNS += rsp.Now() - e0
+		}
+		return err
 	})
+	fsp.AddStage(obs.StageDescent, time.Duration(fsp.Now()-f0-emitNS), 1)
+	fsp.End()
+	rsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -474,6 +518,7 @@ func (ix *Index) findSubsequence(p *plan, opts MatchOptions, stats *QueryStats,
 // skipped (nil record, nil error, stats.Degraded set). Transient faults
 // propagate so callers can retry.
 func (ix *Index) getRecord(docID uint32, stats *QueryStats) (*docstore.Record, error) {
+	stats.RecordFetches++
 	rec, err := ix.store.Get(docID)
 	switch {
 	case err == nil:
@@ -500,24 +545,50 @@ func (ix *Index) Quarantined() []uint32 { return ix.store.Quarantined() }
 type recordSource func(docID uint32, stats *QueryStats) (*docstore.Record, error)
 
 // refine is Algorithm 2: connectedness (with the §4.5 wildcard chase), gap
-// consistency, frequency consistency and leaf matching.
-func (ix *Index) refine(p *plan, docID uint32, S []int32, stats *QueryStats, fetch recordSource) (Match, bool, error) {
+// consistency, frequency consistency and leaf matching. Each phase is
+// charged to its own stage on sp (nil-safe): fetch, connect, structure,
+// leaves.
+func (ix *Index) refine(p *plan, docID uint32, S []int32, stats *QueryStats,
+	fetch recordSource, sp *obs.Span) (Match, bool, error) {
+	t0 := sp.Start()
 	rec, err := fetch(docID, stats)
+	sp.Stage(obs.StageFetch, t0)
 	if err != nil {
 		return Match{}, false, err
 	}
 	if rec == nil {
 		return Match{}, false, nil
 	}
+	t1 := sp.Start()
+	N, maxN, ok := refineConnect(p, rec, S)
+	sp.Stage(obs.StageConnect, t1)
+	if !ok {
+		return Match{}, false, nil
+	}
+	t2 := sp.Start()
+	ok = refineStructure(p, N)
+	sp.Stage(obs.StageStructure, t2)
+	if !ok {
+		return Match{}, false, nil
+	}
+	t3 := sp.Start()
+	m, ok := refineLeaves(p, rec, docID, S, N, maxN)
+	sp.Stage(obs.StageLeaves, t3)
+	return m, ok, nil
+}
+
+// refineConnect builds N from S (bounds-checked) and applies refinement by
+// connectedness; a false return rejects the candidate.
+func refineConnect(p *plan, rec *docstore.Record, S []int32) (N []int32, maxN int32, ok bool) {
 	n := len(S)
-	N := make([]int32, n) // N[i] = N_D[S_i]
+	N = make([]int32, n) // N[i] = N_D[S_i]
 	for i := 0; i < n; i++ {
 		if int(S[i]) > len(rec.NPS) {
-			return Match{}, false, nil
+			return nil, 0, false
 		}
 		N[i] = rec.NPS[S[i]-1]
 	}
-	maxN := N[0]
+	maxN = N[0]
 	for _, v := range N {
 		if v > maxN {
 			maxN = v
@@ -538,15 +609,15 @@ func (ix *Index) refine(p *plan, docID uint32, S []int32, stats *QueryStats, fet
 		// If position i is not also the last occurrence on the query
 		// side the candidate would fail frequency consistency anyway.
 		if !p.lastOcc[i] {
-			return Match{}, false, nil
+			return nil, 0, false
 		}
 		if i+1 >= n {
-			return Match{}, false, nil
+			return nil, 0, false
 		}
 		edge := p.edges[p.npsQ[i]-1]
 		if edge.Exact() {
 			if S[i+1] != N[i] {
-				return Match{}, false, nil
+				return nil, 0, false
 			}
 			continue
 		}
@@ -565,41 +636,52 @@ func (ix *Index) refine(p *plan, docID uint32, S []int32, stats *QueryStats, fet
 			}
 		}
 		if !okChase {
-			return Match{}, false, nil
+			return nil, 0, false
 		}
 	}
-	// Refinement by structure: gap consistency (Definition 3).
+	return N, maxN, true
+}
+
+// refineStructure is refinement by structure: gap consistency
+// (Definition 3) then frequency consistency (Definition 4).
+func refineStructure(p *plan, N []int32) bool {
+	n := len(N)
 	for i := 0; i+1 < n; i++ {
 		dataGap := int64(N[i]) - int64(N[i+1])
 		queryGap := int64(p.npsQ[i]) - int64(p.npsQ[i+1])
 		switch {
 		case dataGap == 0 && queryGap != 0, queryGap == 0 && dataGap != 0:
-			return Match{}, false, nil
+			return false
 		case dataGap*queryGap < 0:
-			return Match{}, false, nil
+			return false
 		case abs64(queryGap) > abs64(dataGap):
-			return Match{}, false, nil
+			return false
 		}
 	}
-	// Refinement by structure: frequency consistency (Definition 4).
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if (p.npsQ[i] == p.npsQ[j]) != (N[i] == N[j]) {
-				return Match{}, false, nil
+				return false
 			}
 		}
 	}
+	return true
+}
+
+// refineLeaves is the tail of Algorithm 2: root placement, refinement by
+// matching leaf nodes (§4.4), and building the canonical embedding.
+func refineLeaves(p *plan, rec *docstore.Record, docID uint32, S, N []int32, maxN int32) (Match, bool) {
 	// Root placement: anchored queries must map the root onto the
 	// document root; leading stars constrain the root image's depth.
 	if p.anchored || p.rootEdge.Min > 1 {
 		depth := rootDepth(rec, maxN)
 		if p.anchored {
 			if maxN != rec.NumNodes || p.rootEdge.Min != depth {
-				return Match{}, false, nil
+				return Match{}, false
 			}
 		} else if depth < p.rootEdge.Min ||
 			(p.rootEdge.Max != twig.Unbounded && depth > p.rootEdge.Max) {
-			return Match{}, false, nil
+			return Match{}, false
 		}
 	}
 	// Refinement by matching leaf nodes (§4.4). The image of query leaf
@@ -611,7 +693,7 @@ func (ix *Index) refine(p *plan, docID uint32, S []int32, stats *QueryStats, fet
 		img := S[leaf.Post-1]
 		sym, ok := labelOf(rec, img)
 		if !ok || sym != leaf.Sym {
-			return Match{}, false, nil
+			return Match{}, false
 		}
 	}
 	// Canonical embedding: internal query nodes take their image from N
@@ -633,7 +715,7 @@ func (ix *Index) refine(p *plan, docID uint32, S []int32, stats *QueryStats, fet
 		Positions: append([]int32(nil), S...),
 		Images:    images,
 		Root:      maxN,
-	}, true, nil
+	}, true
 }
 
 // embeddingKey renders a match's canonical embedding as a map key.

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/btree"
 	"repro/internal/docstore"
+	"repro/internal/obs"
 	"repro/internal/twig"
 	"repro/internal/vtrie"
 )
@@ -35,23 +37,41 @@ import (
 // serial loop). With one arrangement the full worker budget goes to the
 // refinement pipeline; with several, arrangements are the coarser (and
 // cheaper) unit, so they get the workers and split the remainder.
-func (ix *Index) matchArrangements(queries []*twig.Query, opts MatchOptions, stats *QueryStats) ([]Match, error) {
+func (ix *Index) matchArrangements(queries []*twig.Query, opts MatchOptions, stats *QueryStats, sp *obs.Span) ([]Match, error) {
 	workers := opts.workers()
 	perArrangement := make([][]Match, len(queries))
+	// One span per arrangement (keyed by arrangement index, so concurrent
+	// completion order never reorders the trace); a single-arrangement
+	// query skips the extra level and hangs filter/refine off sp directly.
+	arrSpans := make([]*obs.Span, len(queries))
+	if sp != nil && len(queries) > 1 {
+		for qi, qq := range queries {
+			arrSpans[qi] = sp.ChildKeyed("arrangement", fmt.Sprintf("%03d", qi))
+			arrSpans[qi].SetStr("query", qq.String())
+		}
+	}
+	spanFor := func(qi int) *obs.Span {
+		if arrSpans[qi] != nil {
+			return arrSpans[qi]
+		}
+		return sp
+	}
 	if len(queries) == 1 || workers <= 1 {
 		for qi, qq := range queries {
-			ms, err := ix.matchOrdered(qq, opts, stats, workers, nil)
+			ms, err := ix.matchOrdered(qq, opts, stats, workers, nil, spanFor(qi))
+			arrSpans[qi].End()
 			if err != nil {
 				return nil, err
 			}
 			perArrangement[qi] = ms
 		}
-	} else if err := ix.fanOutArrangements(queries, opts, stats, workers, perArrangement); err != nil {
+	} else if err := ix.fanOutArrangements(queries, opts, stats, workers, perArrangement, arrSpans); err != nil {
 		return nil, err
 	}
 	if !opts.Unordered {
 		return perArrangement[0], nil
 	}
+	t0 := sp.Start()
 	seen := map[string]bool{}
 	var out []Match
 	for _, ms := range perArrangement {
@@ -64,6 +84,7 @@ func (ix *Index) matchArrangements(queries []*twig.Query, opts MatchOptions, sta
 			out = append(out, m)
 		}
 	}
+	sp.Stage(obs.StageReduce, t0)
 	return out, nil
 }
 
@@ -75,7 +96,7 @@ func (ix *Index) matchArrangements(queries []*twig.Query, opts MatchOptions, sta
 // decoded once per query instead of once per candidate per arrangement.
 // The first failure cancels the rest through a derived context.
 func (ix *Index) fanOutArrangements(queries []*twig.Query, opts MatchOptions, stats *QueryStats,
-	workers int, perArrangement [][]Match) error {
+	workers int, perArrangement [][]Match, arrSpans []*obs.Span) error {
 	ctx, cancel := context.WithCancel(opts.context())
 	defer cancel()
 	aopts := opts
@@ -102,7 +123,8 @@ func (ix *Index) fanOutArrangements(queries []*twig.Query, opts MatchOptions, st
 		go func() {
 			defer wg.Done()
 			for qi := range idxCh {
-				ms, err := ix.matchOrdered(queries[qi], aopts, &astats[qi], inner, cache.get)
+				ms, err := ix.matchOrdered(queries[qi], aopts, &astats[qi], inner, cache.get, arrSpans[qi])
+				arrSpans[qi].End()
 				if err != nil {
 					errs[qi] = err
 					cancel()
@@ -203,14 +225,17 @@ type descent struct {
 	mu   sync.Mutex
 	errs []error       // one per spawned branch, in spawn order
 	kids []*QueryStats // spawned branches' stats slots
-	emit func(path []int32, docID uint32, S []int32, stats *QueryStats) error
+	sp   *obs.Span     // the filter span; spawned branches hang off it
+	emit func(path []int32, docID uint32, S []int32, stats *QueryStats, sp *obs.Span) error
 }
 
 // run walks every subtree and blocks until the spawned branches join,
 // merging their stats into stats. The returned error prefers a real
 // failure over the cancellations (and refinement aborts) it caused.
 func (d *descent) run(stats *QueryStats, S []int32) error {
-	root := d.step(stats, 0, 0, vtrie.MaxRange, S, make([]int32, 0, len(d.p.syms)+1))
+	w0 := d.sp.Start()
+	root := d.step(stats, d.sp, 0, 0, vtrie.MaxRange, S, make([]int32, 0, len(d.p.syms)+1))
+	d.closeBranch(d.sp, w0) // before wg.Wait: the join is pipeline idle, not walking
 	d.wg.Wait()
 	for _, ks := range d.kids {
 		stats.merge(ks)
@@ -227,6 +252,21 @@ func (d *descent) run(stats *QueryStats, S []int32) error {
 	return err
 }
 
+// closeBranch credits one branch walk's untimed remainder to the descent
+// stage: its wall time minus the prefetch and channel-send windows it
+// accumulated (spawned sub-branches run on their own goroutines and their
+// own spans, so they are not part of this branch's wall time).
+func (d *descent) closeBranch(sp *obs.Span, startNS int64) {
+	if sp == nil {
+		return
+	}
+	walk := sp.Now() - startNS - sp.StageNS(obs.StagePrefetch) - sp.StageNS(obs.StageEmitWait)
+	sp.AddStage(obs.StageDescent, time.Duration(walk), 1)
+	if sp != d.sp {
+		sp.End() // the filter span itself is closed by matchPipelined
+	}
+}
+
 // isSecondaryErr reports errors that are consequences of another failure
 // (cancellation fan-out, refinement abort) rather than causes.
 func isSecondaryErr(err error) bool {
@@ -239,7 +279,7 @@ func isSecondaryErr(err error) bool {
 // subtrees to free workers instead of always recursing inline. Spawning
 // only moves work between goroutines; the path tags keep the reduction
 // order fixed.
-func (d *descent) step(stats *QueryStats, i int, ql, qr uint64, S, path []int32) error {
+func (d *descent) step(stats *QueryStats, sp *obs.Span, i int, ql, qr uint64, S, path []int32) error {
 	if err := d.opts.context().Err(); err != nil {
 		return fmt.Errorf("prix: match canceled: %w", err)
 	}
@@ -252,7 +292,12 @@ func (d *descent) step(stats *QueryStats, i int, ql, qr uint64, S, path []int32)
 	// previous one, a serial chain of device waits; warming the in-range
 	// leaves from the internal nodes first turns that chain into
 	// min(par, leaves) concurrent reads.
-	tree.Prefetch(btree.KeyUint64(ql), btree.KeyUint64(qr), false, d.par)
+	p0 := sp.Start()
+	warmed := tree.Prefetch(btree.KeyUint64(ql), btree.KeyUint64(qr), false, d.par)
+	sp.Stage(obs.StagePrefetch, p0)
+	if warmed > 0 {
+		sp.AddInt("prefetched_pages", int64(warmed))
+	}
 	type hit struct {
 		left, right uint64
 		level       uint32
@@ -281,12 +326,17 @@ func (d *descent) step(stats *QueryStats, i int, ql, qr uint64, S, path []int32)
 		}
 		if last {
 			stats.RangeQueries++
-			d.ix.docid.Prefetch(btree.KeyUint64(h.left), btree.KeyUint64(h.right), true, d.par)
+			p0 := sp.Start()
+			warmed := d.ix.docid.Prefetch(btree.KeyUint64(h.left), btree.KeyUint64(h.right), true, d.par)
+			sp.Stage(obs.StagePrefetch, p0)
+			if warmed > 0 {
+				sp.AddInt("prefetched_pages", int64(warmed))
+			}
 			ord := int32(0)
 			var emitErr error
 			scanErr := d.ix.docid.Scan(btree.KeyUint64(h.left), btree.KeyUint64(h.right), true, true,
 				func(k, v []byte) bool {
-					if e := d.emit(append(path, int32(hi), ord), decodeDocID(v), S, stats); e != nil {
+					if e := d.emit(append(path, int32(hi), ord), decodeDocID(v), S, stats, sp); e != nil {
 						emitErr = e
 						return false
 					}
@@ -316,11 +366,22 @@ func (d *descent) step(stats *QueryStats, i int, ql, qr uint64, S, path []int32)
 			slot := len(d.errs)
 			d.errs = append(d.errs, nil)
 			d.mu.Unlock()
+			// Branch spans attach flat under the filter span, keyed by the
+			// descent path — lexicographic key order is exactly the serial
+			// emission order, so traces read deterministically no matter
+			// which branches happened to find free workers.
+			var bsp *obs.Span
+			if d.sp != nil {
+				bsp = d.sp.ChildKeyed("branch", fmt.Sprintf("%x", encodePath(branchPath)))
+			}
 			d.wg.Add(1)
 			go func() {
 				defer d.wg.Done()
 				defer func() { <-d.sem }()
-				if err := d.step(ks, i+1, h.left, h.right, branchS, branchPath); err != nil {
+				b0 := bsp.Start()
+				err := d.step(ks, bsp, i+1, h.left, h.right, branchS, branchPath)
+				d.closeBranch(bsp, b0)
+				if err != nil {
 					d.mu.Lock()
 					d.errs[slot] = err
 					d.mu.Unlock()
@@ -330,7 +391,7 @@ func (d *descent) step(stats *QueryStats, i int, ql, qr uint64, S, path []int32)
 		default:
 		}
 		if !spawned {
-			if err := d.step(stats, i+1, h.left, h.right, S, append(path, int32(hi))); err != nil {
+			if err := d.step(stats, sp, i+1, h.left, h.right, S, append(path, int32(hi))); err != nil {
 				return err
 			}
 		}
@@ -348,7 +409,7 @@ func (d *descent) step(stats *QueryStats, i int, ql, qr uint64, S, path []int32)
 // anyway); the Candidates counter still counts every emission, like the
 // serial path.
 func (ix *Index) matchPipelined(p *plan, opts MatchOptions, stats *QueryStats,
-	workers int, fetch recordSource) ([]Match, error) {
+	workers int, fetch recordSource, sp *obs.Span) ([]Match, error) {
 	ch := make(chan candidate, 2*workers)
 	abort := make(chan struct{})
 	var abortOnce sync.Once
@@ -358,13 +419,31 @@ func (ix *Index) matchPipelined(p *plan, opts MatchOptions, stats *QueryStats,
 	if fetch == nil {
 		fetch = newRecordCache(ix).get
 	}
+	// Worker spans are created up front on this goroutine, keyed by the
+	// worker ordinal: their creation order (and so the trace) never
+	// depends on pool scheduling. Each worker owns its span exclusively.
+	fsp := sp.Child("filter")
+	rsp := sp.Child("refine")
+	wspans := make([]*obs.Span, workers)
+	if rsp != nil {
+		for w := range wspans {
+			wspans[w] = rsp.ChildKeyed("worker", fmt.Sprintf("%03d", w))
+		}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for c := range ch {
-				m, ok, err := ix.refine(p, c.docID, c.S, &wstats[w], fetch)
+			wsp := wspans[w]
+			for {
+				t0 := wsp.Start()
+				c, open := <-ch
+				wsp.Stage(obs.StageCandWait, t0)
+				if !open {
+					break
+				}
+				m, ok, err := ix.refine(p, c.docID, c.S, &wstats[w], fetch, wsp)
 				if err != nil {
 					abortOnce.Do(func() { workerErr = err; close(abort) })
 					continue // keep draining so the producers never block
@@ -373,6 +452,7 @@ func (ix *Index) matchPipelined(p *plan, opts MatchOptions, stats *QueryStats,
 					wout[w] = append(wout[w], refined{entry: c.entry, m: m})
 				}
 			}
+			wsp.End()
 		}(w)
 	}
 	var seenMu sync.Mutex
@@ -380,7 +460,8 @@ func (ix *Index) matchPipelined(p *plan, opts MatchOptions, stats *QueryStats,
 	d := &descent{
 		ix: ix, p: p, opts: opts, par: workers,
 		sem: make(chan struct{}, workers-1),
-		emit: func(path []int32, docID uint32, S []int32, wstats *QueryStats) error {
+		sp:  fsp,
+		emit: func(path []int32, docID uint32, S []int32, wstats *QueryStats, bsp *obs.Span) error {
 			wstats.Candidates++
 			k := candidateKey(docID, S)
 			ord := encodePath(path)
@@ -398,10 +479,13 @@ func (ix *Index) matchPipelined(p *plan, opts MatchOptions, stats *QueryStats,
 			seen[k] = e
 			seenMu.Unlock()
 			c := candidate{entry: e, docID: docID, S: append([]int32(nil), S...)}
+			t0 := bsp.Start()
 			select {
 			case ch <- c:
+				bsp.Stage(obs.StageEmitWait, t0)
 				return nil
 			case <-abort:
+				bsp.Stage(obs.StageEmitWait, t0)
 				return errRefineAborted
 			}
 		},
@@ -409,6 +493,8 @@ func (ix *Index) matchPipelined(p *plan, opts MatchOptions, stats *QueryStats,
 	perr := d.run(stats, make([]int32, len(p.syms)))
 	close(ch)
 	wg.Wait()
+	fsp.End()
+	rsp.End()
 	for w := range wstats {
 		stats.merge(&wstats[w])
 	}
@@ -421,6 +507,7 @@ func (ix *Index) matchPipelined(p *plan, opts MatchOptions, stats *QueryStats,
 	// Reduce in serial emission order — every refined match sorts at its
 	// candidate's earliest descent path — so the surviving witness for
 	// each embedding is the same one the serial first-wins dedup keeps.
+	t0 := sp.Start()
 	var all []refined
 	for _, o := range wout {
 		all = append(all, o...)
@@ -435,6 +522,7 @@ func (ix *Index) matchPipelined(p *plan, opts MatchOptions, stats *QueryStats,
 			out = append(out, r.m)
 		}
 	}
+	sp.Stage(obs.StageReduce, t0)
 	return out, nil
 }
 
@@ -473,6 +561,7 @@ func (c *recordCache) get(docID uint32, stats *QueryStats) (*docstore.Record, er
 	e, ok := c.m[docID]
 	c.mu.Unlock()
 	if ok {
+		stats.RecordCacheHits++
 		if e.degraded {
 			stats.Degraded = true
 		}

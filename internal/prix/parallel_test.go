@@ -57,10 +57,15 @@ var parallelQueries = []struct {
 }
 
 // statsComparable strips the fields that legitimately vary between runs
-// (timing, and PagesRead, which depends on cache state and fetch memoization).
+// (timing, and PagesRead, which depends on cache state and fetch
+// memoization; RecordFetches/RecordCacheHits split on the same memoization
+// axis — the serial path fetches per candidate, the pipelined path once
+// per document).
 func statsComparable(s *QueryStats) QueryStats {
 	c := *s
 	c.PagesRead = 0
+	c.RecordFetches = 0
+	c.RecordCacheHits = 0
 	c.Elapsed = 0
 	return c
 }

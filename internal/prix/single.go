@@ -3,8 +3,10 @@ package prix
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/docstore"
+	"repro/internal/obs"
 	"repro/internal/twig"
 	"repro/internal/vtrie"
 )
@@ -16,7 +18,7 @@ import (
 // reported, subject to the query's root-depth constraint. This is a linear
 // scan by design — a workload needing fast single-tag lookup should keep a
 // tag-occurrence index such as the twigstack package's streams.
-func (ix *Index) matchSingleNode(q *twig.Query, opts MatchOptions, stats *QueryStats) ([]Match, error) {
+func (ix *Index) matchSingleNode(q *twig.Query, opts MatchOptions, stats *QueryStats, sp *obs.Span) ([]Match, error) {
 	sym, ok := LookupSymbol(ix.store.Dict(), q.Root.Label, q.Root.IsValue)
 	if !ok {
 		return nil, nil
@@ -27,22 +29,33 @@ func (ix *Index) matchSingleNode(q *twig.Query, opts MatchOptions, stats *QueryS
 		workers = n
 	}
 	if workers <= 1 {
-		return ix.scanSingleNode(q, opts, stats, sym, 0, n)
+		var ssp *obs.Span
+		if sp != nil {
+			ssp = sp.ChildKeyed("scan", "000")
+		}
+		return ix.scanSingleNode(q, opts, stats, sym, 0, n, ssp)
 	}
 	// Shard [0, n) into contiguous docid ranges, one worker each; the
 	// serial path emits in ascending docid order, so concatenating the
 	// shards in range order reproduces it exactly. Each worker gets its
-	// own stats slot, merged below.
+	// own stats slot, merged below. Shard spans are created here, keyed
+	// by ordinal, so the trace never depends on completion order.
 	outs := make([][]Match, workers)
 	wstats := make([]QueryStats, workers)
 	errs := make([]error, workers)
+	sspans := make([]*obs.Span, workers)
+	if sp != nil {
+		for w := range sspans {
+			sspans[w] = sp.ChildKeyed("scan", fmt.Sprintf("%03d", w))
+		}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := w*n/workers, (w+1)*n/workers
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			outs[w], errs[w] = ix.scanSingleNode(q, opts, &wstats[w], sym, lo, hi)
+			outs[w], errs[w] = ix.scanSingleNode(q, opts, &wstats[w], sym, lo, hi, sspans[w])
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -60,8 +73,18 @@ func (ix *Index) matchSingleNode(q *twig.Query, opts MatchOptions, stats *QueryS
 }
 
 // scanSingleNode scans the docid range [lo, hi) for the labeled nodes.
+// Record reads are charged to the fetch stage; the label matching that
+// remains is credited as descent (the scan is this query class's walk).
 func (ix *Index) scanSingleNode(q *twig.Query, opts MatchOptions, stats *QueryStats,
-	sym vtrie.Symbol, lo, hi int) ([]Match, error) {
+	sym vtrie.Symbol, lo, hi int, sp *obs.Span) ([]Match, error) {
+	s0 := sp.Start()
+	defer func() {
+		if sp != nil {
+			walk := sp.Now() - s0 - sp.StageNS(obs.StageFetch)
+			sp.AddStage(obs.StageDescent, time.Duration(walk), 1)
+			sp.End()
+		}
+	}()
 	var out []Match
 	for docID := lo; docID < hi; docID++ {
 		if docID%64 == 0 {
@@ -69,7 +92,9 @@ func (ix *Index) scanSingleNode(q *twig.Query, opts MatchOptions, stats *QuerySt
 				return nil, fmt.Errorf("prix: match canceled: %w", err)
 			}
 		}
+		t0 := sp.Start()
 		rec, err := ix.getRecord(uint32(docID), stats)
+		sp.Stage(obs.StageFetch, t0)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,71 @@
+package prix
+
+import (
+	"repro/internal/obs"
+	"repro/internal/twig"
+)
+
+// This file wires the engine into the obs span model. The span tree of a
+// traced Match:
+//
+//	<trace root>
+//	└── match(rp|ep)             — one per Index.Match; samples this
+//	    │                          index's pools for I/O attribution
+//	    ├── [arrangement(NNN)]   — only for multi-arrangement unordered
+//	    │   │                      queries; otherwise filter/refine hang
+//	    │   │                      off match directly
+//	    │   ├── filter           — Algorithm 1: descent/prefetch/emit_wait
+//	    │   │   └── branch(hex)  — spawned descent subtrees, keyed by the
+//	    │   │                      descent path (lexicographic = serial
+//	    │   │                      emission order)
+//	    │   └── refine           — Algorithm 2 stages; serial path times
+//	    │       │                  fetch/connect/structure/leaves inline
+//	    │       └── worker(NNN)  — pipelined refinement workers
+//	    └── scan(NNN)            — single-node queries: per-shard scans
+//
+// Stage accumulators are written by the single goroutine owning each
+// span; sibling order is the explicit key, so concurrent workers merge
+// deterministically (see package obs).
+
+// ioCounts samples both buffer pools' read counters for span I/O
+// attribution: two atomic loads per pool.
+func (ix *Index) ioCounts() (physical, logical uint64) {
+	fp, fl := ix.forest.BufferPool().ReadCounts()
+	sp, sl := ix.store.BufferPool().ReadCounts()
+	return fp + sp, fl + sl
+}
+
+// matchSpan opens the per-Match root span under the caller's trace (nil
+// without one). The span is keyed by index kind so the two halves of a
+// speculative dual match order deterministically under one shared trace.
+func (ix *Index) matchSpan(tr *obs.Trace, q *twig.Query) *obs.Span {
+	root := tr.Root()
+	if root == nil {
+		return nil
+	}
+	key := "rp"
+	if ix.opts.Extended {
+		key = "ep"
+	}
+	sp := root.ChildIO("match", key, ix.ioCounts)
+	sp.SetStr("query", q.String())
+	return sp
+}
+
+// finishMatchSpan stamps the final accounting onto the match span and
+// closes it.
+func finishMatchSpan(sp *obs.Span, stats *QueryStats) {
+	if sp == nil {
+		return
+	}
+	sp.SetInt("range_queries", int64(stats.RangeQueries))
+	sp.SetInt("pruned", int64(stats.TriePathsPruned))
+	sp.SetInt("candidates", int64(stats.Candidates))
+	sp.SetInt("matches", int64(stats.Matches))
+	sp.SetInt("record_fetches", int64(stats.RecordFetches))
+	sp.SetInt("record_cache_hits", int64(stats.RecordCacheHits))
+	if stats.Degraded {
+		sp.SetInt("degraded", 1)
+	}
+	sp.End()
+}

@@ -1,0 +1,295 @@
+package prix
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/obs"
+	"repro/internal/twig"
+)
+
+// TestTracedQueryStageSum is the tentpole acceptance test: a traced
+// SWISSPROT twig query (serial, cold cache, with an injected per-page read
+// latency so instrumented stages dominate untracked glue) must return a
+// span tree whose stage durations sum to within 10% of the query's wall
+// time — i.e. the taxonomy accounts for essentially all the work.
+func TestTracedQueryStageSum(t *testing.T) {
+	ds, err := datagen.ByName("SWISSPROT", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(ds.Docs, Options{Extended: true, BufferPoolPages: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ix.SetReadDelay(100 * time.Microsecond)
+	defer ix.SetReadDelay(0)
+	for _, qs := range ds.Queries {
+		tr := obs.NewTrace("test")
+		ms, stats, err := ix.Match(qs.Query(), MatchOptions{
+			Parallelism: 1, // serial: stages partition wall time exactly
+			Trace:       tr,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", qs.ID, err)
+		}
+		if len(ms) != qs.Want {
+			t.Errorf("%s: matches = %d, want %d", qs.ID, len(ms), qs.Want)
+		}
+		tr.Finish()
+		durs, _ := tr.StageTotals()
+		var sum time.Duration
+		for _, d := range durs {
+			sum += d
+		}
+		wall := stats.Elapsed
+		if sum < wall*9/10 || sum > wall*11/10 {
+			t.Errorf("%s: stage sum %v vs wall %v (%.1f%%): breakdown %v",
+				qs.ID, sum, wall, 100*float64(sum)/float64(wall), stageBreakdown(durs))
+		}
+	}
+}
+
+func stageBreakdown(durs [obs.NumStages]time.Duration) string {
+	out := ""
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		if durs[st] > 0 {
+			out += fmt.Sprintf("%s=%v ", st, durs[st])
+		}
+	}
+	return out
+}
+
+// TestTraceSpanTreeShape checks the wiring end to end on the differential
+// corpus: span names and keys land where trace.go documents them, window
+// counts agree with the engine's own counters, and the I/O attributed to
+// the match span equals the query's PagesRead delta.
+func TestTraceSpanTreeShape(t *testing.T) {
+	docs := parallelCorpus()
+	ix := build(t, false, docs...)
+	q := twig.MustParse(`//a[./b/c]/d`)
+
+	// Serial: match → {filter, refine}, fetch window per candidate.
+	tr := obs.NewTrace("q")
+	_, stats, err := ix.Match(q, MatchOptions{Parallelism: 1, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	kids := tr.Root().Children()
+	if len(kids) != 1 || kids[0].Name() != "match" || kids[0].Key() != "rp" {
+		t.Fatalf("trace root children = %v", names(kids))
+	}
+	match := kids[0]
+	if got := match.PagesRead(); got != stats.PagesRead {
+		t.Errorf("match span pages = %d, stats.PagesRead = %d", got, stats.PagesRead)
+	}
+	if v, _ := match.Int("candidates"); v != int64(stats.Candidates) {
+		t.Errorf("candidates attr = %d, want %d", v, stats.Candidates)
+	}
+	var filter, refine *obs.Span
+	for _, c := range match.Children() {
+		switch c.Name() {
+		case "filter":
+			filter = c
+		case "refine":
+			refine = c
+		}
+	}
+	if filter == nil || refine == nil {
+		t.Fatalf("match children = %v", names(match.Children()))
+	}
+	if filter.StageCount(obs.StageDescent) == 0 {
+		t.Error("filter span has no descent windows")
+	}
+	if got := refine.StageCount(obs.StageFetch); got != int64(stats.Candidates) {
+		t.Errorf("serial fetch windows = %d, want one per candidate (%d)", got, stats.Candidates)
+	}
+
+	// Pipelined: worker spans keyed by ordinal, sorted, cand_wait counted;
+	// per-worker fetch windows still sum to the candidate count.
+	tr = obs.NewTrace("q")
+	_, pstats, err := ix.Match(q, MatchOptions{Parallelism: 4, WarmCache: true, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	match = tr.Root().Children()[0]
+	refine = nil
+	for _, c := range match.Children() {
+		if c.Name() == "refine" {
+			refine = c
+		}
+	}
+	if refine == nil {
+		t.Fatalf("pipelined match children = %v", names(match.Children()))
+	}
+	workers := refine.Children()
+	if len(workers) != 4 {
+		t.Fatalf("worker spans = %d, want 4", len(workers))
+	}
+	var fetches, waits int64
+	for w, wsp := range workers {
+		if wsp.Key() != fmt.Sprintf("%03d", w) {
+			t.Errorf("worker %d key = %q (not sorted by ordinal)", w, wsp.Key())
+		}
+		fetches += wsp.StageCount(obs.StageFetch)
+		waits += wsp.StageCount(obs.StageCandWait)
+	}
+	// Identical (doc, S) emissions are deduplicated before the channel, so
+	// fetch windows equal scheduled candidates, bounded by the counter.
+	if fetches == 0 || fetches > int64(pstats.Candidates) {
+		t.Errorf("pipelined fetch windows = %d, candidates = %d", fetches, pstats.Candidates)
+	}
+	if waits < 4 {
+		t.Errorf("cand_wait windows = %d, want >= one per worker", waits)
+	}
+
+	// Unordered multi-arrangement: one keyed arrangement span each.
+	tr = obs.NewTrace("q")
+	_, _, err = ix.Match(twig.MustParse(`//a[./b/c]/d`), MatchOptions{
+		Unordered: true, Parallelism: 2, WarmCache: true, Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	match = tr.Root().Children()[0]
+	arr := 0
+	for _, c := range match.Children() {
+		if c.Name() == "arrangement" {
+			if c.Key() != fmt.Sprintf("%03d", arr) {
+				t.Errorf("arrangement %d key = %q", arr, c.Key())
+			}
+			arr++
+		}
+	}
+	if arr < 2 {
+		t.Errorf("arrangement spans = %d, want >= 2", arr)
+	}
+}
+
+func names(spans []*obs.Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name() + "(" + s.Key() + ")"
+	}
+	return out
+}
+
+// TestConcurrentTracedQueries races traced and untraced queries over one
+// shared index (run under -race in CI): every trace is private to its
+// request, so concurrent Match calls must never trip the race detector or
+// corrupt each other's span trees.
+func TestConcurrentTracedQueries(t *testing.T) {
+	docs := parallelCorpus()
+	ix := build(t, true, docs...)
+	queries := []string{`//a[./b/c]/d`, `//a//d/e`, `//a`, `/a/b/c`}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 6; rep++ {
+				q := twig.MustParse(queries[(g+rep)%len(queries)])
+				var tr *obs.Trace
+				if (g+rep)%3 != 0 { // mix traced and untraced traffic
+					tr = obs.NewTrace("q")
+				}
+				_, _, err := ix.Match(q, MatchOptions{
+					WarmCache:   rep%2 == 0,
+					Parallelism: 1 + g%4,
+					Unordered:   rep%2 == 1,
+					Trace:       tr,
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				tr.Finish()
+				if tr != nil {
+					if _, err := json.Marshal(tr.Tree()); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceOverheadAllocs is the overhead regression test: with tracing
+// off, Match runs the identical instrumented code over nil spans, so the
+// allocation profile must match the traced run to within the handful of
+// allocations the trace itself costs (span nodes + attr bags; 16 when
+// this floor was set). A regression that puts per-candidate or per-page
+// allocations on the trace path blows well past the bound. The nil API's
+// own zero-alloc guarantee is pinned in obs.TestNilAPIZeroAllocs.
+func TestTraceOverheadAllocs(t *testing.T) {
+	docs := parallelCorpus()
+	ix := build(t, false, docs...)
+	q := twig.MustParse(`//a[./b/c]/d`)
+	mo := MatchOptions{WarmCache: true, Parallelism: 1}
+	if _, _, err := ix.Match(q, mo); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	off := testing.AllocsPerRun(5, func() {
+		if _, _, err := ix.Match(q, mo); err != nil {
+			t.Error(err)
+		}
+	})
+	on := testing.AllocsPerRun(5, func() {
+		tmo := mo
+		tmo.Trace = obs.NewTrace("t")
+		if _, _, err := ix.Match(q, tmo); err != nil {
+			t.Error(err)
+		}
+		tmo.Trace.Finish()
+	})
+	if delta := on - off; delta > 64 {
+		t.Errorf("tracing adds %.0f allocs/op (off %.0f, on %.0f), want <= 64", delta, off, on)
+	}
+}
+
+// BenchmarkMatchTraceOverhead compares a warm serial query with tracing
+// off (the production default) and on — the numbers behind the <1%
+// nil-path overhead claim (the off case executes the identical code with
+// nil spans; see also obs.TestNilAPIZeroAllocs for the allocation proof).
+func BenchmarkMatchTraceOverhead(b *testing.B) {
+	docs := parallelCorpus()
+	ix, err := Build(docs, Options{Extended: false, BufferPoolPages: 2000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	q := twig.MustParse(`//a[./b/c]/d`)
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ix.Match(q, MatchOptions{WarmCache: true, Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := obs.NewTrace("bench")
+			if _, _, err := ix.Match(q, MatchOptions{WarmCache: true, Parallelism: 1, Trace: tr}); err != nil {
+				b.Fatal(err)
+			}
+			tr.Finish()
+		}
+	})
+}

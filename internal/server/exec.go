@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/prix"
 	"repro/internal/twig"
 )
@@ -42,6 +43,12 @@ type QueryOptions struct {
 	// results are byte-identical at every setting, so requests differing
 	// only in Parallelism share cache entries and singleflight leaders.
 	Parallelism int
+	// Trace, when non-nil, collects a span tree of the execution. Like
+	// Parallelism it is NOT part of the cache key: tracing never changes the
+	// result, so traced requests share cache entries with untraced ones —
+	// which also means a cache hit (or a singleflight follower) comes back
+	// with the trace unfilled. Callers must treat those traces as absent.
+	Trace *obs.Trace
 }
 
 // key renders the options' contribution to the cache key.
@@ -150,6 +157,7 @@ func (e *Executor) run(ctx context.Context, q *twig.Query, qo QueryOptions, key 
 		Unordered:     qo.Unordered,
 		DisableMaxGap: qo.DisableMaxGap,
 		Parallelism:   qo.Parallelism,
+		Trace:         qo.Trace,
 		Ctx:           ctx,
 	}
 	ms, stats, err := e.src.Match(q, mo)

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Metrics is the service's counter registry. Everything is lock-free: the
@@ -43,8 +45,23 @@ type Metrics struct {
 	InFlight Gauge
 	// Latency is the query wall-clock latency histogram.
 	Latency Histogram
+	// Stages holds one latency histogram per execution stage (descent,
+	// fetch, connect, ... — the obs stage taxonomy), fed from per-query
+	// traces. A stage with zero observations is omitted from /metrics.
+	Stages [obs.NumStages]Histogram
 
 	start time.Time
+}
+
+// ObserveStages records one executed query's per-stage durations. Stages
+// the query never entered (zero windows) are skipped so their histograms
+// keep reflecting only queries that actually exercised them.
+func (m *Metrics) ObserveStages(durs [obs.NumStages]time.Duration, counts [obs.NumStages]int64) {
+	for st := range durs {
+		if counts[st] > 0 {
+			m.Stages[st].Observe(durs[st])
+		}
+	}
 }
 
 // NewMetrics returns a zeroed registry.
@@ -178,4 +195,22 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "prix_query_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "prix_query_latency_seconds_sum %g\n", float64(m.Latency.sumNanos.Load())/1e9)
 	fmt.Fprintf(w, "prix_query_latency_seconds_count %d\n", m.Latency.count.Load())
+
+	fmt.Fprintf(w, "# HELP prix_stage_latency_seconds Per-stage query execution latency.\n# TYPE prix_stage_latency_seconds histogram\n")
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		h := &m.Stages[st]
+		if h.Count() == 0 {
+			continue
+		}
+		var scum uint64
+		for i := 0; i < histBuckets; i++ {
+			scum += h.counts[i].Load()
+			fmt.Fprintf(w, "prix_stage_latency_seconds_bucket{stage=%q,le=\"%g\"} %d\n",
+				st.String(), bucketBound(i).Seconds(), scum)
+		}
+		scum += h.counts[histBuckets].Load()
+		fmt.Fprintf(w, "prix_stage_latency_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", st.String(), scum)
+		fmt.Fprintf(w, "prix_stage_latency_seconds_sum{stage=%q} %g\n", st.String(), float64(h.sumNanos.Load())/1e9)
+		fmt.Fprintf(w, "prix_stage_latency_seconds_count{stage=%q} %d\n", st.String(), h.count.Load())
+	}
 }

@@ -21,10 +21,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/prix"
 	"repro/internal/scrub"
 )
@@ -56,6 +58,19 @@ type Config struct {
 	// setting; this only trades single-query latency against cross-request
 	// throughput on a loaded server.
 	Parallelism int
+	// SlowLogCapacity sizes the slow-query ring buffer served at
+	// GET /debug/slowlog (default 64; negative disables it).
+	SlowLogCapacity int
+	// SlowLogThreshold is the elapsed time at which a query is logged
+	// (default 100ms; negative logs every query).
+	SlowLogThreshold time.Duration
+	// DisableTracing turns off per-request span collection. With tracing on
+	// (the default) every executed query feeds the per-stage latency
+	// histograms and the slow log, and clients may request their span tree
+	// with POST /query?trace=1.
+	DisableTracing bool
+	// DisablePprof removes the net/http/pprof handlers from /debug/pprof/.
+	DisablePprof bool
 }
 
 // Defaults for Config zero values.
@@ -67,6 +82,8 @@ const (
 	DefaultCacheShards  = 16
 	DefaultMaxBody      = 1 << 20
 	DefaultMaxMatches   = 1000
+	DefaultSlowLogCap   = 64
+	DefaultSlowLogAfter = 100 * time.Millisecond
 )
 
 func (c *Config) withDefaults() Config {
@@ -92,6 +109,14 @@ func (c *Config) withDefaults() Config {
 	if out.MaxMatches == 0 {
 		out.MaxMatches = DefaultMaxMatches
 	}
+	if out.SlowLogCapacity == 0 {
+		out.SlowLogCapacity = DefaultSlowLogCap
+	}
+	if out.SlowLogThreshold == 0 {
+		out.SlowLogThreshold = DefaultSlowLogAfter
+	} else if out.SlowLogThreshold < 0 {
+		out.SlowLogThreshold = 0 // log everything
+	}
 	return out
 }
 
@@ -105,6 +130,7 @@ type Server struct {
 	drainOne sync.Once
 	inflight sync.WaitGroup
 	scr      *scrub.Scrubber
+	slowlog  *SlowLog
 }
 
 // New builds a service over the source. If the source is mutable
@@ -118,6 +144,7 @@ func New(src Source, cfg Config) *Server {
 		metrics:  m,
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		draining: make(chan struct{}),
+		slowlog:  NewSlowLog(cfg.SlowLogCapacity, cfg.SlowLogThreshold),
 	}
 }
 
@@ -141,6 +168,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /scrub", s.handleScrub)
 	mux.HandleFunc("POST /repair", s.handleRepair)
+	mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
+	if !s.cfg.DisablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -194,11 +229,11 @@ type QueryRequest struct {
 
 // QueryResponse is the POST /query response.
 type QueryResponse struct {
-	Query     string       `json:"query"`
-	Count     int          `json:"count"`
-	Cached    bool         `json:"cached"`
-	Shared    bool         `json:"shared,omitempty"`
-	Truncated bool         `json:"truncated,omitempty"`
+	Query     string `json:"query"`
+	Count     int    `json:"count"`
+	Cached    bool   `json:"cached"`
+	Shared    bool   `json:"shared,omitempty"`
+	Truncated bool   `json:"truncated,omitempty"`
 	// Degraded reports that quarantined (corrupt) documents were skipped:
 	// the answer is complete over every healthy document but may miss
 	// matches in the quarantined ones. Mirrored in the X-Prix-Degraded
@@ -208,6 +243,11 @@ type QueryResponse struct {
 	Quarantined []uint32     `json:"quarantined,omitempty"`
 	Matches     []MatchJSON  `json:"matches,omitempty"`
 	Stats       ResponseStat `json:"stats"`
+	// Trace is the execution span tree, present only when the request asked
+	// for it (?trace=1), the server has tracing enabled, and the result was
+	// actually computed by this request — cache hits and singleflight
+	// followers have no execution of their own to trace.
+	Trace *obs.SpanJSON `json:"trace,omitempty"`
 }
 
 // MatchJSON is one twig occurrence on the wire.
@@ -219,10 +259,12 @@ type MatchJSON struct {
 
 // ResponseStat is the engine accounting on the wire.
 type ResponseStat struct {
-	ElapsedUS    int64  `json:"elapsed_us"`
-	RangeQueries int    `json:"range_queries"`
-	Candidates   int    `json:"candidates"`
-	PagesRead    uint64 `json:"pages_read"`
+	ElapsedUS       int64  `json:"elapsed_us"`
+	RangeQueries    int    `json:"range_queries"`
+	Candidates      int    `json:"candidates"`
+	PagesRead       uint64 `json:"pages_read"`
+	RecordFetches   int    `json:"record_fetches,omitempty"`
+	RecordCacheHits int    `json:"record_cache_hits,omitempty"`
 }
 
 type errorResponse struct {
@@ -327,10 +369,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Parallelism > 0 {
 		par = req.Parallelism
 	}
+	// With tracing enabled every executed query carries a trace: it feeds
+	// the per-stage histograms and the slow log even when the client did not
+	// ask to see it. The engine's zero-trace fast path is reserved for
+	// servers that opt out via DisableTracing.
+	var tr *obs.Trace
+	if !s.cfg.DisableTracing {
+		tr = obs.NewTrace("query")
+	}
+	wantTrace := r.URL.Query().Get("trace") == "1"
 	res, err := s.exec.Execute(ctx, q, QueryOptions{
 		Unordered:     req.Unordered,
 		DisableMaxGap: req.NoMaxGap,
 		Parallelism:   par,
+		Trace:         tr,
 	})
 	if err != nil {
 		switch {
@@ -360,7 +412,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.metrics.Served.Inc()
-	s.metrics.Latency.Observe(time.Since(start))
+	elapsed := time.Since(start)
+	s.metrics.Latency.Observe(elapsed)
+
+	// A cache hit or a singleflight follower executed nothing, so its trace
+	// is empty: only results this request computed feed the stage
+	// histograms, the slow log and the response's trace tree.
+	executed := tr != nil && !res.Cached && !res.Shared
+	var tree *obs.SpanJSON
+	if executed {
+		tr.Finish()
+		durs, counts := tr.StageTotals()
+		s.metrics.ObserveStages(durs, counts)
+		if wantTrace || (s.slowlog != nil && elapsed >= s.slowlog.Threshold()) {
+			tree = tr.Tree()
+		}
+		s.slowlog.Observe(elapsed, SlowEntry{
+			Time:        start.UTC().Format(time.RFC3339Nano),
+			Query:       q.String(),
+			Unordered:   req.Unordered,
+			Parallelism: par,
+			ElapsedUS:   elapsed.Microseconds(),
+			Count:       len(res.Matches),
+			Candidates:  res.Stats.Candidates,
+			PagesRead:   res.Stats.PagesRead,
+			Degraded:    res.Stats.Degraded,
+			Trace:       tree,
+		})
+	}
 
 	resp := QueryResponse{
 		Query:    q.String(),
@@ -369,11 +448,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Shared:   res.Shared,
 		Degraded: res.Stats.Degraded,
 		Stats: ResponseStat{
-			ElapsedUS:    res.Stats.Elapsed.Microseconds(),
-			RangeQueries: res.Stats.RangeQueries,
-			Candidates:   res.Stats.Candidates,
-			PagesRead:    res.Stats.PagesRead,
+			ElapsedUS:       res.Stats.Elapsed.Microseconds(),
+			RangeQueries:    res.Stats.RangeQueries,
+			Candidates:      res.Stats.Candidates,
+			PagesRead:       res.Stats.PagesRead,
+			RecordFetches:   res.Stats.RecordFetches,
+			RecordCacheHits: res.Stats.RecordCacheHits,
 		},
+	}
+	if wantTrace && executed {
+		resp.Trace = tree
 	}
 	if resp.Degraded {
 		s.metrics.DegradedServed.Inc()
@@ -489,6 +573,21 @@ func (s *Server) Snapshot() StatsSnapshot {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// handleSlowLog serves the slow-query ring buffer, newest first.
+func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	if s.slowlog == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	entries, total := s.slowlog.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":      true,
+		"threshold_ms": s.slowlog.Threshold().Milliseconds(),
+		"total":        total,
+		"entries":      entries,
+	})
 }
 
 // handleScrub reports the scrubber's counters and its last pass.

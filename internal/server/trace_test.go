@@ -1,0 +1,234 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestStageHistogramsInMetrics: after serving queries, /metrics must expose
+// per-stage latency histograms labeled by stage name.
+func TestStageHistogramsInMetrics(t *testing.T) {
+	ix := buildIndex(t, 50)
+	srv := New(ix, Config{CacheCapacity: -1}) // no cache: every query executes
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, q := range []string{`//a[./b/c]/d`, `//a//d/e`, `//a`} {
+		if code, _, raw := doQuery(t, ts.Client(), ts.URL, q); code != http.StatusOK {
+			t.Fatalf("query %s: %d %s", q, code, raw)
+		}
+	}
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+	for _, w := range []string{
+		`# TYPE prix_stage_latency_seconds histogram`,
+		`prix_stage_latency_seconds_bucket{stage="descent",le="+Inf"}`,
+		`prix_stage_latency_seconds_bucket{stage="fetch",le="+Inf"}`,
+		`prix_stage_latency_seconds_count{stage="compile"}`,
+	} {
+		if !strings.Contains(body, w) {
+			t.Errorf("/metrics missing %q", w)
+		}
+	}
+	if t.Failed() {
+		t.Logf("metrics body:\n%s", body)
+	}
+}
+
+// TestQueryTraceParam: ?trace=1 returns a span tree for executed queries
+// and no tree for cache hits (which executed nothing).
+func TestQueryTraceParam(t *testing.T) {
+	ix := buildIndex(t, 50)
+	srv := New(ix, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(url, body string) (QueryResponse, string) {
+		resp, err := ts.Client().Post(url, "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: %d %s", url, resp.StatusCode, raw)
+		}
+		var qr QueryResponse
+		if err := json.Unmarshal(raw, &qr); err != nil {
+			t.Fatalf("bad response %q: %v", raw, err)
+		}
+		return qr, string(raw)
+	}
+
+	qr, raw := post(ts.URL+"/query?trace=1", `//a[./b/c]/d`)
+	if qr.Trace == nil {
+		t.Fatalf("first traced query returned no trace: %s", raw)
+	}
+	if qr.Trace.Name != "query" || len(qr.Trace.Children) == 0 {
+		t.Errorf("trace root = %q with %d children", qr.Trace.Name, len(qr.Trace.Children))
+	}
+	match := qr.Trace.Children[0]
+	if match.Name != "match" || match.DurNS <= 0 {
+		t.Errorf("trace first child = %+v", match)
+	}
+	if _, ok := match.Stages["descent"]; !ok {
+		// Stage times live on the filter/refine children; the match span
+		// carries the attrs. Look one level down.
+		found := false
+		for _, c := range match.Children {
+			if _, ok := c.Stages["descent"]; ok {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no descent stage anywhere under match: %s", raw)
+		}
+	}
+
+	// Same query again: served from cache, so there is nothing to trace.
+	qr, raw = post(ts.URL+"/query?trace=1", `//a[./b/c]/d`)
+	if !qr.Cached {
+		t.Fatalf("second query not cached: %s", raw)
+	}
+	if qr.Trace != nil {
+		t.Error("cache hit returned a trace, but no execution happened")
+	}
+
+	// Untraced request: no trace field even though the server traces.
+	qr, _ = post(ts.URL+"/query", `//a//d/e`)
+	if qr.Trace != nil {
+		t.Error("request without ?trace=1 returned a trace")
+	}
+}
+
+// TestTracingDisabled: DisableTracing suppresses traces, stage histograms
+// and the slow log's trace trees without affecting results.
+func TestTracingDisabled(t *testing.T) {
+	ix := buildIndex(t, 20)
+	srv := New(ix, Config{DisableTracing: true, CacheCapacity: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Post(ts.URL+"/query?trace=1", "text/plain", strings.NewReader(`//a/b`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var qr QueryResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Trace != nil {
+		t.Error("DisableTracing server returned a trace")
+	}
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		if srv.Metrics().Stages[st].Count() != 0 {
+			t.Errorf("stage %s histogram observed %d samples with tracing off", st, srv.Metrics().Stages[st].Count())
+		}
+	}
+}
+
+// TestSlowLog: with a log-everything threshold, executed queries land in
+// /debug/slowlog newest first with their trace trees; cache hits do not.
+func TestSlowLog(t *testing.T) {
+	ix := buildIndex(t, 50)
+	srv := New(ix, Config{SlowLogThreshold: -1, SlowLogCapacity: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	queries := []string{`//a/b`, `//a//d/e`, `//a[./b/c]/d`, `//a`, `//d/e`, `/r/a/d`}
+	for _, q := range queries {
+		if code, _, raw := doQuery(t, ts.Client(), ts.URL, q); code != http.StatusOK {
+			t.Fatalf("query %s: %d %s", q, code, raw)
+		}
+	}
+	// Repeat: cache hits must not be logged again.
+	doQuery(t, ts.Client(), ts.URL, queries[0])
+
+	resp, err := ts.Client().Get(ts.URL + "/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Enabled     bool        `json:"enabled"`
+		ThresholdMS int64       `json:"threshold_ms"`
+		Total       uint64      `json:"total"`
+		Entries     []SlowEntry `json:"entries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Enabled {
+		t.Fatal("slowlog disabled")
+	}
+	if body.Total != uint64(len(queries)) {
+		t.Errorf("slowlog total = %d, want %d (cache hit must not log)", body.Total, len(queries))
+	}
+	if len(body.Entries) != 4 {
+		t.Fatalf("ring kept %d entries, capacity 4", len(body.Entries))
+	}
+	// Newest first: the last 4 executed queries in reverse order.
+	for i, e := range body.Entries {
+		want := queries[len(queries)-1-i]
+		if e.Query != want {
+			t.Errorf("entry %d query = %q, want %q", i, e.Query, want)
+		}
+		if e.Trace == nil {
+			t.Errorf("entry %d has no trace tree", i)
+		}
+		if e.ElapsedUS < 0 {
+			t.Errorf("entry %d elapsed = %d", i, e.ElapsedUS)
+		}
+	}
+}
+
+// TestSlowLogRespectsThreshold: fast queries stay out of the log when the
+// threshold is high.
+func TestSlowLogRespectsThreshold(t *testing.T) {
+	ix := buildIndex(t, 10)
+	srv := New(ix, Config{SlowLogThreshold: time.Hour})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	doQuery(t, ts.Client(), ts.URL, `//a/b`)
+	entries, total := srv.slowlog.Snapshot()
+	if len(entries) != 0 || total != 0 {
+		t.Errorf("slowlog = %d entries (total %d), want empty", len(entries), total)
+	}
+}
+
+// TestPprofRoutes: the pprof index is reachable by default and removed by
+// DisablePprof.
+func TestPprofRoutes(t *testing.T) {
+	ix := buildIndex(t, 5)
+	for _, disabled := range []bool{false, true} {
+		srv := New(ix, Config{DisablePprof: disabled})
+		ts := httptest.NewServer(srv.Handler())
+		resp, err := ts.Client().Get(ts.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		ts.Close()
+		if disabled && resp.StatusCode == http.StatusOK {
+			t.Error("pprof reachable with DisablePprof")
+		}
+		if !disabled && resp.StatusCode != http.StatusOK {
+			t.Errorf("pprof index = %d, want 200", resp.StatusCode)
+		}
+	}
+}
