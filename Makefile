@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz chaos bench bench-smoke serve clean ci cover differential
+.PHONY: all build test race vet fuzz chaos bench bench-smoke serve clean ci cover differential shard-e2e
 
 all: build vet test
 
 # Everything CI runs, in one target, so local and CI results agree.
-ci: build vet test race differential cover fuzz chaos bench-smoke
+ci: build vet test race differential cover shard-e2e fuzz chaos bench-smoke
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,14 @@ cover:
 	@$(GO) tool cover -func=cover-prix.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/prix coverage %s%% (floor 78%%)\n", $$3; if ($$3+0 < 78.0) exit 1 }'
 	@$(GO) tool cover -func=cover-obs.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/obs coverage %s%% (floor 80%%)\n", $$3; if ($$3+0 < 80.0) exit 1 }'
 	@rm -f cover-prix.out cover-obs.out
+
+# Multi-shard serving end to end, under the race detector: scatter-gather
+# query over a live HTTP server, quarantine one shard via a corrupt page,
+# partial Degraded answer naming the shard, online /repair, full answer
+# again. Plus the shard package's differential and failover suites.
+shard-e2e:
+	$(GO) test -race ./internal/server -run 'TestShardServerE2E|TestShardedServerMatchesSingleIndex|TestTopologyEpochInCacheKey' -count=1
+	$(GO) test -race ./internal/shard -count=1
 
 # Chaos stage: fault-injection and self-healing end to end. Power-cut sweeps
 # across every write point of a commit and of an online repair, bit-flip

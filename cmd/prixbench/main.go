@@ -10,6 +10,7 @@
 //	prixbench -table serving -serve-clients 16   # concurrent QPS/latency
 //	prixbench -table parallel -parallelism 4     # pipelined vs serial, cold I/O
 //	prixbench -table parallel -datasets DBLP     # smoke-sized variant
+//	prixbench -table shards -replicas 2          # scatter-gather throughput scaling
 package main
 
 import (
@@ -27,7 +28,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("prixbench: ")
 	var (
-		table    = flag.String("table", "all", "artefact: 2..9, fig6, ablation, serving, parallel, stages or all")
+		table    = flag.String("table", "all", "artefact: 2..9, fig6, ablation, serving, parallel, stages, shards or all")
 		scale    = flag.Int("scale", 1, "dataset scale factor")
 		seed     = flag.Int64("seed", 1, "dataset generator seed")
 		pool     = flag.Int("pool", 0, "buffer pool pages (default 2000)")
@@ -35,7 +36,8 @@ func main() {
 		requests = flag.Int("serve-requests", 0, "serving bench: total requests per dataset (default 2000)")
 		par      = flag.Int("parallelism", 4, "parallel/serving bench: query worker cap compared against serial")
 		ioDelay  = flag.Duration("iodelay", 2*time.Millisecond, "parallel bench: injected per-page read latency (2004-era disk)")
-		datasets = flag.String("datasets", "", "parallel bench: comma-separated dataset subset (default all)")
+		datasets = flag.String("datasets", "", "parallel/shards bench: comma-separated dataset subset (default all)")
+		replicas = flag.Int("replicas", 1, "shards bench: replicas per shard")
 	)
 	flag.Parse()
 	s := bench.NewSession(bench.Config{Scale: *scale, Seed: *seed, PoolPages: *pool})
@@ -84,6 +86,17 @@ func main() {
 			names = strings.Split(*datasets, ",")
 		}
 		run(s.Stages(w, bench.StagesConfig{Datasets: names}))
+	case "shards":
+		var names []string
+		if *datasets != "" {
+			names = strings.Split(*datasets, ",")
+		}
+		run(s.Shards(w, bench.ShardsConfig{
+			Goroutines: *clients,
+			Requests:   *requests,
+			Replicas:   *replicas,
+			Datasets:   names,
+		}))
 	case "all":
 		run(s.All(w))
 	default:

@@ -1,10 +1,14 @@
 // Command prixload builds a persistent PRIX index, either from XML files or
-// from one of the built-in synthetic datasets.
+// from one of the built-in synthetic datasets. With -shards > 1 it builds a
+// sharded layout instead: documents are partitioned by docid hash into
+// shard-NNN/replica-NNN index directories under -out, described by
+// topology.json, and served by prixserve's scatter-gather coordinator.
 //
 // Usage:
 //
 //	prixload -out /tmp/idx -dataset dblp -scale 1 [-extended]
 //	prixload -out /tmp/idx -xml 'docs/*.xml' [-extended]
+//	prixload -out /tmp/sharded -dataset dblp -shards 4 -replicas 2
 package main
 
 import (
@@ -30,10 +34,15 @@ func main() {
 		xmlGlob  = flag.String("xml", "", "glob of XML files to index instead of a dataset")
 		extended = flag.Bool("extended", false, "build an Extended-Prüfer index (EPIndex, for value queries)")
 		pool     = flag.Int("pool", 0, "buffer pool pages (default 2000)")
+		shards   = flag.Int("shards", 1, "partition the collection into N shards (sharded layout when > 1)")
+		replicas = flag.Int("replicas", 1, "identical copies of each shard (sharded layout only)")
 	)
 	flag.Parse()
 	if *out == "" {
 		log.Fatal("-out is required")
+	}
+	if *shards < 1 || *replicas < 1 {
+		log.Fatal("-shards and -replicas must be >= 1")
 	}
 	var docs []*core.Document
 	switch {
@@ -66,6 +75,24 @@ func main() {
 		docs = ds.Docs
 	default:
 		log.Fatal("one of -dataset or -xml is required")
+	}
+	if *shards > 1 || *replicas > 1 {
+		topo, err := core.BuildShardedIndex(*out, docs, core.ShardBuildConfig{
+			Shards:          *shards,
+			Replicas:        *replicas,
+			Extended:        *extended,
+			BufferPoolPages: *pool,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		kind := "RPIndex"
+		if topo.Extended {
+			kind = "EPIndex"
+		}
+		fmt.Printf("built sharded %s over %d documents in %s: %d shards x %d replicas (epoch %d)\n",
+			kind, topo.Docs, *out, topo.Shards, topo.Replicas, topo.Epoch)
+		return
 	}
 	ix, err := core.BuildIndex(docs, core.Options{
 		Extended:        *extended,

@@ -8,8 +8,15 @@
 //	prixquery -index /tmp/idx '//inproceedings[./author="Jim Gray"][./year="1990"]'
 //	prixquery -index /tmp/idx -unordered -count '//a[./c]/b'
 //
-// Exit codes: 0 success, 1 execution failure (I/O, deadline, engine error),
-// 2 usage or query-parse error. All diagnostics go to stderr.
+// When -index points at a sharded layout (prixload -shards), the query
+// fans out through the scatter-gather coordinator. A degraded answer —
+// any shard quarantined or down, so matches may be missing — exits 1, not
+// 0, and names the degraded shards on stderr; with -trace the span tree
+// shows the per-shard fan-out and which replica attempts degraded.
+//
+// Exit codes: 0 success, 1 execution failure (I/O, deadline, engine error)
+// or a degraded (partial) answer, 2 usage or query-parse error. All
+// diagnostics go to stderr.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 )
@@ -56,12 +64,30 @@ func run(args []string, stdout, stderr *os.File) int {
 	if *dir == "" {
 		return fail(exitUsage, fmt.Errorf("usage: prixquery -index DIR 'XPATH'"))
 	}
-	ix, err := core.OpenIndex(*dir, core.Options{BufferPoolPages: *pool})
-	if err != nil {
-		return fail(exitError, err)
+	// A topology.json in the directory selects the sharded scatter-gather
+	// path; both sources run through the same executor below.
+	var (
+		src         core.QuerySource
+		reconstruct func(uint32) (*core.Document, error)
+	)
+	if _, terr := core.LoadShardTopology(*dir); terr == nil {
+		co, err := core.OpenShardedIndex(*dir, core.Options{BufferPoolPages: *pool}, core.ShardConfig{})
+		if err != nil {
+			return fail(exitError, err)
+		}
+		defer co.Close()
+		src = co
+		reconstruct = co.ReconstructDocument
+	} else {
+		ix, err := core.OpenIndex(*dir, core.Options{BufferPoolPages: *pool})
+		if err != nil {
+			return fail(exitError, err)
+		}
+		src = ix
+		reconstruct = ix.ReconstructDocument
 	}
 	if *recon >= 0 {
-		doc, err := ix.ReconstructDocument(uint32(*recon))
+		doc, err := reconstruct(uint32(*recon))
 		if err != nil {
 			return fail(exitError, err)
 		}
@@ -86,7 +112,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		defer cancel()
 	}
 	// One-shot execution: no result cache, same path as the HTTP service.
-	exec := core.NewExecutor(ix, -1, 0, nil)
+	exec := core.NewExecutor(src, -1, 0, nil)
 	var tr *core.Trace
 	if *trace {
 		tr = core.NewTrace(fs.Arg(0))
@@ -116,6 +142,22 @@ func run(args []string, stdout, stderr *os.File) int {
 		tr.Finish()
 		fmt.Fprintln(stdout)
 		core.RenderTrace(stdout, tr)
+	}
+	// A degraded answer (quarantined documents skipped, or a whole shard
+	// down) is partial: scripts must not mistake it for the full result.
+	if stats.Degraded {
+		if len(stats.DegradedShards) > 0 {
+			names := make([]string, len(stats.DegradedShards))
+			for i, id := range stats.DegradedShards {
+				names[i] = core.ShardName(id)
+			}
+			if tr != nil {
+				fmt.Fprintf(stdout, "\ndegraded shards: %s\n", strings.Join(names, ", "))
+			}
+			return fail(exitError, fmt.Errorf("degraded (partial) result: %s", strings.Join(names, ", ")))
+		}
+		return fail(exitError, fmt.Errorf("degraded (partial) result: %d documents quarantined",
+			len(src.Quarantined())))
 	}
 	return exitOK
 }

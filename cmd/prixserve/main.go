@@ -7,9 +7,18 @@
 // GET /debug/slowlog serves the slow-query ring buffer and /debug/pprof/
 // exposes the runtime profiler.
 //
+// When -index points at a sharded layout (a directory holding the
+// topology.json written by prixload -shards), prixserve serves it through
+// the scatter-gather coordinator: queries fan out to every shard
+// concurrently, results merge into exactly the single-index order, and a
+// quarantined or dead shard degrades alone — the response is partial with
+// X-Prix-Degraded naming the shard, never a 500. Each shard replica gets
+// its own scrubber, so /scrub and /repair cover the whole fleet.
+//
 // Usage:
 //
 //	prixserve -index /tmp/idx -addr :8080
+//	prixserve -index /tmp/sharded -replicas 2 -hedge 50ms
 //	curl -s localhost:8080/query -d '//inproceedings[./year="1990"]/title'
 //	curl -s localhost:8080/query -d '{"query": "//a[./b]/c", "timeout_ms": 100}'
 //
@@ -21,6 +30,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -52,16 +62,46 @@ func main() {
 		slowAfter = flag.Duration("slowlog-threshold", 0, "log queries at or above this elapsed time (default 100ms; negative logs all)")
 		noTrace   = flag.Bool("no-tracing", false, "disable per-query span collection (stage histograms, slowlog traces, ?trace=1)")
 		noPprof   = flag.Bool("no-pprof", false, "remove the net/http/pprof handlers from /debug/pprof/")
+		replicas  = flag.Int("replicas", 0, "replicas to open per shard on a sharded layout (0 = all in the topology)")
+		hedge     = flag.Duration("hedge", 0, "launch a backup replica read after this delay (sharded layout; 0 disables hedging)")
+		shardInfl = flag.Int("shard-inflight", 0, "max concurrently executing queries per shard (default 64)")
 	)
 	flag.Parse()
 	if *dir == "" {
 		log.Fatal("usage: prixserve -index DIR [-addr :8080]")
 	}
-	ix, err := core.OpenIndex(*dir, core.Options{BufferPoolPages: *pool})
-	if err != nil {
+	// A topology.json in the index directory selects the sharded serving
+	// tier; otherwise the directory is a plain single index. Both satisfy
+	// the same QuerySource contract, so everything below is shared.
+	var (
+		src      core.QuerySource
+		indexes  []*core.Index
+		topoNote string
+	)
+	if topo, err := core.LoadShardTopology(*dir); err == nil {
+		co, err := core.OpenShardedIndex(*dir, core.Options{BufferPoolPages: *pool}, core.ShardConfig{
+			MaxInFlightPerShard: *shardInfl,
+			HedgeDelay:          *hedge,
+			OpenReplicas:        *replicas,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = co
+		indexes = co.Indexes()
+		topoNote = fmt.Sprintf(" across %d shards (%d replicas open, epoch %d)",
+			topo.Shards, len(indexes), topo.Epoch)
+	} else if errors.Is(err, core.ErrNoTopology) {
+		ix, err := core.OpenIndex(*dir, core.Options{BufferPoolPages: *pool})
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = ix
+		indexes = []*core.Index{ix}
+	} else {
 		log.Fatal(err)
 	}
-	srv := core.NewServer(ix, core.ServerConfig{
+	srv := core.NewServer(src, core.ServerConfig{
 		MaxInFlight:      *inflight,
 		DefaultTimeout:   *timeout,
 		MaxTimeout:       *maxTO,
@@ -74,23 +114,28 @@ func main() {
 		DisableTracing:   *noTrace,
 		DisablePprof:     *noPprof,
 	})
-	var sc *core.Scrubber
+	var scrubbers []*core.Scrubber
 	if *scrubIv > 0 {
 		capVal := *inflight
 		if capVal <= 0 {
 			capVal = 64
 		}
-		sc = core.NewScrubber(ix, core.ScrubConfig{
-			Interval:   *scrubIv,
-			AutoRepair: *scrubFix,
-			// Back off while the query load uses more than half the
-			// admission capacity; scrubbing is strictly lower priority.
-			Busy: func() bool {
-				return srv.Metrics().InFlight.Load() > int64(capVal/2)
-			},
-		})
-		srv.SetScrubber(sc)
-		sc.Start()
+		// Back off while the query load uses more than half the admission
+		// capacity; scrubbing is strictly lower priority. On a sharded
+		// layout each replica index scrubs (and heals) independently.
+		busy := func() bool {
+			return srv.Metrics().InFlight.Load() > int64(capVal/2)
+		}
+		for _, ix := range indexes {
+			sc := core.NewScrubber(ix, core.ScrubConfig{
+				Interval:   *scrubIv,
+				AutoRepair: *scrubFix,
+				Busy:       busy,
+			})
+			scrubbers = append(scrubbers, sc)
+			sc.Start()
+		}
+		srv.SetScrubbers(scrubbers)
 	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -109,12 +154,12 @@ func main() {
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
-		if sc != nil {
+		for _, sc := range scrubbers {
 			sc.Stop()
 		}
 	}()
 
-	log.Printf("serving %d docs (extended=%v) on %s", ix.NumDocs(), ix.Extended(), *addr)
+	log.Printf("serving %d docs (extended=%v)%s on %s", src.NumDocs(), src.Extended(), topoNote, *addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// ShardsConfig tunes the sharded-serving benchmark.
+type ShardsConfig struct {
+	// Goroutines is the number of concurrent clients (default 8).
+	Goroutines int
+	// Requests is the total number of queries issued per row (default 2000).
+	Requests int
+	// ShardCounts are the shard counts compared (default 1, 2, 4, 8).
+	ShardCounts []int
+	// Replicas is the copies per shard (default 1).
+	Replicas int
+	// Datasets restricts the run to a subset (default all).
+	Datasets []string
+}
+
+func (c ShardsConfig) withDefaults() ShardsConfig {
+	if c.Goroutines < 1 {
+		c.Goroutines = 8
+	}
+	if c.Requests < 1 {
+		c.Requests = 2000
+	}
+	if len(c.ShardCounts) == 0 {
+		c.ShardCounts = []int{1, 2, 4, 8}
+	}
+	if c.Replicas < 1 {
+		c.Replicas = 1
+	}
+	if len(c.Datasets) == 0 {
+		c.Datasets = datagen.Names()
+	}
+	return c
+}
+
+// Shards benchmarks scatter-gather serving: the same concurrent query mix
+// as the serving table, cache off so every request exercises the engine,
+// against coordinators with growing shard counts over identical documents.
+// Shard fan-out parallelizes each query's work (the shards execute
+// concurrently over disjoint document subsets), so throughput should scale
+// until the shards outnumber the cores or the per-query merge dominates.
+// Every row's match counts are asserted identical to the 1-shard row —
+// the determinism contract, measured rather than assumed.
+func (s *Session) Shards(w io.Writer, cfg ShardsConfig) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "\nSharded serving: %d clients x %d requests, %d replica(s)/shard (Q1-Q9 mix, cache off)\n",
+		cfg.Goroutines, cfg.Requests, cfg.Replicas)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\tShards\tClients\tRequests\tQPS\tp50\tp99\tSpeedup")
+	for _, name := range cfg.Datasets {
+		ds, err := s.Dataset(name)
+		if err != nil {
+			return err
+		}
+		baseline := 0.0
+		baseCounts := map[string]int{}
+		for _, n := range cfg.ShardCounts {
+			row, counts, err := s.shardsRun(ds, n, cfg)
+			if err != nil {
+				return fmt.Errorf("bench: shards %s n=%d: %w", name, n, err)
+			}
+			if baseline == 0 {
+				baseline = row.qps
+				baseCounts = counts
+			} else {
+				for id, want := range baseCounts {
+					if got := counts[id]; got != want {
+						return fmt.Errorf("bench: shards %s n=%d: query %s returned %d matches, 1-shard row %d",
+							name, n, id, got, want)
+					}
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.0f\t%v\t%v\t%.2fx\n",
+				name, n, cfg.Goroutines, row.requests, row.qps, row.p50, row.p99, row.qps/baseline)
+		}
+	}
+	return tw.Flush()
+}
+
+type shardsRow struct {
+	requests int
+	qps      float64
+	p50, p99 time.Duration
+}
+
+func (s *Session) shardsRun(ds *datagen.Dataset, shards int, cfg ShardsConfig) (shardsRow, map[string]int, error) {
+	// EP shards answer every query class in the mix (value queries need the
+	// extended sequences; the rest run on them too), so one coordinator
+	// serves the whole mix the way a sharded deployment would.
+	co, err := shard.BuildMemory(ds.Docs, shard.BuildConfig{
+		Shards:          shards,
+		Replicas:        cfg.Replicas,
+		Extended:        true,
+		BufferPoolPages: s.cfg.pool(),
+	}, shard.Config{})
+	if err != nil {
+		return shardsRow{}, nil, err
+	}
+	defer co.Close()
+	m := server.NewMetrics()
+	exec := server.NewExecutor(co, -1, 0, m) // cache off: every request hits the shards
+	counts := map[string]int{}
+	// Warm pass, sequential: fills buffer pools and records the per-query
+	// match counts the cross-shard-count determinism check compares.
+	for _, qs := range ds.Queries {
+		res, err := exec.Execute(context.Background(), qs.Query(), server.QueryOptions{})
+		if err != nil {
+			return shardsRow{}, nil, fmt.Errorf("warmup %s: %w", qs.ID, err)
+		}
+		counts[qs.ID] = len(res.Matches)
+	}
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	perG := cfg.Requests / cfg.Goroutines
+	start := time.Now()
+	for g := 0; g < cfg.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				qs := ds.Queries[(g+i)%len(ds.Queries)]
+				t0 := time.Now()
+				if _, err := exec.Execute(context.Background(), qs.Query(), server.QueryOptions{}); err != nil {
+					failures.Add(1)
+					continue
+				}
+				m.Latency.Observe(time.Since(t0))
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := perG * cfg.Goroutines
+	if n := failures.Load(); n > 0 {
+		return shardsRow{}, nil, fmt.Errorf("%d of %d requests failed", n, total)
+	}
+	return shardsRow{
+		requests: total,
+		qps:      float64(total) / elapsed.Seconds(),
+		p50:      m.Latency.Quantile(0.50),
+		p99:      m.Latency.Quantile(0.99),
+	}, counts, nil
+}

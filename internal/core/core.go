@@ -13,6 +13,7 @@ import (
 	"repro/internal/prix"
 	"repro/internal/scrub"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/twig"
 	"repro/internal/xmltree"
 )
@@ -158,4 +159,48 @@ func NewScrubber(ix *Index, cfg ScrubConfig) *Scrubber {
 // verified before the live index is touched.
 func RestoreSnapshot(indexDir, snapDir string) error {
 	return prix.RestoreSnapshot(indexDir, snapDir)
+}
+
+// ShardCoordinator is the scatter-gather serving tier over a sharded
+// layout: it satisfies QuerySource, so NewServer/NewExecutor run unchanged
+// over N shards, and a quarantined or dead shard degrades alone (partial
+// Degraded answers instead of errors).
+type ShardCoordinator = shard.Coordinator
+
+// ShardTopology describes a sharded layout (shard/replica counts, document
+// count, placement epoch).
+type ShardTopology = shard.Topology
+
+// ShardConfig tunes coordinator serving (per-shard admission, hedged
+// replica reads, replicas opened per shard).
+type ShardConfig = shard.Config
+
+// ShardBuildConfig parameterizes a sharded build (shard/replica counts,
+// index kind).
+type ShardBuildConfig = shard.BuildConfig
+
+// ErrNoTopology reports a directory without a sharded layout; callers fall
+// back to opening it as a single index.
+var ErrNoTopology = shard.ErrNoTopology
+
+// ShardName renders a shard ordinal's canonical name ("shard-002"), as
+// used in directory layout, X-Prix-Degraded and trace spans.
+func ShardName(i int) string { return shard.Name(i) }
+
+// LoadShardTopology reads root/topology.json.
+func LoadShardTopology(root string) (*ShardTopology, error) {
+	return shard.LoadTopology(root)
+}
+
+// BuildShardedIndex partitions the collection by docid hash and writes a
+// complete sharded layout (topology.json + per-shard replica directories)
+// under root.
+func BuildShardedIndex(root string, docs []*Document, cfg ShardBuildConfig) (*ShardTopology, error) {
+	return shard.Build(root, docs, cfg)
+}
+
+// OpenShardedIndex opens a layout built by BuildShardedIndex and returns
+// its serving coordinator (Close releases the opened replicas).
+func OpenShardedIndex(root string, opts Options, cfg ShardConfig) (*ShardCoordinator, error) {
+	return shard.Open(root, opts, cfg)
 }

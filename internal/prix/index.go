@@ -42,6 +42,17 @@ func (o *Options) pool() int {
 	return o.BufferPoolPages
 }
 
+// ForestFileName and DocsFileName are the page files an on-disk index
+// keeps in its directory, exported for tooling that operates on a closed
+// index's files: the sharded-layout builder clones them into replica
+// directories, and fault-injection tests corrupt them in place. The
+// sidecar journals are not part of the durable state — they are created
+// empty on open.
+const (
+	ForestFileName = forestFile
+	DocsFileName   = docsFile
+)
+
 // file names within Options.Dir.
 const (
 	forestFile = "seq.idx"

@@ -60,6 +60,11 @@ type QueryStats struct {
 	// result is complete over the healthy documents only. The quarantined
 	// docids are available from Index.Quarantined.
 	Degraded bool
+	// DegradedShards lists the shard IDs that contributed only partial (or
+	// no) results, when the query ran through a scatter-gather coordinator
+	// (internal/shard). A single index never sets it; the engine-internal
+	// stat merges leave it alone.
+	DegradedShards []int
 }
 
 // ErrNeedsExtendedIndex marks queries an RPIndex cannot filter: a
@@ -110,6 +115,12 @@ type MatchOptions struct {
 	// fan-out (e.g. Dual's speculative match); it is finished and read by
 	// the caller.
 	Trace *obs.Trace
+	// TraceParent, when set together with Trace, hangs this Match's span
+	// under the given span instead of the trace root. The scatter-gather
+	// coordinator (internal/shard) uses it to group every shard's
+	// execution under its own shard/NNN child, so a traced fan-out reads
+	// as a tree rather than a flat list of identically keyed matches.
+	TraceParent *obs.Span
 }
 
 // context resolves the options' context, defaulting to Background.
@@ -161,7 +172,7 @@ func (ix *Index) Match(q *twig.Query, opts MatchOptions) ([]Match, *QueryStats, 
 	// but never resets the counters: the old in-query ResetIOStats zeroed
 	// them under repairMu.RLock, so two concurrent queries reset each
 	// other's baseline and reported garbage PagesRead.
-	sp := ix.matchSpan(opts.Trace, q)
+	sp := ix.matchSpan(opts.Trace, opts.TraceParent, q)
 	if !opts.WarmCache {
 		t0 := sp.Start()
 		ix.DropCaches()
@@ -200,12 +211,7 @@ func (ix *Index) Match(q *twig.Query, opts MatchOptions) ([]Match, *QueryStats, 
 		return nil, nil, err
 	}
 	t0 := sp.Start()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].DocID != out[j].DocID {
-			return out[i].DocID < out[j].DocID
-		}
-		return lessInt32s(out[i].Positions, out[j].Positions)
-	})
+	sort.Slice(out, func(i, j int) bool { return MatchLess(out[i], out[j]) })
 	sp.Stage(obs.StageReduce, t0)
 	stats.Matches = len(out)
 	stats.PagesRead = ix.PagesRead() - pagesBefore
@@ -221,6 +227,51 @@ func (ix *Index) Count(q *twig.Query, opts MatchOptions) (int, *QueryStats, erro
 		return 0, nil, err
 	}
 	return len(ms), stats, nil
+}
+
+// MatchLess is the engine's canonical result order: (DocID, Positions,
+// Images, Root), exactly the comparator of Match's final sort. It is a
+// TOTAL order over distinct matches — Positions alone does not suffice
+// (single-node queries carry no positions, and dedup keys on Images) —
+// which is what lets the scatter-gather coordinator merge per-shard result
+// lists with this same comparator and produce output byte-identical to a
+// single index's: docids are globally unique, so the cross-shard merge is
+// a plain sort under a tie-free comparator.
+func MatchLess(a, b Match) bool {
+	if a.DocID != b.DocID {
+		return a.DocID < b.DocID
+	}
+	if c := compareInt32s(a.Positions, b.Positions); c != 0 {
+		return c < 0
+	}
+	if c := compareInt32s(a.Images, b.Images); c != 0 {
+		return c < 0
+	}
+	return a.Root < b.Root
+}
+
+// compareInt32s three-way-compares two position/image lists
+// lexicographically, shorter first on a shared prefix.
+func compareInt32s(a, b []int32) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for k := 0; k < n; k++ {
+		if a[k] != b[k] {
+			if a[k] < b[k] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
 }
 
 // lessInt32s orders two position (or image) lists lexicographically with a

@@ -38,16 +38,21 @@ func (ix *Index) ioCounts() (physical, logical uint64) {
 // matchSpan opens the per-Match root span under the caller's trace (nil
 // without one). The span is keyed by index kind so the two halves of a
 // speculative dual match order deterministically under one shared trace.
-func (ix *Index) matchSpan(tr *obs.Trace, q *twig.Query) *obs.Span {
-	root := tr.Root()
-	if root == nil {
+// When parent is non-nil the span hangs off it instead of the trace root —
+// the shard coordinator passes its per-shard span so a traced fan-out
+// nests every index execution under its shard/NNN child.
+func (ix *Index) matchSpan(tr *obs.Trace, parent *obs.Span, q *twig.Query) *obs.Span {
+	if parent == nil {
+		parent = tr.Root()
+	}
+	if parent == nil {
 		return nil
 	}
 	key := "rp"
 	if ix.opts.Extended {
 		key = "ep"
 	}
-	sp := root.ChildIO("match", key, ix.ioCounts)
+	sp := parent.ChildIO("match", key, ix.ioCounts)
 	sp.SetStr("query", q.String())
 	return sp
 }

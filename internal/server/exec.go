@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -29,6 +30,15 @@ type Source interface {
 // every insert.
 type inserter interface {
 	OnInsert(fn func())
+}
+
+// epochSource is the optional topology interface of a Source. A
+// scatter-gather coordinator (internal/shard) exposes its placement epoch;
+// the executor folds it into every cache key so results computed under one
+// document→shard placement can never be served under another (e.g. after
+// the serving tier is pointed at a resharded layout).
+type epochSource interface {
+	TopologyEpoch() uint64
 }
 
 // QueryOptions are the per-request execution knobs exposed by the service.
@@ -83,10 +93,11 @@ type Result struct {
 // the HTTP service, cmd/prixquery and the serving benchmark, so every
 // entry point observes the same semantics.
 type Executor struct {
-	src     Source
-	cache   *Cache
-	metrics *Metrics
-	flight  flightGroup
+	src      Source
+	cache    *Cache
+	metrics  *Metrics
+	flight   flightGroup
+	keyEpoch string // "\x00<epoch>" when the source carries a topology
 }
 
 // NewExecutor wires an executor. capacity < 1 disables the result cache;
@@ -96,6 +107,9 @@ func NewExecutor(src Source, cacheCapacity, cacheShards int, m *Metrics) *Execut
 		m = NewMetrics()
 	}
 	e := &Executor{src: src, cache: NewCache(cacheCapacity, cacheShards), metrics: m}
+	if es, ok := src.(epochSource); ok {
+		e.keyEpoch = "\x00" + strconv.FormatUint(es.TopologyEpoch(), 16)
+	}
 	if di, ok := src.(inserter); ok && e.cache != nil {
 		// Mutable index: every insert invalidates all cached results.
 		// Coarse, but inserts are rare relative to queries in the serving
@@ -121,7 +135,7 @@ func (e *Executor) InvalidateCache() { e.cache.Flush() }
 // Execute runs one parsed query. The context bounds execution: its
 // cancellation is observed between the engine's B+-tree range queries.
 func (e *Executor) Execute(ctx context.Context, q *twig.Query, qo QueryOptions) (*Result, error) {
-	key := q.String() + "\x00" + qo.key()
+	key := q.String() + "\x00" + qo.key() + e.keyEpoch
 	if ent, ok := e.cache.Get(key); ok {
 		e.metrics.CacheHits.Inc()
 		return &Result{Matches: ent.matches, Stats: ent.stats, Cached: true}, nil

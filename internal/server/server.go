@@ -29,7 +29,19 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prix"
 	"repro/internal/scrub"
+	"repro/internal/shard"
 )
+
+// shardedSource is the optional scatter-gather interface of a Source
+// (satisfied by *shard.Coordinator). When present, the service names
+// degraded shards in X-Prix-Degraded and /healthz, and /stats carries the
+// per-shard serving counters.
+type shardedSource interface {
+	NumShards() int
+	DegradedShards() []int
+	ShardStats() []shard.Stats
+	TopologyEpoch() uint64
+}
 
 // Config tunes the service.
 type Config struct {
@@ -129,7 +141,7 @@ type Server struct {
 	draining chan struct{} // closed when draining starts
 	drainOne sync.Once
 	inflight sync.WaitGroup
-	scr      *scrub.Scrubber
+	scrs     []*scrub.Scrubber
 	slowlog  *SlowLog
 }
 
@@ -157,7 +169,13 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // SetScrubber attaches a background scrubber, enabling GET /scrub and
 // POST /repair. Call before serving; the server does not start or stop the
 // scrubber, it only reports on it and triggers repair passes.
-func (s *Server) SetScrubber(sc *scrub.Scrubber) { s.scr = sc }
+func (s *Server) SetScrubber(sc *scrub.Scrubber) { s.scrs = []*scrub.Scrubber{sc} }
+
+// SetScrubbers attaches one scrubber per backing index — the sharded
+// deployment shape, where every shard replica scrubs (and repairs)
+// independently. GET /scrub reports all of them; POST /repair runs a pass
+// on each.
+func (s *Server) SetScrubbers(scs []*scrub.Scrubber) { s.scrs = scs }
 
 // Handler returns the service's route table.
 func (s *Server) Handler() http.Handler {
@@ -239,6 +257,11 @@ type QueryResponse struct {
 	// matches in the quarantined ones. Mirrored in the X-Prix-Degraded
 	// response header so proxies can flag it without parsing the body.
 	Degraded bool `json:"degraded,omitempty"`
+	// DegradedShards names the shards that contributed only partial (or no)
+	// results, when the service runs a sharded backend ("shard-002", ...).
+	// The X-Prix-Degraded header carries the same names comma-joined; a
+	// degraded single-index service sends "true" there instead.
+	DegradedShards []string `json:"degraded_shards,omitempty"`
 	// Quarantined lists the skipped docids when Degraded is set.
 	Quarantined []uint32     `json:"quarantined,omitempty"`
 	Matches     []MatchJSON  `json:"matches,omitempty"`
@@ -462,7 +485,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if resp.Degraded {
 		s.metrics.DegradedServed.Inc()
 		resp.Quarantined = s.exec.Source().Quarantined()
-		w.Header().Set("X-Prix-Degraded", "true")
+		if names := shardNames(res.Stats.DegradedShards); len(names) > 0 {
+			resp.DegradedShards = names
+			w.Header().Set("X-Prix-Degraded", strings.Join(names, ","))
+		} else {
+			w.Header().Set("X-Prix-Degraded", "true")
+		}
 	}
 	if !req.CountOnly {
 		limit := req.Limit
@@ -483,29 +511,53 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// shardNames renders shard ordinals as their canonical names.
+func shardNames(ids []int) []string {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = shard.Name(id)
+	}
+	return out
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
-	// A quarantine makes the service degraded, not down: it still answers
-	// over every healthy document, so the status stays 200 (load balancers
-	// keep routing) while the body and header flag the partial coverage.
-	if q := s.exec.Source().Quarantined(); len(q) > 0 {
-		w.Header().Set("X-Prix-Degraded", "true")
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":      "degraded",
-			"docs":        s.exec.Source().NumDocs(),
-			"extended":    s.exec.Source().Extended(),
-			"quarantined": q,
-		})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":   "ok",
 		"docs":     s.exec.Source().NumDocs(),
 		"extended": s.exec.Source().Extended(),
-	})
+	}
+	degraded := false
+	if sh, ok := s.exec.Source().(shardedSource); ok {
+		body["shards"] = sh.NumShards()
+		body["topology_epoch"] = sh.TopologyEpoch()
+		if names := shardNames(sh.DegradedShards()); len(names) > 0 {
+			degraded = true
+			body["degraded_shards"] = names
+			w.Header().Set("X-Prix-Degraded", strings.Join(names, ","))
+		}
+	}
+	// A quarantine (or a down shard) makes the service degraded, not down:
+	// it still answers over every healthy document, so the status stays 200
+	// (load balancers keep routing) while the body and header flag the
+	// partial coverage.
+	if q := s.exec.Source().Quarantined(); len(q) > 0 {
+		degraded = true
+		body["quarantined"] = q
+		if w.Header().Get("X-Prix-Degraded") == "" {
+			w.Header().Set("X-Prix-Degraded", "true")
+		}
+	}
+	if degraded {
+		body["status"] = "degraded"
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -516,6 +568,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP prix_quarantined_docs Documents quarantined after corruption was detected.\n"+
 		"# TYPE prix_quarantined_docs gauge\nprix_quarantined_docs %d\n",
 		len(s.exec.Source().Quarantined()))
+	if sh, ok := s.exec.Source().(shardedSource); ok {
+		fmt.Fprintf(w, "# HELP prix_degraded_shards Shards currently serving partial results.\n"+
+			"# TYPE prix_degraded_shards gauge\nprix_degraded_shards %d\n",
+			len(sh.DegradedShards()))
+	}
 }
 
 // StatsSnapshot is the GET /stats payload.
@@ -541,12 +598,19 @@ type StatsSnapshot struct {
 	LatencyP50US  int64   `json:"latency_p50_us"`
 	LatencyP95US  int64   `json:"latency_p95_us"`
 	LatencyP99US  int64   `json:"latency_p99_us"`
+	// Sharded backends only: topology and the per-shard serving counters.
+	// The top-level fields (docs, pages_read, quarantined_docs, ...) already
+	// aggregate across every shard and replica; this is the breakdown.
+	NumShards      int           `json:"num_shards,omitempty"`
+	TopologyEpoch  uint64        `json:"topology_epoch,omitempty"`
+	DegradedShards []string      `json:"degraded_shards,omitempty"`
+	Shards         []shard.Stats `json:"shards,omitempty"`
 }
 
 // Snapshot assembles the current stats.
 func (s *Server) Snapshot() StatsSnapshot {
 	m := s.metrics
-	return StatsSnapshot{
+	snap := StatsSnapshot{
 		UptimeSeconds: m.Uptime().Seconds(),
 		Docs:          s.exec.Source().NumDocs(),
 		Served:        m.Served.Load(),
@@ -569,6 +633,13 @@ func (s *Server) Snapshot() StatsSnapshot {
 		LatencyP95US:  m.Latency.Quantile(0.95).Microseconds(),
 		LatencyP99US:  m.Latency.Quantile(0.99).Microseconds(),
 	}
+	if sh, ok := s.exec.Source().(shardedSource); ok {
+		snap.NumShards = sh.NumShards()
+		snap.TopologyEpoch = sh.TopologyEpoch()
+		snap.DegradedShards = shardNames(sh.DegradedShards())
+		snap.Shards = sh.ShardStats()
+	}
+	return snap
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -590,16 +661,32 @@ func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleScrub reports the scrubber's counters and its last pass.
+// handleScrub reports the scrubbers' counters and last passes. One
+// scrubber (the single-index shape) keeps the original flat payload;
+// a sharded service reports one entry per backing index.
 func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
-	if s.scr == nil {
+	if len(s.scrs) == 0 {
 		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
 		return
 	}
+	if len(s.scrs) == 1 {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"enabled":     true,
+			"stats":       s.scrs[0].Stats(),
+			"last_report": s.scrs[0].LastReport(),
+		})
+		return
+	}
+	indexes := make([]map[string]any, len(s.scrs))
+	for i, sc := range s.scrs {
+		indexes[i] = map[string]any{
+			"stats":       sc.Stats(),
+			"last_report": sc.LastReport(),
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"enabled":     true,
-		"stats":       s.scr.Stats(),
-		"last_report": s.scr.LastReport(),
+		"enabled": true,
+		"indexes": indexes,
 	})
 }
 
@@ -608,20 +695,42 @@ func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
 // (or by degraded queries) is healed without restarting the server, and the
 // response says what was rewritten, rebuilt or left for RestoreSnapshot.
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
-	if s.scr == nil {
+	if len(s.scrs) == 0 {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "no scrubber attached"})
 		return
 	}
-	rep, err := s.scr.RepairNow(r.Context())
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, map[string]any{
-			"error":  err.Error(),
-			"report": rep,
-		})
+	if len(s.scrs) == 1 {
+		rep, err := s.scrs[0].RepairNow(r.Context())
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]any{
+				"error":  err.Error(),
+				"report": rep,
+			})
+			return
+		}
+		// The repair may have flipped the service out of degraded mode;
+		// invalidate cached degraded results so full answers are recomputed.
+		s.exec.InvalidateCache()
+		writeJSON(w, http.StatusOK, rep)
 		return
 	}
-	// The repair may have flipped the service out of degraded mode;
-	// invalidate cached degraded results so full answers are recomputed.
+	// Sharded: repair every backing index; a failure on one does not stop
+	// the others (each shard replica heals independently).
+	reports := make([]map[string]any, len(s.scrs))
+	failed := false
+	for i, sc := range s.scrs {
+		rep, err := sc.RepairNow(r.Context())
+		entry := map[string]any{"report": rep}
+		if err != nil {
+			entry["error"] = err.Error()
+			failed = true
+		}
+		reports[i] = entry
+	}
 	s.exec.InvalidateCache()
-	writeJSON(w, http.StatusOK, rep)
+	status := http.StatusOK
+	if failed {
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, map[string]any{"indexes": reports})
 }

@@ -1,0 +1,223 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/prix"
+	"repro/internal/xmltree"
+)
+
+// BuildConfig parameterizes a sharded build.
+type BuildConfig struct {
+	// Shards is the partition count (≥ 1).
+	Shards int
+	// Replicas is the number of identical copies per shard (0 means 1).
+	Replicas int
+	// Extended selects EPIndex shards.
+	Extended bool
+	// BufferPoolPages is passed through to every shard index build.
+	BufferPoolPages int
+	// Epoch overrides the placement epoch (0 means the build timestamp).
+	// Differential tests pin it so layouts built twice compare equal.
+	Epoch uint64
+}
+
+// Partition splits a collection by ownership. The global docid of a
+// document is its position in docs — the id a single index over the same
+// slice would assign — so a document lands on Owner(position, shards), and
+// within each part the documents stay in ascending global order (the order
+// DocMaps assumes the builder used).
+func Partition(docs []*xmltree.Document, shards int) [][]*xmltree.Document {
+	parts := make([][]*xmltree.Document, shards)
+	for g := range docs {
+		s := Owner(uint32(g), shards)
+		parts[s] = append(parts[s], docs[g])
+	}
+	return parts
+}
+
+// Build writes a complete sharded layout under root:
+//
+//	root/topology.json
+//	root/shard-000/replica-000/{seq.idx,docs.db}
+//	root/shard-000/replica-001/...
+//	root/shard-001/...
+//
+// Each shard is built once (replica 0) through the ordinary index builder,
+// then cloned byte-for-byte into the remaining replica directories —
+// replicas are defined to be identical copies, and cloning the sealed page
+// files is both cheaper than rebuilding and guarantees it.
+func Build(root string, docs []*xmltree.Document, cfg BuildConfig) (*Topology, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: build needs at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	epoch := cfg.Epoch
+	if epoch == 0 {
+		epoch = uint64(time.Now().UnixNano())
+	}
+	topo := &Topology{
+		Version:  1,
+		Shards:   cfg.Shards,
+		Replicas: cfg.Replicas,
+		Extended: cfg.Extended,
+		Docs:     uint32(len(docs)),
+		Epoch:    epoch,
+	}
+	parts := Partition(docs, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		b, err := prix.NewBuilder(prix.Options{
+			Extended:        cfg.Extended,
+			BufferPoolPages: cfg.BufferPoolPages,
+			Dir:             ReplicaDir(root, s, 0),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", Name(s), err)
+		}
+		for _, d := range parts[s] {
+			if err := b.Add(d); err != nil {
+				return nil, fmt.Errorf("%s: %w", Name(s), err)
+			}
+		}
+		ix, err := b.Finalize()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", Name(s), err)
+		}
+		if err := ix.Close(); err != nil {
+			return nil, fmt.Errorf("%s: %w", Name(s), err)
+		}
+		for r := 1; r < cfg.Replicas; r++ {
+			if err := cloneReplica(ReplicaDir(root, s, 0), ReplicaDir(root, s, r)); err != nil {
+				return nil, fmt.Errorf("%s replica %d: %w", Name(s), r, err)
+			}
+		}
+	}
+	if err := topo.Save(root); err != nil {
+		return nil, err
+	}
+	return topo, nil
+}
+
+// cloneReplica copies a closed index's durable page files into a fresh
+// replica directory. Journals are not copied: they are transient and
+// recreated empty on open.
+func cloneReplica(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	for _, name := range []string{prix.ForestFileName, prix.DocsFileName} {
+		if err := copyFile(filepath.Join(src, name), filepath.Join(dst, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// Open loads a sharded layout built by Build and returns its serving
+// coordinator. opts supplies per-replica runtime knobs (buffer pool size);
+// the index kind comes from the topology. cfg.OpenReplicas caps how many
+// replicas are opened per shard. The coordinator owns the opened indexes:
+// Close releases them.
+func Open(root string, opts prix.Options, cfg Config) (*Coordinator, error) {
+	topo, err := LoadTopology(root)
+	if err != nil {
+		return nil, err
+	}
+	nrep := topo.Replicas
+	if cfg.OpenReplicas > 0 && cfg.OpenReplicas < nrep {
+		nrep = cfg.OpenReplicas
+	}
+	var opened []*prix.Index
+	closeAll := func() {
+		for _, ix := range opened {
+			ix.Close()
+		}
+	}
+	groups := make([][]Backend, topo.Shards)
+	for s := 0; s < topo.Shards; s++ {
+		for r := 0; r < nrep; r++ {
+			ix, err := prix.Open(ReplicaDir(root, s, r), prix.Options{
+				Extended:        topo.Extended,
+				BufferPoolPages: opts.BufferPoolPages,
+			})
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("%s replica %d: %w", Name(s), r, err)
+			}
+			opened = append(opened, ix)
+			groups[s] = append(groups[s], ix)
+		}
+	}
+	c, err := NewCoordinator(topo, groups, cfg)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	for _, ix := range opened {
+		c.closers = append(c.closers, ix)
+	}
+	return c, nil
+}
+
+// BuildMemory builds an in-memory coordinator over the collection — the
+// test and benchmark path. Replicas are built independently; the index
+// build is deterministic, so R builds of the same documents are identical
+// by construction.
+func BuildMemory(docs []*xmltree.Document, cfg BuildConfig, runtime Config) (*Coordinator, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: build needs at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	epoch := cfg.Epoch
+	if epoch == 0 {
+		epoch = uint64(time.Now().UnixNano())
+	}
+	topo := &Topology{
+		Version:  1,
+		Shards:   cfg.Shards,
+		Replicas: cfg.Replicas,
+		Extended: cfg.Extended,
+		Docs:     uint32(len(docs)),
+		Epoch:    epoch,
+	}
+	parts := Partition(docs, cfg.Shards)
+	groups := make([][]Backend, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		for r := 0; r < cfg.Replicas; r++ {
+			ix, err := prix.Build(parts[s], prix.Options{
+				Extended:        cfg.Extended,
+				BufferPoolPages: cfg.BufferPoolPages,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s replica %d: %w", Name(s), r, err)
+			}
+			groups[s] = append(groups[s], ix)
+		}
+	}
+	return NewCoordinator(topo, groups, runtime)
+}

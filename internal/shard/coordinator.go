@@ -1,0 +1,333 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/prix"
+	"repro/internal/twig"
+	"repro/internal/xmltree"
+)
+
+// DefaultShardInFlight is the per-shard admission bound when the
+// configuration leaves it zero.
+const DefaultShardInFlight = 64
+
+// Config tunes the coordinator.
+type Config struct {
+	// MaxInFlightPerShard bounds concurrently executing queries per shard
+	// (0 means DefaultShardInFlight). The service-level admission bound
+	// still caps the total; this one keeps a single hot shard from
+	// oversubscribing its buffer pools.
+	MaxInFlightPerShard int
+	// HedgeDelay, when positive, launches a backup read on a shard's next
+	// replica if the current one has not answered within the delay —
+	// failover driven by latency, not just errors. 0 disables hedging
+	// (failover on error still applies). Meaningless with one replica.
+	HedgeDelay time.Duration
+	// OpenReplicas caps how many replicas Open loads per shard (0 = all).
+	// A read-light deployment can serve from one replica per shard and
+	// leave the rest on disk for failover redeploys.
+	OpenReplicas int
+}
+
+// Coordinator is the scatter-gather query tier over a shard set. It
+// satisfies the same Source contract the HTTP service expects of a single
+// index, so every layer above it — executor, result cache, admission,
+// tracing — works unchanged over N shards.
+type Coordinator struct {
+	topo    Topology
+	shards  []*Shard
+	closers []io.Closer
+}
+
+// NewCoordinator assembles a coordinator from per-shard replica groups.
+// replicas[s] lists shard s's backends; every backend must agree with the
+// topology on document counts (checked via the derived docid maps) and on
+// the index kind.
+func NewCoordinator(topo *Topology, replicas [][]Backend, cfg Config) (*Coordinator, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if len(replicas) != topo.Shards {
+		return nil, fmt.Errorf("shard: topology has %d shards, got %d replica groups",
+			topo.Shards, len(replicas))
+	}
+	maps := topo.DocMaps()
+	c := &Coordinator{topo: *topo, shards: make([]*Shard, topo.Shards)}
+	for s := range replicas {
+		for _, b := range replicas[s] {
+			if b.Extended() != topo.Extended {
+				return nil, fmt.Errorf("shard %d: extended=%v, topology says %v",
+					s, b.Extended(), topo.Extended)
+			}
+		}
+		sh, err := NewShard(s, maps[s], replicas[s], cfg.MaxInFlightPerShard, cfg.HedgeDelay)
+		if err != nil {
+			return nil, err
+		}
+		c.shards[s] = sh
+	}
+	return c, nil
+}
+
+// Topology returns the layout this coordinator serves.
+func (c *Coordinator) Topology() Topology { return c.topo }
+
+// TopologyEpoch identifies the placement; the executor folds it into
+// result-cache keys so a reshard can never serve stale entries.
+func (c *Coordinator) TopologyEpoch() uint64 { return c.topo.Epoch }
+
+// NumShards returns the shard count.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// Shard returns one shard (tooling and tests).
+func (c *Coordinator) Shard(i int) *Shard { return c.shards[i] }
+
+// NumDocs sums document counts across shards.
+func (c *Coordinator) NumDocs() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.NumDocs()
+	}
+	return n
+}
+
+// Extended reports the index kind shared by every shard.
+func (c *Coordinator) Extended() bool { return c.topo.Extended }
+
+// PagesRead sums physical page reads over every shard's replicas.
+func (c *Coordinator) PagesRead() uint64 {
+	var n uint64
+	for _, s := range c.shards {
+		n += s.PagesRead()
+	}
+	return n
+}
+
+// Quarantined merges every shard's quarantined documents into one
+// ascending global docid list.
+func (c *Coordinator) Quarantined() []uint32 {
+	var out []uint32
+	for _, s := range c.shards {
+		out = append(out, s.Quarantined()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DegradedShards lists shards currently serving less than their full
+// document set: a replica holds quarantined documents, or the shard's last
+// query found every replica dead. The HTTP layer names these in the
+// X-Prix-Degraded header and /healthz.
+func (c *Coordinator) DegradedShards() []int {
+	var out []int
+	for i, s := range c.shards {
+		if s.Down() || len(s.Quarantined()) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ShardStats snapshots every shard's serving counters (the /stats
+// aggregation: callers sum what they need and keep the per-shard detail).
+func (c *Coordinator) ShardStats() []Stats {
+	out := make([]Stats, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// Indexes returns every concrete *prix.Index backend (replica order within
+// ascending shard order), for callers that attach per-index machinery such
+// as scrubbers. In-memory or dynamic backends that are not *prix.Index are
+// skipped.
+func (c *Coordinator) Indexes() []*prix.Index {
+	var out []*prix.Index
+	for _, s := range c.shards {
+		for _, b := range s.Replicas() {
+			if ix, ok := b.(*prix.Index); ok {
+				out = append(out, ix)
+			}
+		}
+	}
+	return out
+}
+
+// Close closes every backend the coordinator owns (those opened by Open;
+// backends handed to NewCoordinator directly are the caller's to close).
+func (c *Coordinator) Close() error {
+	var err error
+	for _, cl := range c.closers {
+		if e := cl.Close(); err == nil {
+			err = e
+		}
+	}
+	c.closers = nil
+	return err
+}
+
+// Match fans the query out to every shard, runs them concurrently and
+// merges. The contract that makes sharding invisible:
+//
+//   - Results are byte-identical to a single index over the same
+//     documents, at every shard count: docids are globally unique and the
+//     per-shard engine is deterministic, so the merge is a sort under the
+//     engine's own comparator (prix.MatchLess).
+//   - A shard whose every replica fails degrades alone: its matches are
+//     missing, stats.Degraded is set and stats.DegradedShards names it —
+//     the query still succeeds over the healthy shards. Only when every
+//     shard fails does Match return an error.
+//   - Query-shape errors (ErrNeedsExtendedIndex) and the caller's own
+//     cancellation propagate immediately: they are identical on every
+//     shard, so partial results would be meaningless.
+//
+// Counter stats sum across shards; PagesRead is the usual monotonic
+// before/after delta over every replica pool; Elapsed is the fan-out's
+// wall clock.
+func (c *Coordinator) Match(q *twig.Query, opts prix.MatchOptions) ([]prix.Match, *prix.QueryStats, error) {
+	start := time.Now()
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pagesBefore := c.PagesRead()
+	parent := opts.TraceParent
+	if parent == nil {
+		parent = opts.Trace.Root()
+	}
+	type shardResult struct {
+		ms    []prix.Match
+		stats *prix.QueryStats
+		err   error
+	}
+	results := make([]shardResult, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		var ssp *obs.Span
+		if opts.Trace != nil {
+			// Shard spans are created before the goroutines start and keyed
+			// by ordinal, so the traced fan-out merges deterministically no
+			// matter which shard finishes first.
+			ssp = parent.ChildKeyed("shard", fmt.Sprintf("%03d", i))
+			ssp.SetInt("docs", int64(c.shards[i].NumDocs()))
+		}
+		wg.Add(1)
+		go func(i int, ssp *obs.Span) {
+			defer wg.Done()
+			o := opts
+			o.Ctx = ctx
+			o.TraceParent = ssp
+			ms, stats, err := c.shards[i].Match(ctx, q, o)
+			if ssp != nil {
+				if err != nil {
+					ssp.SetStr("error", err.Error())
+				} else {
+					ssp.SetInt("matches", int64(len(ms)))
+					if stats.Degraded {
+						ssp.SetInt("degraded", 1)
+					}
+				}
+				ssp.End()
+			}
+			results[i] = shardResult{ms: ms, stats: stats, err: err}
+		}(i, ssp)
+	}
+	wg.Wait()
+
+	merged := &prix.QueryStats{}
+	var out []prix.Match
+	var degradedShards []int
+	var lastErr error
+	healthy := 0
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			switch {
+			case errors.Is(r.err, prix.ErrNeedsExtendedIndex):
+				// Query shape, not shard health: identical on every shard.
+				return nil, nil, r.err
+			case isContextErr(r.err):
+				// The caller's own deadline/cancellation; a partial answer
+				// would be indistinguishable from a complete one.
+				return nil, nil, r.err
+			default:
+				// This shard is unhealthy (every replica failed): degrade
+				// alone, keep the rest of the answer.
+				degradedShards = append(degradedShards, i)
+				merged.Degraded = true
+				lastErr = fmt.Errorf("%s: %w", Name(i), r.err)
+			}
+			continue
+		}
+		healthy++
+		out = append(out, r.ms...)
+		merged.RangeQueries += r.stats.RangeQueries
+		merged.TriePathsPruned += r.stats.TriePathsPruned
+		merged.Candidates += r.stats.Candidates
+		merged.RecordFetches += r.stats.RecordFetches
+		merged.RecordCacheHits += r.stats.RecordCacheHits
+		if r.stats.Degraded {
+			merged.Degraded = true
+			degradedShards = append(degradedShards, i)
+		}
+	}
+	if healthy == 0 {
+		return nil, nil, fmt.Errorf("shard: all %d shards failed: %w", len(c.shards), lastErr)
+	}
+	// Deterministic global order: the engine's own comparator over globally
+	// unique docids. Shards partition the docid space, so this reproduces
+	// the single index's (DocID, Positions) order exactly.
+	sort.Slice(out, func(i, j int) bool { return prix.MatchLess(out[i], out[j]) })
+	sort.Ints(degradedShards)
+	merged.Matches = len(out)
+	merged.PagesRead = c.PagesRead() - pagesBefore
+	merged.Elapsed = time.Since(start)
+	merged.DegradedShards = degradedShards
+	return out, merged, nil
+}
+
+// ReconstructDocument rebuilds one document (by global docid) from its
+// owner shard's stored Prüfer sequences, failing over across replicas.
+func (c *Coordinator) ReconstructDocument(global uint32) (*xmltree.Document, error) {
+	if global >= c.topo.Docs {
+		return nil, fmt.Errorf("shard: docid %d outside collection (%d docs)", global, c.topo.Docs)
+	}
+	s, local := c.topo.Locate(global)
+	var lastErr error
+	for _, b := range c.shards[s].Replicas() {
+		rc, ok := b.(interface {
+			ReconstructDocument(uint32) (*xmltree.Document, error)
+		})
+		if !ok {
+			continue
+		}
+		doc, err := rc.ReconstructDocument(local)
+		if err == nil {
+			doc.ID = int(global)
+			return doc, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no replica supports reconstruction")
+	}
+	return nil, fmt.Errorf("%s: %w", Name(s), lastErr)
+}
+
+// Count is Match returning only the cardinality.
+func (c *Coordinator) Count(q *twig.Query, opts prix.MatchOptions) (int, *prix.QueryStats, error) {
+	ms, stats, err := c.Match(q, opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	return len(ms), stats, nil
+}

@@ -1,0 +1,359 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/prix"
+	"repro/internal/twig"
+)
+
+// Backend is one index carrying a shard's documents — *prix.Index and
+// *prix.DynamicIndex both satisfy it. All replicas of a shard hold
+// byte-identical data, so any of them can answer any of the shard's reads.
+type Backend interface {
+	Match(q *twig.Query, opts prix.MatchOptions) ([]prix.Match, *prix.QueryStats, error)
+	PagesRead() uint64
+	NumDocs() int
+	Extended() bool
+	Quarantined() []uint32
+}
+
+// Shard is one partition of the collection: a replica group plus the
+// local→global docid map and the shard-local health/serving state. Its
+// Match runs one replica (failing over, or hedging, onto the others) and
+// remaps the results into global docids.
+type Shard struct {
+	id       int
+	toGlobal []uint32
+	replicas []Backend
+	// sem is the per-shard admission bound: a hot shard queues (bounded by
+	// the caller's context) instead of oversubscribing its buffer pools,
+	// and a stuck shard cannot absorb every worker goroutine the
+	// coordinator owns.
+	sem   chan struct{}
+	hedge time.Duration
+	// rr rotates the first replica tried, spreading read load (and buffer
+	// pool warmth) across the replica group.
+	rr atomic.Uint32
+	// down latches after a query finds every replica failing, and clears
+	// on the next success; DegradedShards uses it to name dead shards that
+	// have no quarantined documents to point at.
+	down atomic.Bool
+
+	queries   atomic.Uint64
+	errs      atomic.Uint64
+	failovers atomic.Uint64
+	hedges    atomic.Uint64
+	degraded  atomic.Uint64
+	latencyNS atomic.Int64
+}
+
+// NewShard assembles a shard from its replica group. maxInFlight bounds
+// concurrently executing queries on this shard (≤ 0 means
+// DefaultShardInFlight); hedge, when positive, launches a backup read on
+// the next replica if the current one has not answered within that delay.
+func NewShard(id int, toGlobal []uint32, replicas []Backend, maxInFlight int, hedge time.Duration) (*Shard, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("shard %d: no replicas", id)
+	}
+	for r, b := range replicas {
+		if n := b.NumDocs(); n != len(toGlobal) {
+			return nil, fmt.Errorf("shard %d replica %d: %d docs, docmap has %d",
+				id, r, n, len(toGlobal))
+		}
+	}
+	if maxInFlight <= 0 {
+		maxInFlight = DefaultShardInFlight
+	}
+	return &Shard{
+		id:       id,
+		toGlobal: toGlobal,
+		replicas: replicas,
+		sem:      make(chan struct{}, maxInFlight),
+		hedge:    hedge,
+	}, nil
+}
+
+// ID returns the shard's ordinal in the topology.
+func (s *Shard) ID() int { return s.id }
+
+// Replicas returns the replica group (read-only use; the serving CLI
+// attaches a scrubber to each on-disk replica).
+func (s *Shard) Replicas() []Backend { return s.replicas }
+
+// NumDocs returns the documents this shard owns.
+func (s *Shard) NumDocs() int { return len(s.toGlobal) }
+
+// PagesRead sums physical page reads over the replica group.
+func (s *Shard) PagesRead() uint64 {
+	var n uint64
+	for _, b := range s.replicas {
+		n += b.PagesRead()
+	}
+	return n
+}
+
+// Quarantined returns the global docids quarantined on any replica
+// (ascending, deduplicated). Replicas quarantine independently — damage is
+// per copy — so the union is the set of documents some read of this shard
+// may be missing.
+func (s *Shard) Quarantined() []uint32 {
+	seen := map[uint32]bool{}
+	var out []uint32
+	for _, b := range s.replicas {
+		for _, local := range b.Quarantined() {
+			if int(local) >= len(s.toGlobal) {
+				continue
+			}
+			g := s.toGlobal[local]
+			if !seen[g] {
+				seen[g] = true
+				out = append(out, g)
+			}
+		}
+	}
+	sortUint32s(out)
+	return out
+}
+
+// Down reports whether the last query against this shard found every
+// replica failing.
+func (s *Shard) Down() bool { return s.down.Load() }
+
+// Stats is one shard's serving counters, aggregated across its replicas.
+type Stats struct {
+	ID          int      `json:"id"`
+	Replicas    int      `json:"replicas"`
+	Docs        int      `json:"docs"`
+	Queries     uint64   `json:"queries"`
+	Errors      uint64   `json:"errors"`
+	Failovers   uint64   `json:"failovers"`
+	Hedges      uint64   `json:"hedges"`
+	Degraded    uint64   `json:"degraded"`
+	Down        bool     `json:"down,omitempty"`
+	PagesRead   uint64   `json:"pages_read"`
+	MeanUS      int64    `json:"latency_mean_us"`
+	Quarantined []uint32 `json:"quarantined,omitempty"`
+}
+
+// Stats snapshots the shard's counters.
+func (s *Shard) Stats() Stats {
+	st := Stats{
+		ID:          s.id,
+		Replicas:    len(s.replicas),
+		Docs:        len(s.toGlobal),
+		Queries:     s.queries.Load(),
+		Errors:      s.errs.Load(),
+		Failovers:   s.failovers.Load(),
+		Hedges:      s.hedges.Load(),
+		Degraded:    s.degraded.Load(),
+		Down:        s.down.Load(),
+		PagesRead:   s.PagesRead(),
+		Quarantined: s.Quarantined(),
+	}
+	if st.Queries > 0 {
+		st.MeanUS = s.latencyNS.Load() / int64(st.Queries) / int64(time.Microsecond)
+	}
+	return st
+}
+
+// Match executes the query on this shard: per-shard admission, replica
+// selection with failover (and hedging when configured), then docid
+// remapping into the global space. A clean result from any replica wins;
+// a degraded result (quarantined documents skipped) is used only when no
+// replica can do better — replica redundancy masks single-copy damage.
+func (s *Shard) Match(ctx context.Context, q *twig.Query, opts prix.MatchOptions) ([]prix.Match, *prix.QueryStats, error) {
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		return nil, nil, fmt.Errorf("shard %d: admission: %w", s.id, ctx.Err())
+	}
+	start := time.Now()
+	ms, stats, err := s.matchReplicas(ctx, q, opts)
+	s.queries.Add(1)
+	s.latencyNS.Add(int64(time.Since(start)))
+	if err != nil {
+		s.errs.Add(1)
+		if !isContextErr(err) {
+			s.down.Store(true)
+		}
+		return nil, nil, err
+	}
+	s.down.Store(false)
+	if stats.Degraded {
+		s.degraded.Add(1)
+	}
+	for i := range ms {
+		local := ms[i].DocID
+		if int(local) >= len(s.toGlobal) {
+			return nil, nil, fmt.Errorf("shard %d: local docid %d outside docmap (%d docs)",
+				s.id, local, len(s.toGlobal))
+		}
+		ms[i].DocID = s.toGlobal[local]
+	}
+	return ms, stats, nil
+}
+
+// attempt is one replica execution's outcome.
+type attempt struct {
+	ms      []prix.Match
+	stats   *prix.QueryStats
+	err     error
+	replica int
+}
+
+// better reports whether a is a preferable outcome to b: clean beats
+// degraded beats error. Replicas are byte-identical, so any clean result
+// is THE result; preference only decides what to serve when every replica
+// is damaged some way.
+func (a *attempt) better(b *attempt) bool {
+	if b == nil {
+		return true
+	}
+	rank := func(x *attempt) int {
+		switch {
+		case x.err != nil:
+			return 0
+		case x.stats.Degraded:
+			return 1
+		default:
+			return 2
+		}
+	}
+	return rank(a) > rank(b)
+}
+
+// matchReplicas picks the replica order (rotating the start for read
+// spreading) and runs the failover — sequential, or hedged when a hedge
+// delay is configured and the shard has more than one replica.
+func (s *Shard) matchReplicas(ctx context.Context, q *twig.Query, opts prix.MatchOptions) ([]prix.Match, *prix.QueryStats, error) {
+	n := len(s.replicas)
+	first := 0
+	if n > 1 {
+		first = int(s.rr.Add(1)-1) % n
+	}
+	if s.hedge > 0 && n > 1 {
+		return s.matchHedged(ctx, q, opts, first)
+	}
+	var best *attempt
+	for i := 0; i < n; i++ {
+		r := (first + i) % n
+		if i > 0 {
+			s.failovers.Add(1)
+		}
+		a := s.tryReplica(ctx, r, q, opts)
+		if a.err == nil && !a.stats.Degraded {
+			return a.ms, a.stats, nil
+		}
+		if a.err != nil && isContextErr(a.err) {
+			// The caller's deadline died, not the replica: every further
+			// attempt inherits the same dead context.
+			return nil, nil, a.err
+		}
+		if a.better(best) {
+			best = a
+		}
+	}
+	return best.ms, best.stats, best.err
+}
+
+// matchHedged is failover driven by latency as well as errors: the next
+// replica is launched when the current attempt is slow (one hedge) or
+// failed (one failover), and the best outcome wins. Losing attempts are
+// canceled and drained before returning, so no goroutine outlives the
+// call — required for trace safety (the caller finishes and reads the
+// span tree right after) and for sane I/O accounting.
+func (s *Shard) matchHedged(ctx context.Context, q *twig.Query, opts prix.MatchOptions, first int) ([]prix.Match, *prix.QueryStats, error) {
+	n := len(s.replicas)
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resc := make(chan *attempt, n)
+	launched, pending := 0, 0
+	launch := func() {
+		r := (first + launched) % n
+		launched++
+		pending++
+		go func() { resc <- s.tryReplica(actx, r, q, opts) }()
+	}
+	drain := func() {
+		cancel()
+		for pending > 0 {
+			<-resc
+			pending--
+		}
+	}
+	launch()
+	timer := time.NewTimer(s.hedge)
+	defer timer.Stop()
+	var best *attempt
+	for pending > 0 {
+		select {
+		case <-timer.C:
+			if launched < n {
+				s.hedges.Add(1)
+				launch()
+				timer.Reset(s.hedge)
+			}
+		case a := <-resc:
+			pending--
+			if a.err == nil && !a.stats.Degraded {
+				drain()
+				return a.ms, a.stats, nil
+			}
+			if a.err != nil && isContextErr(a.err) && ctx.Err() != nil {
+				drain()
+				return nil, nil, a.err
+			}
+			if a.better(best) {
+				best = a
+			}
+			if launched < n {
+				s.failovers.Add(1)
+				launch()
+			}
+		}
+	}
+	return best.ms, best.stats, best.err
+}
+
+// tryReplica runs the query on one replica, under a replica/NNN trace
+// span so a traced failover shows every attempt it made.
+func (s *Shard) tryReplica(ctx context.Context, r int, q *twig.Query, opts prix.MatchOptions) *attempt {
+	o := opts
+	o.Ctx = ctx
+	var rsp *obs.Span
+	if o.Trace != nil && o.TraceParent != nil {
+		rsp = o.TraceParent.ChildKeyed("replica", fmt.Sprintf("%03d", r))
+		o.TraceParent = rsp
+	}
+	ms, stats, err := s.replicas[r].Match(q, o)
+	if rsp != nil {
+		if err != nil {
+			rsp.SetStr("error", err.Error())
+		} else if stats.Degraded {
+			rsp.SetInt("degraded", 1)
+		}
+		rsp.End()
+	}
+	return &attempt{ms: ms, stats: stats, err: err, replica: r}
+}
+
+// isContextErr reports cancellation or deadline expiry somewhere under the
+// chain.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func sortUint32s(v []uint32) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,554 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/pager"
+	"repro/internal/prix"
+	"repro/internal/twig"
+	"repro/internal/xmltree"
+)
+
+// corpus is a mixed document set: the paper's running example, hand-written
+// shapes with values, and random trees over a small alphabet so every query
+// class has candidates spread across many documents (and therefore across
+// shards at every shard count).
+func corpus() []*xmltree.Document {
+	docs := []*xmltree.Document{
+		xmltree.PaperTree(0),
+		xmltree.MustFromSExpr(1, `(a (b (c)) (d (e)))`),
+		xmltree.MustFromSExpr(2, `(a (b (c "x")) (d))`),
+		xmltree.MustFromSExpr(3, `(a (d (e)) (b (c)))`),
+		xmltree.MustFromSExpr(4, `(a (a (b (c)) (d (e))))`),
+		xmltree.MustFromSExpr(5, `(r)`),
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 6; i < 40; i++ {
+		docs = append(docs, xmltree.RandomDocument(rng, i, xmltree.RandomConfig{
+			Nodes:     30,
+			Alphabet:  []string{"a", "b", "c", "d", "e"},
+			MaxFanout: 4,
+			ValueProb: 0.3,
+			Values:    []string{"x", "y"},
+		}))
+	}
+	return docs
+}
+
+var queries = []struct {
+	src       string
+	unordered bool
+}{
+	{`//A[./B/C]/D/E/F`, false},
+	{`//a[./b/c]/d`, false},
+	{`//a[./b/c]/d`, true},
+	{`//a//d/e`, false},
+	{`//a[./b][./d]//e`, true},
+	{`//a[./b/c="x"]/d`, false},
+	{`//a`, false},
+	{`//b[./c]`, true},
+	{`/a/b/c`, false},
+}
+
+func TestTopologyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	topo := &Topology{Version: 1, Shards: 4, Replicas: 2, Extended: true, Docs: 123, Epoch: 99}
+	if err := topo.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTopology(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, topo) {
+		t.Fatalf("round trip: got %+v want %+v", got, topo)
+	}
+	if _, err := LoadTopology(t.TempDir()); !errors.Is(err, ErrNoTopology) {
+		t.Fatalf("empty dir: err = %v, want ErrNoTopology", err)
+	}
+	for _, bad := range []Topology{
+		{Version: 2, Shards: 1, Replicas: 1},
+		{Version: 1, Shards: 0, Replicas: 1},
+		{Version: 1, Shards: 1, Replicas: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", bad)
+		}
+	}
+}
+
+// TestOwnerPlacement: ownership is pure, total, and spreads sequential
+// docids reasonably evenly (hashing, not range partitioning).
+func TestOwnerPlacement(t *testing.T) {
+	const n, shards = 10000, 7
+	counts := make([]int, shards)
+	for g := uint32(0); g < n; g++ {
+		s := Owner(g, shards)
+		if s < 0 || s >= shards {
+			t.Fatalf("Owner(%d, %d) = %d out of range", g, shards, s)
+		}
+		if s != Owner(g, shards) {
+			t.Fatalf("Owner not deterministic at %d", g)
+		}
+		counts[s]++
+	}
+	want := n / shards
+	for s, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("shard %d owns %d of %d docs (expected near %d): placement badly skewed", s, c, n, want)
+		}
+	}
+}
+
+// TestDocMapsPartition: the derived local→global maps are a partition of
+// the docid space, each ascending, and Locate agrees with them.
+func TestDocMapsPartition(t *testing.T) {
+	topo := &Topology{Version: 1, Shards: 5, Replicas: 1, Docs: 997}
+	maps := topo.DocMaps()
+	seen := map[uint32]bool{}
+	for s, m := range maps {
+		for local, g := range m {
+			if local > 0 && m[local-1] >= g {
+				t.Fatalf("shard %d docmap not ascending at %d", s, local)
+			}
+			if seen[g] {
+				t.Fatalf("docid %d owned twice", g)
+			}
+			seen[g] = true
+			if os, ol := topo.Locate(g); os != s || ol != uint32(local) {
+				t.Fatalf("Locate(%d) = (%d,%d), docmap says (%d,%d)", g, os, ol, s, local)
+			}
+		}
+	}
+	if len(seen) != int(topo.Docs) {
+		t.Fatalf("maps cover %d of %d docs", len(seen), topo.Docs)
+	}
+}
+
+// TestShardedMatchesSingleIndexDifferential is the tentpole contract: at
+// every shard count the scatter-gather answer is byte-identical to one
+// index over the same documents — matches, order, and the Degraded flag —
+// on both index kinds and across every query class.
+func TestShardedMatchesSingleIndexDifferential(t *testing.T) {
+	docs := corpus()
+	for _, extended := range []bool{false, true} {
+		single, err := prix.Build(docs, prix.Options{Extended: extended})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 2, 4, 7} {
+			co, err := BuildMemory(docs, BuildConfig{Shards: shards, Extended: extended, Epoch: 1}, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if co.NumDocs() != single.NumDocs() {
+				t.Fatalf("ext=%v n=%d: NumDocs = %d, single %d", extended, shards, co.NumDocs(), single.NumDocs())
+			}
+			for _, qc := range queries {
+				q := twig.MustParse(qc.src)
+				opts := prix.MatchOptions{WarmCache: true, Unordered: qc.unordered}
+				wantMS, wantStats, wantErr := single.Match(q, opts)
+				gotMS, gotStats, gotErr := co.Match(q, opts)
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("ext=%v n=%d %s: err = %v, single err = %v", extended, shards, qc.src, gotErr, wantErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				if !reflect.DeepEqual(gotMS, wantMS) {
+					t.Errorf("ext=%v n=%d %s: matches diverge from single index\n got %v\nwant %v",
+						extended, shards, qc.src, gotMS, wantMS)
+				}
+				if gotStats.Matches != wantStats.Matches || gotStats.Degraded != wantStats.Degraded {
+					t.Errorf("ext=%v n=%d %s: stats (matches=%d degraded=%v), single (matches=%d degraded=%v)",
+						extended, shards, qc.src, gotStats.Matches, gotStats.Degraded,
+						wantStats.Matches, wantStats.Degraded)
+				}
+				if len(gotStats.DegradedShards) != 0 {
+					t.Errorf("ext=%v n=%d %s: healthy run reports DegradedShards %v",
+						extended, shards, qc.src, gotStats.DegradedShards)
+				}
+			}
+		}
+	}
+}
+
+// corruptOneRecordPage flips a bit in the first record page of the index
+// files in dir, returning the page corrupted. The caller reopens or resets
+// pools so reads observe the damage.
+func corruptOneRecordPage(t *testing.T, ix *prix.Index) {
+	t.Helper()
+	f := ix.Store().BufferPool().File()
+	for id := uint32(0); id < f.NumPages(); id++ {
+		if len(ix.Store().DocsOnPage(pager.PageID(id))) > 0 {
+			if err := pager.FlipBit(f, pager.PageID(id), (pager.PageHeaderSize+7)*8); err != nil {
+				t.Fatal(err)
+			}
+			if err := ix.ResetIOStats(); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+	}
+	t.Fatal("no record pages to corrupt")
+}
+
+// TestShardedDegradedCorruptPage is the fault-injected half of the
+// differential: with one shard's only replica carrying a corrupt record
+// page, the coordinator still answers — the result is exactly the single
+// index's matches minus the quarantined documents', Degraded is set, and
+// DegradedShards names the damaged shard alone.
+func TestShardedDegradedCorruptPage(t *testing.T) {
+	docs := corpus()
+	single, err := prix.Build(docs, prix.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	if _, err := Build(root, docs, BuildConfig{Shards: 4, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	co, err := Open(root, prix.Options{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	const victim = 2
+	corruptOneRecordPage(t, co.Indexes()[victim])
+
+	for _, qc := range queries {
+		q := twig.MustParse(qc.src)
+		opts := prix.MatchOptions{WarmCache: true, Unordered: qc.unordered}
+		wantMS, _, wantErr := single.Match(q, opts)
+		gotMS, gotStats, gotErr := co.Match(q, opts)
+		if wantErr != nil {
+			if gotErr == nil {
+				t.Fatalf("%s: sharded succeeded where single index errors (%v)", qc.src, wantErr)
+			}
+			continue
+		}
+		if gotErr != nil {
+			t.Fatalf("%s: %v", qc.src, gotErr)
+		}
+		quarantined := map[uint32]bool{}
+		for _, d := range co.Quarantined() {
+			quarantined[d] = true
+		}
+		var pruned []prix.Match
+		for _, m := range wantMS {
+			if !quarantined[m.DocID] {
+				pruned = append(pruned, m)
+			}
+		}
+		if !reflect.DeepEqual(gotMS, pruned) {
+			t.Errorf("%s: degraded matches != single-index matches minus quarantined docs\n got %v\nwant %v",
+				qc.src, gotMS, pruned)
+		}
+		if len(pruned) != len(wantMS) {
+			// This query actually lost matches to the quarantine, so the
+			// degradation must be visible and attributed.
+			if !gotStats.Degraded {
+				t.Errorf("%s: lost matches but Degraded not set", qc.src)
+			}
+			if !reflect.DeepEqual(gotStats.DegradedShards, []int{victim}) {
+				t.Errorf("%s: DegradedShards = %v, want [%d]", qc.src, gotStats.DegradedShards, victim)
+			}
+		}
+	}
+	if got := co.DegradedShards(); !reflect.DeepEqual(got, []int{victim}) {
+		t.Fatalf("coordinator DegradedShards = %v, want [%d]", got, victim)
+	}
+}
+
+// TestReplicaFailoverMasksCorruption: with two replicas per shard, damage
+// to one replica's pages never degrades the shard — the failover retries
+// the read on the healthy copy and the answer stays clean and complete.
+func TestReplicaFailoverMasksCorruption(t *testing.T) {
+	docs := corpus()
+	single, err := prix.Build(docs, prix.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	if _, err := Build(root, docs, BuildConfig{Shards: 3, Replicas: 2, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	co, err := Open(root, prix.Options{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	// Indexes() is replica-major within shard order: corrupt shard 1's
+	// replica 0 only.
+	corruptOneRecordPage(t, co.Indexes()[2])
+
+	q := twig.MustParse(`//a`)
+	want, _, err := single.Match(q, prix.MatchOptions{WarmCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Several passes so round-robin rotation starts on the damaged replica
+	// at least once.
+	for i := 0; i < 4; i++ {
+		got, stats, err := co.Match(q, prix.MatchOptions{WarmCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Degraded {
+			t.Fatalf("pass %d: degraded despite a healthy replica", i)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pass %d: matches diverge from single index", i)
+		}
+	}
+	if st := co.Shard(1).Stats(); st.Failovers == 0 && st.Degraded == 0 {
+		// The damaged replica must have been tried and routed around at
+		// least once across the rotating passes.
+		t.Fatalf("shard 1 never failed over: stats %+v", st)
+	}
+}
+
+// stubBackend scripts one replica's behavior for failover/hedging tests.
+type stubBackend struct {
+	docs     int
+	delay    time.Duration
+	err      error
+	degraded bool
+	calls    int
+}
+
+func (s *stubBackend) Match(q *twig.Query, opts prix.MatchOptions) ([]prix.Match, *prix.QueryStats, error) {
+	s.calls++
+	if s.delay > 0 {
+		ctx := opts.Ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		select {
+		case <-time.After(s.delay):
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+	if s.err != nil {
+		return nil, nil, s.err
+	}
+	return []prix.Match{{DocID: 0, Positions: []int32{1}, Images: []int32{1}, Root: 1}},
+		&prix.QueryStats{Matches: 1, Degraded: s.degraded}, nil
+}
+func (s *stubBackend) PagesRead() uint64     { return 0 }
+func (s *stubBackend) NumDocs() int          { return s.docs }
+func (s *stubBackend) Extended() bool        { return false }
+func (s *stubBackend) Quarantined() []uint32 { return nil }
+
+func stubShard(t *testing.T, hedge time.Duration, backends ...*stubBackend) *Shard {
+	t.Helper()
+	bs := make([]Backend, len(backends))
+	for i, b := range backends {
+		b.docs = 1
+		bs[i] = b
+	}
+	sh, err := NewShard(0, []uint32{42}, bs, 0, hedge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+func TestShardFailoverPrefersClean(t *testing.T) {
+	q := twig.MustParse(`//a`)
+	// First replica errors, second is degraded, third is clean: the clean
+	// one must win, with two failovers recorded.
+	bad := &stubBackend{err: errors.New("boom")}
+	deg := &stubBackend{degraded: true}
+	ok := &stubBackend{}
+	sh := stubShard(t, 0, bad, deg, ok)
+	ms, stats, err := sh.Match(context.Background(), q, prix.MatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Degraded {
+		t.Fatal("clean replica available but result degraded")
+	}
+	if len(ms) != 1 || ms[0].DocID != 42 {
+		t.Fatalf("remap: got %v, want docid 42", ms)
+	}
+	if got := sh.Stats().Failovers; got != 2 {
+		t.Fatalf("failovers = %d, want 2", got)
+	}
+
+	// Only damaged replicas: the degraded answer beats the error.
+	sh = stubShard(t, 0, &stubBackend{err: errors.New("boom")}, &stubBackend{degraded: true})
+	_, stats, err = sh.Match(context.Background(), q, prix.MatchOptions{})
+	if err != nil || !stats.Degraded {
+		t.Fatalf("want degraded success, got stats=%+v err=%v", stats, err)
+	}
+
+	// All replicas failing: the error surfaces and the shard latches down.
+	sh = stubShard(t, 0, &stubBackend{err: errors.New("boom")}, &stubBackend{err: errors.New("boom")})
+	if _, _, err = sh.Match(context.Background(), q, prix.MatchOptions{}); err == nil {
+		t.Fatal("all replicas failed but Match succeeded")
+	}
+	if !sh.Down() {
+		t.Fatal("shard not marked down after total failure")
+	}
+}
+
+func TestShardHedgedRead(t *testing.T) {
+	q := twig.MustParse(`//a`)
+	slow := &stubBackend{delay: 300 * time.Millisecond}
+	fast := &stubBackend{}
+	sh := stubShard(t, 5*time.Millisecond, slow, fast)
+	sh.rr.Store(0) // pin rotation so the slow replica is tried first
+	start := time.Now()
+	ms, stats, err := sh.Match(context.Background(), q, prix.MatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Degraded || len(ms) != 1 {
+		t.Fatalf("hedged read: stats=%+v ms=%v", stats, ms)
+	}
+	if e := time.Since(start); e > 250*time.Millisecond {
+		t.Fatalf("hedged read took %v: backup was not launched early", e)
+	}
+	if got := sh.Stats().Hedges; got != 1 {
+		t.Fatalf("hedges = %d, want 1", got)
+	}
+	if fast.calls != 1 {
+		t.Fatalf("backup replica called %d times, want 1", fast.calls)
+	}
+}
+
+func TestShardAdmissionRespectsContext(t *testing.T) {
+	q := twig.MustParse(`//a`)
+	slow := &stubBackend{docs: 1, delay: time.Second}
+	bs := []Backend{slow}
+	sh, err := NewShard(0, []uint32{7}, bs, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	go func() {
+		defer close(release)
+		sh.Match(context.Background(), q, prix.MatchOptions{})
+	}()
+	// Wait for the slot to be taken.
+	for i := 0; cap(sh.sem) != len(sh.sem); i++ {
+		if i > 1000 {
+			t.Fatal("first query never took the admission slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, _, err := sh.Match(ctx, q, prix.MatchOptions{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("admission under full shard: err = %v, want deadline", err)
+	}
+	<-release
+}
+
+// TestCoordinatorShardDownPartial: a wholly failed shard degrades the
+// answer, it does not fail it; only every shard failing is an error.
+func TestCoordinatorShardDownPartial(t *testing.T) {
+	q := twig.MustParse(`//a`)
+	topo := &Topology{Version: 1, Shards: 2, Replicas: 1, Docs: 2, Epoch: 1}
+	ok := &stubBackend{docs: 1}
+	dead := &stubBackend{docs: 1, err: errors.New("disk gone")}
+	co, err := NewCoordinator(topo, [][]Backend{{ok}, {dead}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, stats, err := co.Match(q, prix.MatchOptions{})
+	if err != nil {
+		t.Fatalf("partial failure must not error: %v", err)
+	}
+	if !stats.Degraded || !reflect.DeepEqual(stats.DegradedShards, []int{1}) {
+		t.Fatalf("stats = %+v, want degraded with shard 1 named", stats)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("matches = %v, want the healthy shard's one", ms)
+	}
+	if got := co.DegradedShards(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("DegradedShards = %v, want [1]", got)
+	}
+
+	dead2 := &stubBackend{docs: 1, err: errors.New("disk gone")}
+	co, err = NewCoordinator(topo, [][]Backend{{dead2}, {dead}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := co.Match(q, prix.MatchOptions{}); err == nil {
+		t.Fatal("every shard failed but Match succeeded")
+	}
+}
+
+// TestBuildOpenRoundTrip: the on-disk layout (topology + cloned replicas)
+// reopens into a coordinator that answers like the in-memory build and
+// reconstructs documents across the shard boundary.
+func TestBuildOpenRoundTrip(t *testing.T) {
+	docs := corpus()
+	root := t.TempDir()
+	topo, err := Build(root, docs, BuildConfig{Shards: 3, Replicas: 2, Extended: true, Epoch: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Epoch != 77 || topo.Shards != 3 || topo.Replicas != 2 || int(topo.Docs) != len(docs) {
+		t.Fatalf("topology %+v", topo)
+	}
+	for s := 0; s < 3; s++ {
+		for r := 0; r < 2; r++ {
+			if _, err := filepath.Glob(ReplicaDir(root, s, r)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	co, err := Open(root, prix.Options{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	if co.TopologyEpoch() != 77 || co.NumShards() != 3 || !co.Extended() {
+		t.Fatalf("coordinator: epoch=%d shards=%d ext=%v", co.TopologyEpoch(), co.NumShards(), co.Extended())
+	}
+	single, err := prix.Build(docs, prix.Options{Extended: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qc := range queries {
+		q := twig.MustParse(qc.src)
+		opts := prix.MatchOptions{WarmCache: true, Unordered: qc.unordered}
+		want, _, wantErr := single.Match(q, opts)
+		got, _, gotErr := co.Match(q, opts)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("%s: err=%v single=%v", qc.src, gotErr, wantErr)
+		}
+		if wantErr == nil && !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: reopened layout diverges from single index", qc.src)
+		}
+	}
+	// Reconstruction crosses the global→(shard, local) mapping.
+	doc, err := co.ReconstructDocument(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.ID != 3 {
+		t.Fatalf("reconstructed doc ID = %d, want 3", doc.ID)
+	}
+
+	// OpenReplicas=1 serves from one copy per shard.
+	co1, err := Open(root, prix.Options{}, Config{OpenReplicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co1.Close()
+	if n := len(co1.Indexes()); n != 3 {
+		t.Fatalf("OpenReplicas=1 opened %d indexes, want 3", n)
+	}
+}
