@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz chaos bench bench-smoke serve clean ci cover differential shard-e2e
+.PHONY: all build test race vet fuzz chaos bench bench-smoke serve clean ci cover differential shard-e2e ingest-e2e
 
 all: build vet test
 
 # Everything CI runs, in one target, so local and CI results agree.
-ci: build vet test race differential cover shard-e2e fuzz chaos bench-smoke
+ci: build vet test race differential cover shard-e2e ingest-e2e fuzz chaos bench-smoke
 
 build:
 	$(GO) build ./...
@@ -46,9 +46,11 @@ differential:
 cover:
 	$(GO) test -coverprofile=cover-prix.out ./internal/prix > /dev/null
 	$(GO) test -coverprofile=cover-obs.out ./internal/obs > /dev/null
+	$(GO) test -coverprofile=cover-ingest.out -short ./internal/ingest > /dev/null
 	@$(GO) tool cover -func=cover-prix.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/prix coverage %s%% (floor 78%%)\n", $$3; if ($$3+0 < 78.0) exit 1 }'
 	@$(GO) tool cover -func=cover-obs.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/obs coverage %s%% (floor 80%%)\n", $$3; if ($$3+0 < 80.0) exit 1 }'
-	@rm -f cover-prix.out cover-obs.out
+	@$(GO) tool cover -func=cover-ingest.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/ingest coverage %s%% (floor 75%%)\n", $$3; if ($$3+0 < 75.0) exit 1 }'
+	@rm -f cover-prix.out cover-obs.out cover-ingest.out
 
 # Multi-shard serving end to end, under the race detector: scatter-gather
 # query over a live HTTP server, quarantine one shard via a corrupt page,
@@ -57,6 +59,18 @@ cover:
 shard-e2e:
 	$(GO) test -race ./internal/server -run 'TestShardServerE2E|TestShardedServerMatchesSingleIndex|TestTopologyEpochInCacheKey' -count=1
 	$(GO) test -race ./internal/shard -count=1
+
+# Streaming bulk ingest end to end, under the race detector: a corpus 20x
+# the memory budget streamed through the three-stage pipeline with peak heap
+# pinned under a GC memory limit, power-cut sweeps over every write point
+# (run files, manifest commits, spill chunks, index pages, replica clones,
+# topology) with the resumed index asserted byte-identical to an
+# uninterrupted build, and the malformed-record skip budget (counts, byte
+# offsets, budget exhaustion). The record cursor's checkpoint/resume
+# contract is covered in the same pass.
+ingest-e2e:
+	$(GO) test -race ./internal/ingest -count=1
+	$(GO) test -race ./internal/xmltree -run 'Cursor|Resume|ParseError' -count=1
 
 # Chaos stage: fault-injection and self-healing end to end. Power-cut sweeps
 # across every write point of a commit and of an online repair, bit-flip

@@ -11,6 +11,7 @@
 //	prixbench -table parallel -parallelism 4     # pipelined vs serial, cold I/O
 //	prixbench -table parallel -datasets DBLP     # smoke-sized variant
 //	prixbench -table shards -replicas 2          # scatter-gather throughput scaling
+//	prixbench -table ingest                      # streaming bulk-load MB/s, peak heap, resume cost
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -28,16 +30,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("prixbench: ")
 	var (
-		table    = flag.String("table", "all", "artefact: 2..9, fig6, ablation, serving, parallel, stages, shards or all")
-		scale    = flag.Int("scale", 1, "dataset scale factor")
-		seed     = flag.Int64("seed", 1, "dataset generator seed")
-		pool     = flag.Int("pool", 0, "buffer pool pages (default 2000)")
-		clients  = flag.Int("serve-clients", 0, "serving bench: concurrent clients (default 8)")
-		requests = flag.Int("serve-requests", 0, "serving bench: total requests per dataset (default 2000)")
-		par      = flag.Int("parallelism", 4, "parallel/serving bench: query worker cap compared against serial")
-		ioDelay  = flag.Duration("iodelay", 2*time.Millisecond, "parallel bench: injected per-page read latency (2004-era disk)")
-		datasets = flag.String("datasets", "", "parallel/shards bench: comma-separated dataset subset (default all)")
-		replicas = flag.Int("replicas", 1, "shards bench: replicas per shard")
+		table     = flag.String("table", "all", "artefact: 2..9, fig6, ablation, serving, parallel, stages, shards, ingest or all")
+		scale     = flag.Int("scale", 1, "dataset scale factor")
+		seed      = flag.Int64("seed", 1, "dataset generator seed")
+		pool      = flag.Int("pool", 0, "buffer pool pages (default 2000)")
+		clients   = flag.Int("serve-clients", 0, "serving bench: concurrent clients (default 8)")
+		requests  = flag.Int("serve-requests", 0, "serving bench: total requests per dataset (default 2000)")
+		par       = flag.Int("parallelism", 4, "parallel/serving bench: query worker cap compared against serial")
+		ioDelay   = flag.Duration("iodelay", 2*time.Millisecond, "parallel bench: injected per-page read latency (2004-era disk)")
+		datasets  = flag.String("datasets", "", "parallel/shards bench: comma-separated dataset subset (default all)")
+		replicas  = flag.Int("replicas", 1, "shards bench: replicas per shard")
+		sizes     = flag.String("ingest-sizes", "", "ingest bench: comma-separated corpus sizes in MB (default 8,24,72)")
+		memBudget = flag.Int("ingest-budget", 0, "ingest bench: memory budget in MB (default 8)")
 	)
 	flag.Parse()
 	s := bench.NewSession(bench.Config{Scale: *scale, Seed: *seed, PoolPages: *pool})
@@ -97,6 +101,18 @@ func main() {
 			Replicas:   *replicas,
 			Datasets:   names,
 		}))
+	case "ingest":
+		var mbs []int
+		if *sizes != "" {
+			for _, part := range strings.Split(*sizes, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil || n < 1 {
+					log.Fatalf("-ingest-sizes: bad size %q", part)
+				}
+				mbs = append(mbs, n)
+			}
+		}
+		run(s.IngestBench(w, bench.IngestConfig{SizesMB: mbs, MemBudgetMB: *memBudget}))
 	case "all":
 		run(s.All(w))
 	default:

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/pager"
+	"repro/internal/xmltree"
+)
+
+// IngestConfig tunes the streaming-ingest benchmark.
+type IngestConfig struct {
+	// SizesMB are the corpus sizes measured (default 8, 24, 72 — each a
+	// multiple of the memory budget, so the spill path is always exercised).
+	SizesMB []int
+	// MemBudgetMB is the pipeline's memory budget (default 8).
+	MemBudgetMB int
+}
+
+func (c IngestConfig) withDefaults() IngestConfig {
+	if len(c.SizesMB) == 0 {
+		c.SizesMB = []int{8, 24, 72}
+	}
+	if c.MemBudgetMB < 1 {
+		c.MemBudgetMB = 8
+	}
+	return c
+}
+
+// writeIngestCorpus streams synthetic records to path until it reaches at
+// least target bytes, cycling a fixed pool of record variants so vocabulary
+// and structure stay bounded while the corpus grows — the regime streaming
+// ingest is built for.
+func writeIngestCorpus(path string, target int64) (size int64, records int, err error) {
+	filler := "streaming ingest benchmark corpus record body text segment "
+	variants := make([]string, 128)
+	for i := range variants {
+		variants[i] = fmt.Sprintf(
+			"<paper><title>topic %d</title><abstract>%s%s v%d</abstract><authors><a>author %d</a><a>author %d</a></authors><year>%d</year></paper>\n",
+			i%32, filler, filler, i%8, i%16, (i+5)%16, 1970+i%40)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	n, _ := bw.WriteString("<collection>\n")
+	size = int64(n)
+	for size < target {
+		n, _ = bw.WriteString(variants[records%len(variants)])
+		size += int64(n)
+		records++
+	}
+	n, _ = bw.WriteString("</collection>\n")
+	size += int64(n)
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return 0, 0, err
+	}
+	return size, records, f.Close()
+}
+
+type ingestRow struct {
+	sizeMB   float64
+	records  int
+	wall     time.Duration
+	mbps     float64
+	peakMB   float64
+	runs     int
+	overhead float64 // resume overhead vs uninterrupted, percent
+}
+
+// IngestBench measures the crash-resumable streaming bulk loader: ingest
+// throughput (MB/s) and peak heap under a fixed memory budget across
+// growing corpus sizes, plus the cost of a mid-build power cut followed by
+// resume relative to an uninterrupted build.
+func (s *Session) IngestBench(w io.Writer, cfg IngestConfig) error {
+	cfg = cfg.withDefaults()
+	budget := int64(cfg.MemBudgetMB) << 20
+	scratch, err := os.MkdirTemp("", "prix-ingest-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+
+	fmt.Fprintf(w, "\nStreaming bulk ingest (budget %d MiB, split corpus, epoch pinned)\n", cfg.MemBudgetMB)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "corpus MB\trecords\twall\tMB/s\tpeak heap MB\truns\tresume overhead")
+	for i, mb := range cfg.SizesMB {
+		row, err := s.ingestOne(filepath.Join(scratch, fmt.Sprintf("s%d", i)), int64(mb)<<20, budget)
+		if err != nil {
+			return fmt.Errorf("ingest bench %d MB: %w", mb, err)
+		}
+		fmt.Fprintf(tw, "%.1f\t%d\t%s\t%.1f\t%.1f\t%d\t%+.1f%%\n",
+			row.sizeMB, row.records, row.wall.Round(time.Millisecond), row.mbps,
+			row.peakMB, row.runs, row.overhead)
+	}
+	return tw.Flush()
+}
+
+func (s *Session) ingestOne(dir string, target, budget int64) (ingestRow, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ingestRow{}, err
+	}
+	input := filepath.Join(dir, "corpus.xml")
+	size, records, err := writeIngestCorpus(input, target)
+	if err != nil {
+		return ingestRow{}, err
+	}
+	opts := func(out string) ingest.Options {
+		return ingest.Options{
+			Input:     input,
+			Dir:       out,
+			Split:     true,
+			Parse:     xmltree.ParseOptions{},
+			MemBudget: budget,
+			Epoch:     1,
+		}
+	}
+
+	// Uninterrupted run, instrumented with a counting power clock (so the
+	// same pass also learns the total write count for the cut below) and a
+	// heap sampler.
+	counting := pager.NewPowerClock(0)
+	peak, stop := sampleHeap()
+	oc := opts(filepath.Join(dir, "fresh"))
+	oc.FS = ingest.NewFaultFS(ingest.OSFS{}, counting)
+	t0 := time.Now()
+	rep, err := ingest.Run(oc)
+	fresh := time.Since(t0)
+	stop()
+	if err != nil {
+		return ingestRow{}, err
+	}
+	if int(rep.Docs) != records {
+		return ingestRow{}, fmt.Errorf("indexed %d docs, want %d", rep.Docs, records)
+	}
+
+	// Power cut halfway through the observed writes, then resume on a clean
+	// stack; overhead is the extra wall time the interruption cost.
+	cut := filepath.Join(dir, "cut")
+	clock := pager.NewPowerClock(counting.Writes() / 2)
+	ocut := opts(cut)
+	ocut.FS = ingest.NewFaultFS(ingest.OSFS{}, clock)
+	t1 := time.Now()
+	if _, err := ingest.Run(ocut); err == nil {
+		return ingestRow{}, fmt.Errorf("cut run unexpectedly succeeded")
+	}
+	rrep, err := ingest.Resume(opts(cut))
+	interrupted := time.Since(t1)
+	if err != nil {
+		return ingestRow{}, fmt.Errorf("resume: %w", err)
+	}
+	if rrep.Docs != rep.Docs {
+		return ingestRow{}, fmt.Errorf("resumed build has %d docs, want %d", rrep.Docs, rep.Docs)
+	}
+
+	return ingestRow{
+		sizeMB:   float64(size) / (1 << 20),
+		records:  records,
+		wall:     fresh,
+		mbps:     float64(size) / (1 << 20) / fresh.Seconds(),
+		peakMB:   float64(peak.Load()) / (1 << 20),
+		runs:     rep.Runs,
+		overhead: (interrupted.Seconds() - fresh.Seconds()) / fresh.Seconds() * 100,
+	}, nil
+}
+
+// sampleHeap records the peak in-use heap until stop is called.
+func sampleHeap() (peak *atomic.Uint64, stop func()) {
+	peak = new(atomic.Uint64)
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				for {
+					cur := peak.Load()
+					if ms.HeapAlloc <= cur || peak.CompareAndSwap(cur, ms.HeapAlloc) {
+						break
+					}
+				}
+			}
+		}
+	}()
+	return peak, func() { close(done); <-finished }
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"io"
 
+	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/prix"
 	"repro/internal/scrub"
@@ -80,6 +81,17 @@ func BuildIndex(docs []*Document, opts Options) (*Index, error) {
 // OpenIndex opens a previously built on-disk index.
 func OpenIndex(dir string, opts Options) (*Index, error) {
 	return prix.Open(dir, opts)
+}
+
+// IndexBuilder accumulates documents one at a time — the memory-bounded
+// alternative to BuildIndex when the collection should not be held in memory
+// all at once. Finalize seals the index; Abort releases resources without
+// finishing.
+type IndexBuilder = prix.Builder
+
+// NewIndexBuilder starts an incremental index build.
+func NewIndexBuilder(opts Options) (*IndexBuilder, error) {
+	return prix.NewBuilder(opts)
 }
 
 // Dual bundles an RPIndex and EPIndex with the §5.6 query optimizer that
@@ -204,3 +216,42 @@ func BuildShardedIndex(root string, docs []*Document, cfg ShardBuildConfig) (*Sh
 func OpenShardedIndex(root string, opts Options, cfg ShardConfig) (*ShardCoordinator, error) {
 	return shard.Open(root, opts, cfg)
 }
+
+// BuildShardedIndexStream is BuildShardedIndex for collections too large to
+// hold in memory: source opens a fresh pass over the documents (yielding one
+// at a time until io.EOF) and the builder makes one pass per shard.
+func BuildShardedIndexStream(root string, source func() (func() (*Document, error), error), cfg ShardBuildConfig) (*ShardTopology, error) {
+	return shard.BuildStream(root, source, cfg)
+}
+
+// IngestOptions configures a crash-resumable streaming bulk ingest: one
+// large XML input streamed through a bounded-memory pipeline into a plain or
+// sharded on-disk index, checkpointing progress so an interrupted run can
+// resume from the last durable point.
+type IngestOptions = ingest.Options
+
+// IngestReport summarizes a completed ingest (documents indexed, runs
+// spilled, malformed records skipped).
+type IngestReport = ingest.Report
+
+// IngestSkip records one malformed record that ingest skipped (input byte
+// offset, record ordinal, parse error).
+type IngestSkip = ingest.SkipRecord
+
+// ErrNoIngestCheckpoint reports a resume attempt against a directory with no
+// checkpoint manifest — there is nothing to resume; run a fresh ingest.
+var ErrNoIngestCheckpoint = ingest.ErrNoManifest
+
+// StreamIngest runs a streaming bulk ingest from scratch.
+func StreamIngest(o IngestOptions) (*IngestReport, error) { return ingest.Run(o) }
+
+// ResumeIngest restarts an interrupted ingest from its last durable
+// checkpoint; the finished index is byte-identical to an uninterrupted run.
+func ResumeIngest(o IngestOptions) (*IngestReport, error) { return ingest.Resume(o) }
+
+// ParseOptions bounds the streaming XML parser (max depth, max record size).
+type ParseOptions = xmltree.ParseOptions
+
+// ParseError is a malformed-record diagnostic carrying the input byte
+// offset and record ordinal where parsing failed.
+type ParseError = xmltree.ParseError

@@ -1,0 +1,103 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pager"
+)
+
+// faultOpenFile wires the merge phase's index page files to the same power
+// clock the FaultFS uses, so one write ordinal spans the whole build.
+func faultOpenFile(clock *pager.PowerClock) func(string) (pager.File, error) {
+	return func(path string) (pager.File, error) {
+		f, err := pager.OpenOSFilePadded(path)
+		if err != nil {
+			return nil, err
+		}
+		ff := pager.NewFaultFile(f)
+		ff.SetPowerClock(clock)
+		return ff, nil
+	}
+}
+
+func TestCrashSweepPlain(t *testing.T)   { crashSweep(t, 0, 0) }
+func TestCrashSweepSharded(t *testing.T) { crashSweep(t, 2, 2) }
+
+// crashSweep is the power-cut sweep of the resume contract: it learns the
+// build's total write count W, then for every k in 1..W reruns the build
+// with the power cut at the k-th write-class operation — run-file writes,
+// manifest commits, spill chunks, replica clones, topology, and every index
+// page write alike — resumes with a healthy stack, and asserts the final
+// index is byte-identical to an uninterrupted build.
+func crashSweep(t *testing.T, shards, replicas int) {
+	dir := t.TempDir()
+	input := filepath.Join(dir, "corpus.xml")
+	const n = 90
+	const skips = 2
+	writeCorpus(t, input, n, map[int]string{11: "syntax", 47: "deep"})
+
+	opts := func(out string) Options {
+		o := baseOptions(input, out)
+		o.Shards = shards
+		o.Replicas = replicas
+		o.SkipBudget = skips
+		return o
+	}
+
+	// Uninterrupted baseline.
+	base := filepath.Join(dir, "base")
+	if _, err := Run(opts(base)); err != nil {
+		t.Fatal(err)
+	}
+	want := readIndexFiles(t, base)
+
+	// Learn W with a counting clock attached to every write path; the
+	// faulted-but-never-cut build must still match the baseline.
+	counting := pager.NewPowerClock(0)
+	countDir := filepath.Join(dir, "count")
+	oc := opts(countDir)
+	oc.FS = NewFaultFS(OSFS{}, counting)
+	oc.OpenFile = faultOpenFile(counting)
+	if _, err := Run(oc); err != nil {
+		t.Fatal(err)
+	}
+	sameFiles(t, want, readIndexFiles(t, countDir), "counting run")
+	w := counting.Writes()
+	if w < 50 {
+		t.Fatalf("suspiciously few write points observed: %d", w)
+	}
+
+	for k := int64(1); k <= w; k++ {
+		out := filepath.Join(dir, "cut")
+		if err := os.RemoveAll(out); err != nil {
+			t.Fatal(err)
+		}
+		clock := pager.NewPowerClock(k)
+		clock.SetTornBytes(pager.PageSize / 3)
+		o := opts(out)
+		o.FS = NewFaultFS(OSFS{}, clock)
+		o.OpenFile = faultOpenFile(clock)
+		if _, err := Run(o); err == nil {
+			t.Fatalf("cut at write %d/%d: run unexpectedly succeeded", k, w)
+		}
+		// Resume on a healthy stack. A cut before the first durable
+		// checkpoint legitimately reports nothing to resume — the recovery
+		// there is a fresh run.
+		rep, err := Resume(opts(out))
+		if errors.Is(err, ErrNoManifest) {
+			rep, err = Run(opts(out))
+		}
+		if err != nil {
+			t.Fatalf("recovery after cut at write %d/%d: %v", k, w, err)
+		}
+		if rep.Docs != n-skips || rep.Skips != skips {
+			t.Fatalf("cut at write %d/%d: recovered build reports %d docs / %d skips, want %d/%d",
+				k, w, rep.Docs, rep.Skips, n-skips, skips)
+		}
+		sameFiles(t, want, readIndexFiles(t, out), fmt.Sprintf("cut at write %d/%d", k, w))
+	}
+}

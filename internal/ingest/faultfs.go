@@ -1,0 +1,113 @@
+package ingest
+
+import (
+	"io"
+
+	"repro/internal/pager"
+)
+
+// FaultFS wraps an FS so that every write-class operation — file creation,
+// each Write, Sync, Rename, Remove, MkdirAll — ticks a pager.PowerClock.
+// Crash-sweep tests attach the same clock here and to the index page files
+// (via prix.Options.OpenFile + pager.FaultFile), cut power at the k-th
+// write for every k, and assert that resume converges on the uninterrupted
+// index. The cutting Write persists the first half of its buffer — a torn
+// append — so the CRC seals are exercised too.
+type FaultFS struct {
+	inner FS
+	clock *pager.PowerClock
+}
+
+// NewFaultFS wraps inner with the given power clock.
+func NewFaultFS(inner FS, clock *pager.PowerClock) *FaultFS {
+	return &FaultFS{inner: inner, clock: clock}
+}
+
+func (f *FaultFS) tick() error {
+	cut, err := f.clock.Tick()
+	if err != nil {
+		return err
+	}
+	if cut {
+		return pager.ErrPowerCut
+	}
+	return nil
+}
+
+func (f *FaultFS) Create(path string) (File, error) {
+	if err := f.tick(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: inner, fs: f}, nil
+}
+
+func (f *FaultFS) Open(path string) (io.ReadCloser, error) { return f.inner.Open(path) }
+
+func (f *FaultFS) Rename(oldPath, newPath string) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FaultFS) RemoveAll(path string) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.inner.RemoveAll(path)
+}
+
+func (f *FaultFS) MkdirAll(path string) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path)
+}
+
+func (f *FaultFS) ReadDir(path string) ([]string, error) { return f.inner.ReadDir(path) }
+
+type faultFile struct {
+	inner File
+	fs    *FaultFS
+}
+
+// Write ticks the clock; the cutting write persists a deterministic torn
+// prefix (half the buffer) before failing.
+func (w *faultFile) Write(p []byte) (int, error) {
+	cut, err := w.fs.clock.Tick()
+	if err != nil {
+		return 0, err
+	}
+	if cut {
+		n := len(p) / 2
+		if n > 0 {
+			w.inner.Write(p[:n])
+		}
+		return n, pager.ErrPowerCut
+	}
+	return w.inner.Write(p)
+}
+
+func (w *faultFile) Sync() error {
+	if err := w.fs.tick(); err != nil {
+		return err
+	}
+	return w.inner.Sync()
+}
+
+func (w *faultFile) Close() error {
+	// Close is not a write point: after a cut the frozen file must still be
+	// closable so the sweep harness can inspect the crash image.
+	return w.inner.Close()
+}

@@ -1,0 +1,89 @@
+// Package ingest is the crash-resumable streaming bulk loader: it runs an
+// incremental cursor over a (possibly enormous) XML input, applies the
+// Prüfer transform one record at a time, spills the transforms into
+// CRC-sealed run files under a memory budget, and bulk-merges the runs into
+// the B+-tree index — committing a checkpoint manifest after every sealed
+// run so an interrupted build resumes from the last durable checkpoint and
+// converges on an index byte-identical to an uninterrupted one.
+package ingest
+
+import (
+	"io"
+	"os"
+)
+
+// File is a sequentially written artifact (run file, manifest temp, spill
+// chunk).
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the slice of filesystem the ingest pipeline writes through. The
+// default is the real OS; crash-sweep tests substitute FaultFS, whose
+// write-class operations tick the same pager.PowerClock as the index page
+// files, so one sweep covers every write point of a build.
+type FS interface {
+	Create(path string) (File, error)
+	Open(path string) (io.ReadCloser, error)
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+	RemoveAll(path string) error
+	MkdirAll(path string) error
+	// ReadDir lists the names (not paths) of directory entries; a missing
+	// directory returns an empty list.
+	ReadDir(path string) ([]string, error)
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) Create(path string) (File, error) { return os.Create(path) }
+
+func (OSFS) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
+
+func (OSFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+func (OSFS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+func (OSFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+// writeFileAtomic commits data to path by the tmp-write + sync + rename
+// protocol: a crash at any point leaves either the old file or the new one.
+func writeFileAtomic(fs FS, path string, data []byte) error {
+	tmp := path + tmpSuffix
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, path)
+}
+
+func (OSFS) ReadDir(path string) ([]string, error) {
+	ents, err := os.ReadDir(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}

@@ -317,6 +317,17 @@ func (c *PowerClock) DidCut() bool {
 	return c.cut
 }
 
+// Tick records one write-class operation performed outside the pager. The
+// streaming-ingest run-file and manifest writers call it with the same
+// clock their index page files carry, so one crash sweep covers every
+// write point of a build, not just the paged ones. It returns cut=true
+// exactly at the cut point (the caller may persist a deterministic torn
+// prefix before failing) and ErrPowerCut for every operation after it.
+func (c *PowerClock) Tick() (cut bool, err error) {
+	_, cutNow, err := c.tick()
+	return cutNow, err
+}
+
 // tick records one write-class operation. It returns the torn-byte count
 // and cutNow=true exactly at the cut point, and ErrPowerCut for every
 // operation after it.

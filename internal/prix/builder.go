@@ -56,12 +56,12 @@ func newEmptyIndex(opts Options) (*Index, error) {
 			return nil, fmt.Errorf("prix: %w", err)
 		}
 		var err error
-		forestBP, err = openJournaledPool(
+		forestBP, err = openJournaledPool(opts.openFile,
 			filepath.Join(opts.Dir, forestFile), filepath.Join(opts.Dir, forestJournalFile), opts.pool())
 		if err != nil {
 			return nil, err
 		}
-		docsBP, err = openJournaledPool(
+		docsBP, err = openJournaledPool(opts.openFile,
 			filepath.Join(opts.Dir, docsFile), filepath.Join(opts.Dir, docsJournalFile), opts.pool())
 		if err != nil {
 			forestBP.Close()

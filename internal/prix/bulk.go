@@ -1,0 +1,451 @@
+package prix
+
+import (
+	"bufio"
+	"bytes"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/vtrie"
+)
+
+// Spiller is where FinalizeBulk parks sorted posting chunks between the
+// trie-emit pass and the merge pass. The streaming-ingest package backs it
+// with fault-injectable files in the spill directory; the default keeps
+// chunks in memory (small builds, tests).
+type Spiller interface {
+	// Create opens a named chunk for writing. The chunk is written once,
+	// sequentially, then closed.
+	Create(name string) (io.WriteCloser, error)
+	// Open reopens a finished chunk for sequential reading.
+	Open(name string) (io.ReadCloser, error)
+	// Remove deletes a chunk FinalizeBulk is done with.
+	Remove(name string) error
+}
+
+// BulkOptions configures FinalizeBulk's external sort.
+type BulkOptions struct {
+	// Spill stores the sorted chunks; nil keeps them in memory.
+	Spill Spiller
+	// MemBudget bounds the bytes of postings and docid entries buffered
+	// in memory before a chunk is spilled; 0 means 32 MiB.
+	MemBudget int64
+}
+
+func (bo *BulkOptions) budget() int64 {
+	if bo.MemBudget <= 0 {
+		return 32 << 20
+	}
+	return bo.MemBudget
+}
+
+// FinalizeBulk is Finalize with bulk-loaded trees: it labels the trie,
+// spills the postings as sorted runs under the memory budget, and k-way
+// merges them into bottom-up-built B+-trees instead of per-posting Insert
+// descents. The resulting index answers queries identically to a
+// Finalize-built one; only the trees' page layout differs (packed leaves).
+// Given the same AddSeq stream and options the produced files are
+// byte-identical, which is what lets a crash-interrupted streaming ingest
+// re-run this phase from scratch and converge on the same index.
+func (b *Builder) FinalizeBulk(bo BulkOptions) (*Index, error) {
+	if b.done {
+		return nil, fmt.Errorf("prix: Finalize called twice")
+	}
+	if b.buildEr != nil {
+		return nil, fmt.Errorf("prix: Finalize after failed Add: %w", b.buildEr)
+	}
+	b.done = true
+	if err := b.ix.finishBulk(b.trie, &b.stats, bo); err != nil {
+		// The bulk path is driven by restartable callers (streaming ingest's
+		// merge phase, which redoes it from scratch after a crash), so the
+		// half-written index is released rather than left open.
+		b.ix.Close()
+		return nil, err
+	}
+	return b.ix, nil
+}
+
+// Abort releases a builder that will not be finalized — the error paths of
+// streaming ingest, where the merge phase is redone from scratch. The
+// partially written files stay on disk for the caller to clear.
+func (b *Builder) Abort() error {
+	if b.done {
+		return nil
+	}
+	b.done = true
+	return b.ix.Close()
+}
+
+// Fixed on-disk record sizes of the spill chunks.
+const (
+	postRecSize  = 24 // symbol(4) left(8) right(8) level(4)
+	docidRecSize = 12 // left(8) docid(4)
+)
+
+type bulkPosting struct {
+	sym         vtrie.Symbol
+	left, right uint64
+	level       uint32
+}
+
+type bulkDocid struct {
+	left  uint64
+	docid uint32
+}
+
+// finishBulk is finish with the emit→insert loop replaced by the external
+// sort + bulk load.
+func (ix *Index) finishBulk(builder *vtrie.Builder, bs *buildStats, bo BulkOptions) error {
+	builder.Label()
+	if err := builder.Validate(); err != nil {
+		return fmt.Errorf("prix: trie labeling: %w", err)
+	}
+	docid, err := ix.forest.Tree(docidTreeName)
+	if err != nil {
+		return err
+	}
+	ix.docid = docid
+
+	spill := bo.Spill
+	if spill == nil {
+		spill = newMemSpiller()
+	}
+	budget := bo.budget()
+
+	// Emit pass: Emit walks the trie in DFS preorder, so postings arrive in
+	// strictly increasing Left order and each buffered chunk only needs a
+	// sort by symbol (ties keep Left order because Left is unique). Docid
+	// entries are already globally sorted by Left, so their chunks merge by
+	// plain concatenation.
+	var (
+		posts       []bulkPosting
+		docids      []bulkDocid
+		postChunks  []string
+		docidChunks []string
+		buffered    int64
+	)
+	flushChunks := func() error {
+		if len(posts) > 0 {
+			sort.Slice(posts, func(i, j int) bool {
+				if posts[i].sym != posts[j].sym {
+					return posts[i].sym < posts[j].sym
+				}
+				return posts[i].left < posts[j].left
+			})
+			name := fmt.Sprintf("post-%04d.run", len(postChunks))
+			if err := writePostChunk(spill, name, posts); err != nil {
+				return err
+			}
+			postChunks = append(postChunks, name)
+			posts = posts[:0]
+		}
+		if len(docids) > 0 {
+			name := fmt.Sprintf("docid-%04d.run", len(docidChunks))
+			if err := writeDocidChunk(spill, name, docids); err != nil {
+				return err
+			}
+			docidChunks = append(docidChunks, name)
+			docids = docids[:0]
+		}
+		buffered = 0
+		return nil
+	}
+	err = builder.Emit(func(p vtrie.Posting, docs []uint32) error {
+		posts = append(posts, bulkPosting{sym: p.Symbol, left: p.Left, right: p.Right, level: p.Level})
+		buffered += postRecSize
+		for _, d := range docs {
+			docids = append(docids, bulkDocid{left: p.Left, docid: d})
+			buffered += docidRecSize
+		}
+		if buffered >= budget {
+			return flushChunks()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := flushChunks(); err != nil {
+		return err
+	}
+
+	// Merge pass: per-symbol segments of the k-way-merged posting stream
+	// bulk-load one tree each; symbols come out ascending, so tree creation
+	// order (and with it page allocation) is deterministic.
+	if err := ix.bulkLoadPostings(spill, postChunks); err != nil {
+		return err
+	}
+	if err := ix.bulkLoadDocids(spill, docidChunks); err != nil {
+		return err
+	}
+	for _, name := range append(postChunks, docidChunks...) {
+		if err := spill.Remove(name); err != nil {
+			return err
+		}
+	}
+
+	ix.store.SetCatalog("maxgap", ix.maxGap)
+	ix.store.SetStat("elements", bs.elements)
+	ix.store.SetStat("values", bs.values)
+	ix.store.SetStat("maxdepth", bs.maxDepth)
+	ix.store.SetStat("seqlen", bs.seqLen)
+	ix.store.SetStat("trienodes", int64(builder.Nodes()))
+	ix.store.SetStat("sequences", int64(builder.Sequences()))
+	extended := int64(0)
+	if ix.opts.Extended {
+		extended = 1
+	}
+	ix.store.SetStat("extended", extended)
+	if err := ix.store.Flush(); err != nil {
+		return err
+	}
+	return ix.forest.Flush()
+}
+
+func writePostChunk(spill Spiller, name string, posts []bulkPosting) error {
+	w, err := spill.Create(name)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	var rec [postRecSize]byte
+	for _, p := range posts {
+		binary.BigEndian.PutUint32(rec[0:4], uint32(p.sym))
+		binary.BigEndian.PutUint64(rec[4:12], p.left)
+		binary.BigEndian.PutUint64(rec[12:20], p.right)
+		binary.BigEndian.PutUint32(rec[20:24], p.level)
+		if _, err := bw.Write(rec[:]); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+func writeDocidChunk(spill Spiller, name string, docids []bulkDocid) error {
+	w, err := spill.Create(name)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	var rec [docidRecSize]byte
+	for _, d := range docids {
+		binary.BigEndian.PutUint64(rec[0:8], d.left)
+		binary.BigEndian.PutUint32(rec[8:12], d.docid)
+		if _, err := bw.Write(rec[:]); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// chunkReader streams fixed-size records out of one spill chunk.
+type chunkReader struct {
+	rc   io.ReadCloser
+	br   *bufio.Reader
+	size int
+	head []byte
+	done bool
+}
+
+func openChunk(spill Spiller, name string, recSize int) (*chunkReader, error) {
+	rc, err := spill.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	cr := &chunkReader{rc: rc, br: bufio.NewReaderSize(rc, 1<<16), size: recSize, head: make([]byte, recSize)}
+	if err := cr.advance(); err != nil {
+		rc.Close()
+		return nil, err
+	}
+	return cr, nil
+}
+
+func (cr *chunkReader) advance() error {
+	_, err := io.ReadFull(cr.br, cr.head)
+	if err == io.EOF {
+		cr.done = true
+		return nil
+	}
+	if err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("prix: truncated spill chunk")
+	}
+	return err
+}
+
+func (cr *chunkReader) close() error { return cr.rc.Close() }
+
+// postHeap orders chunk readers by their head (symbol, left) key — the
+// first 12 bytes of the record, so bytes.Compare is the comparator.
+type postHeap []*chunkReader
+
+func (h postHeap) Len() int            { return len(h) }
+func (h postHeap) Less(i, j int) bool  { return bytes.Compare(h[i].head[:12], h[j].head[:12]) < 0 }
+func (h postHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *postHeap) Push(x interface{}) { *h = append(*h, x.(*chunkReader)) }
+func (h *postHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (ix *Index) bulkLoadPostings(spill Spiller, chunks []string) (err error) {
+	var h postHeap
+	defer func() {
+		for _, cr := range h {
+			if cerr := cr.close(); err == nil {
+				err = cerr
+			}
+		}
+	}()
+	for _, name := range chunks {
+		cr, err := openChunk(spill, name, postRecSize)
+		if err != nil {
+			return err
+		}
+		if cr.done {
+			if err := cr.close(); err != nil {
+				return err
+			}
+			continue
+		}
+		h = append(h, cr)
+	}
+	heap.Init(&h)
+	// pop yields the globally next record or ok=false at exhaustion.
+	var cur [postRecSize]byte
+	pop := func() (bool, error) {
+		for len(h) > 0 {
+			cr := h[0]
+			if cr.done {
+				heap.Pop(&h)
+				if err := cr.close(); err != nil {
+					return false, err
+				}
+				continue
+			}
+			copy(cur[:], cr.head)
+			if err := cr.advance(); err != nil {
+				return false, err
+			}
+			heap.Fix(&h, 0)
+			return true, nil
+		}
+		return false, nil
+	}
+	ok, err := pop()
+	if err != nil {
+		return err
+	}
+	for ok {
+		sym := vtrie.Symbol(binary.BigEndian.Uint32(cur[0:4]))
+		t, terr := ix.forest.Tree(symTreeName(sym))
+		if terr != nil {
+			return terr
+		}
+		var ferr error
+		terr = t.BulkLoad(func() ([]byte, []byte, error) {
+			if !ok || vtrie.Symbol(binary.BigEndian.Uint32(cur[0:4])) != sym {
+				return nil, nil, io.EOF
+			}
+			key := btree.KeyUint64(binary.BigEndian.Uint64(cur[4:12]))
+			val := encodePosting(binary.BigEndian.Uint64(cur[12:20]), binary.BigEndian.Uint32(cur[20:24]))
+			ok, ferr = pop()
+			if ferr != nil {
+				return nil, nil, ferr
+			}
+			return key, val, nil
+		})
+		if terr != nil {
+			return terr
+		}
+	}
+	return nil
+}
+
+func (ix *Index) bulkLoadDocids(spill Spiller, chunks []string) error {
+	var (
+		cr  *chunkReader
+		idx int
+	)
+	defer func() {
+		if cr != nil {
+			cr.close()
+		}
+	}()
+	return ix.docid.BulkLoad(func() ([]byte, []byte, error) {
+		for {
+			if cr == nil {
+				if idx >= len(chunks) {
+					return nil, nil, io.EOF
+				}
+				var err error
+				if cr, err = openChunk(spill, chunks[idx], docidRecSize); err != nil {
+					return nil, nil, err
+				}
+				idx++
+			}
+			if cr.done {
+				if err := cr.close(); err != nil {
+					return nil, nil, err
+				}
+				cr = nil
+				continue
+			}
+			key := btree.KeyUint64(binary.BigEndian.Uint64(cr.head[0:8]))
+			val := encodeDocID(binary.BigEndian.Uint32(cr.head[8:12]))
+			if err := cr.advance(); err != nil {
+				return nil, nil, err
+			}
+			return key, val, nil
+		}
+	})
+}
+
+// memSpiller keeps chunks in process memory — the default when no spill
+// directory is configured.
+type memSpiller struct {
+	chunks map[string]*bytes.Buffer
+}
+
+func newMemSpiller() *memSpiller { return &memSpiller{chunks: map[string]*bytes.Buffer{}} }
+
+type memChunkWriter struct {
+	*bytes.Buffer
+}
+
+func (memChunkWriter) Close() error { return nil }
+
+func (m *memSpiller) Create(name string) (io.WriteCloser, error) {
+	buf := &bytes.Buffer{}
+	m.chunks[name] = buf
+	return memChunkWriter{buf}, nil
+}
+
+func (m *memSpiller) Open(name string) (io.ReadCloser, error) {
+	buf, ok := m.chunks[name]
+	if !ok {
+		return nil, fmt.Errorf("prix: unknown spill chunk %q", name)
+	}
+	return io.NopCloser(bytes.NewReader(buf.Bytes())), nil
+}
+
+func (m *memSpiller) Remove(name string) error {
+	delete(m.chunks, name)
+	return nil
+}

@@ -1,0 +1,161 @@
+package prix
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// forestEntries flattens every tree of an index's forest into comparable
+// (tree, key, value) triples in scan order.
+func forestEntries(t *testing.T, ix *Index) map[string][][2][]byte {
+	t.Helper()
+	out := map[string][][2][]byte{}
+	for _, name := range ix.forest.Names() {
+		tr := ix.forest.Lookup(name)
+		var entries [][2][]byte
+		err := tr.Scan(nil, nil, true, true, func(k, v []byte) bool {
+			entries = append(entries, [2][]byte{append([]byte(nil), k...), append([]byte(nil), v...)})
+			return true
+		})
+		if err != nil {
+			t.Fatalf("scan %s: %v", name, err)
+		}
+		out[name] = entries
+	}
+	return out
+}
+
+func TestFinalizeBulkEquivalentToFinalize(t *testing.T) {
+	for _, extended := range []bool{false, true} {
+		ds := datagen.DBLP(1, 42)
+		ins, err := Build(ds.Docs, Options{Extended: extended})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		b, err := NewBuilder(Options{Extended: extended})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, doc := range ds.Docs {
+			seq, err := Transform(uint32(i), doc, extended)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.AddSeq(seq); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A tiny budget forces many spilled chunks through the k-way merge.
+		bulk, err := b.FinalizeBulk(BulkOptions{MemBudget: 4 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if errs := bulk.Forest().Check(); len(errs) != 0 {
+			t.Fatalf("extended=%v: bulk forest check: %v", extended, errs)
+		}
+		if bulk.NumDocs() != ins.NumDocs() {
+			t.Fatalf("numdocs %d vs %d", bulk.NumDocs(), ins.NumDocs())
+		}
+		for _, stat := range []string{"elements", "values", "maxdepth", "seqlen", "trienodes", "sequences", "extended"} {
+			bv, _ := bulk.Stat(stat)
+			iv, _ := ins.Stat(stat)
+			if bv != iv {
+				t.Fatalf("extended=%v: stat %s: bulk %d vs insert %d", extended, stat, bv, iv)
+			}
+		}
+
+		got := forestEntries(t, bulk)
+		want := forestEntries(t, ins)
+		if len(got) != len(want) {
+			t.Fatalf("extended=%v: tree sets differ: %d vs %d", extended, len(got), len(want))
+		}
+		for name, w := range want {
+			g, ok := got[name]
+			if !ok {
+				t.Fatalf("extended=%v: bulk index missing tree %s", extended, name)
+			}
+			if len(g) != len(w) {
+				t.Fatalf("extended=%v: tree %s: %d vs %d entries", extended, name, len(g), len(w))
+			}
+			for i := range g {
+				if !bytes.Equal(g[i][0], w[i][0]) || !bytes.Equal(g[i][1], w[i][1]) {
+					t.Fatalf("extended=%v: tree %s entry %d differs", extended, name, i)
+				}
+			}
+		}
+
+		// Dictionaries interned in the same order carry identical contents.
+		bn, in := bulk.Store().Dict().Names(), ins.Store().Dict().Names()
+		if len(bn) != len(in) {
+			t.Fatalf("dict sizes differ: %d vs %d", len(bn), len(in))
+		}
+		for i := range bn {
+			if bn[i] != in[i] {
+				t.Fatalf("dict entry %d: %q vs %q", i, bn[i], in[i])
+			}
+		}
+
+		// Query answers are identical.
+		for _, qs := range ds.Queries {
+			if qs.Extended && !extended {
+				continue
+			}
+			q := qs.Query()
+			mg, _, err := bulk.Match(q, MatchOptions{})
+			if err != nil {
+				t.Fatalf("bulk match %s: %v", qs.XPath, err)
+			}
+			mw, _, err := ins.Match(q, MatchOptions{})
+			if err != nil {
+				t.Fatalf("insert match %s: %v", qs.XPath, err)
+			}
+			if len(mg) != len(mw) {
+				t.Fatalf("extended=%v query %s: %d vs %d matches", extended, qs.XPath, len(mg), len(mw))
+			}
+		}
+	}
+}
+
+func TestFinalizeBulkDeterministic(t *testing.T) {
+	build := func() *Index {
+		ds := datagen.SwissProt(1, 7)
+		b, err := NewBuilder(Options{Extended: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, doc := range ds.Docs {
+			seq, err := Transform(uint32(i), doc, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.AddSeq(seq); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ix, err := b.FinalizeBulk(BulkOptions{MemBudget: 8 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	a, b := build(), build()
+	ga, gb := forestEntries(t, a), forestEntries(t, b)
+	if len(ga) != len(gb) {
+		t.Fatalf("tree sets differ")
+	}
+	for name, ea := range ga {
+		eb := gb[name]
+		if len(ea) != len(eb) {
+			t.Fatalf("tree %s lengths differ", name)
+		}
+		for i := range ea {
+			if !bytes.Equal(ea[i][0], eb[i][0]) || !bytes.Equal(ea[i][1], eb[i][1]) {
+				t.Fatalf("tree %s entry %d differs between identical builds", name, i)
+			}
+		}
+	}
+}

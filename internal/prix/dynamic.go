@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/docstore"
-	"repro/internal/prufer"
 	"repro/internal/twig"
 	"repro/internal/vtrie"
 	"repro/internal/xmltree"
@@ -314,46 +313,10 @@ func (di *DynamicIndex) Flush() error {
 // document, updating the in-memory MaxGap catalog and build statistics. It
 // is shared by the static builder and the dynamic index.
 func (ix *Index) prepareDocument(id uint32, doc *xmltree.Document) (*docstore.Record, []vtrie.Symbol, error) {
-	if err := doc.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("prix: document %d: %w", id, err)
+	ds, err := Transform(id, doc, ix.opts.Extended)
+	if err != nil {
+		return nil, nil, err
 	}
-	seqTree := doc
-	if ix.opts.Extended {
-		seqTree = prufer.ExtendTree(doc)
-	}
-	seq := prufer.Build(seqTree)
-	dict := ix.store.Dict()
-	rec := &docstore.Record{
-		DocID:    id,
-		NumNodes: int32(seqTree.Size()),
-		NPS:      make([]int32, seq.Len()),
-		LPS:      make([]vtrie.Symbol, seq.Len()),
-	}
-	syms := make([]vtrie.Symbol, seq.Len())
-	for i := 0; i < seq.Len(); i++ {
-		parent := seqTree.Node(seq.Numbers[i])
-		sym := SymbolFor(dict, parent.Label, parent.IsValue)
-		rec.NPS[i] = int32(seq.Numbers[i])
-		rec.LPS[i] = sym
-		syms[i] = sym
-	}
-	for _, n := range seqTree.Nodes {
-		if n.IsLeaf() {
-			rec.Leaves = append(rec.Leaves, docstore.Leaf{
-				Post: int32(n.Post),
-				Sym:  SymbolFor(dict, n.Label, n.IsValue),
-			})
-		}
-	}
-	for _, n := range seqTree.Nodes {
-		if len(n.Children) == 0 {
-			continue
-		}
-		sym := SymbolFor(dict, n.Label, n.IsValue)
-		gap := int64(n.Children[len(n.Children)-1].Post - n.Children[0].Post)
-		if gap > ix.maxGap[sym] {
-			ix.maxGap[sym] = gap
-		}
-	}
+	rec, syms := ix.internDocSeq(id, ds)
 	return rec, syms, nil
 }

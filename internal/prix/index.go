@@ -33,6 +33,18 @@ type Options struct {
 	BufferPoolPages int
 	// Dir is where the two page files are created. Empty means in-memory.
 	Dir string
+	// OpenFile optionally intercepts every page-file open (the main files
+	// and their sidecar journals). Crash-sweep tests inject pager.FaultFile
+	// wrappers here so a PowerClock can cut power inside the merge phase of
+	// a streaming build; nil means plain OS files.
+	OpenFile func(path string) (pager.File, error)
+}
+
+func (o *Options) openFile(path string) (pager.File, error) {
+	if o.OpenFile != nil {
+		return o.OpenFile(path)
+	}
+	return pager.OpenOSFilePadded(path)
 }
 
 func (o *Options) pool() int {
@@ -51,6 +63,10 @@ func (o *Options) pool() int {
 const (
 	ForestFileName = forestFile
 	DocsFileName   = docsFile
+	// The journal names are exported so streaming ingest can clear a stale
+	// index directory before a deterministic rebuild.
+	ForestJournalFileName = forestJournalFile
+	DocsJournalFileName   = docsJournalFile
 )
 
 // file names within Options.Dir.
@@ -67,12 +83,15 @@ const (
 // journal, rolls back any commit a crash interrupted, and returns the
 // pool. Torn trailing pages (a crash mid-append) are padded to a page
 // boundary and then either rolled back or caught by their checksum.
-func openJournaledPool(path, journalPath string, capacity int) (*pager.BufferPool, error) {
-	f, err := pager.OpenOSFilePadded(path)
+func openJournaledPool(open func(string) (pager.File, error), path, journalPath string, capacity int) (*pager.BufferPool, error) {
+	if open == nil {
+		open = func(p string) (pager.File, error) { return pager.OpenOSFilePadded(p) }
+	}
+	f, err := open(path)
 	if err != nil {
 		return nil, err
 	}
-	jf, err := pager.OpenOSFilePadded(journalPath)
+	jf, err := open(journalPath)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -171,31 +190,11 @@ type buildStats struct {
 
 // addDocument transforms one document and stages it for indexing.
 func (ix *Index) addDocument(builder *vtrie.Builder, id uint32, doc *xmltree.Document, bs *buildStats) error {
-	rec, syms, err := ix.prepareDocument(id, doc)
+	ds, err := Transform(id, doc, ix.opts.Extended)
 	if err != nil {
 		return err
 	}
-	bs.elements += int64(doc.CountElements())
-	bs.values += int64(doc.CountValues())
-	if d := int64(doc.MaxDepth()); d > bs.maxDepth {
-		bs.maxDepth = d
-	}
-	bs.seqLen += int64(len(syms))
-	if len(syms) == 0 {
-		// A single-node document has no sequence; it is still stored so
-		// single-tag fallbacks can see it, but cannot join the trie.
-		if err := ix.store.Put(rec); err != nil {
-			return err
-		}
-		return ix.writeStructure(rec)
-	}
-	if err := builder.Add(syms, id); err != nil {
-		return err
-	}
-	if err := ix.store.Put(rec); err != nil {
-		return err
-	}
-	return ix.writeStructure(rec)
+	return ix.addSeq(builder, id, ds, bs)
 }
 
 // finish labels the trie, writes all postings and persists the store.
@@ -235,12 +234,12 @@ func (ix *Index) finish(builder *vtrie.Builder, bs *buildStats) error {
 // page read from disk is checksum-verified.
 func Open(dir string, opts Options) (*Index, error) {
 	opts.Dir = dir
-	forestBP, err := openJournaledPool(
+	forestBP, err := openJournaledPool(opts.openFile,
 		filepath.Join(dir, forestFile), filepath.Join(dir, forestJournalFile), opts.pool())
 	if err != nil {
 		return nil, err
 	}
-	docsBP, err := openJournaledPool(
+	docsBP, err := openJournaledPool(opts.openFile,
 		filepath.Join(dir, docsFile), filepath.Join(dir, docsJournalFile), opts.pool())
 	if err != nil {
 		forestBP.Close()

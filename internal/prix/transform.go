@@ -1,0 +1,181 @@
+package prix
+
+import (
+	"fmt"
+
+	"repro/internal/docstore"
+	"repro/internal/prufer"
+	"repro/internal/vtrie"
+	"repro/internal/xmltree"
+)
+
+// SeqLabel is one Prüfer-sequence position before dictionary interning: the
+// parent node's label plus whether it is a value (values are namespaced
+// away from element tags when interned).
+type SeqLabel struct {
+	Label   string
+	IsValue bool
+}
+
+// LeafLabel is one leaf of the (possibly extended) tree before interning.
+type LeafLabel struct {
+	Post    int32
+	Label   string
+	IsValue bool
+}
+
+// GapLabel carries one node's child-postorder gap, the per-symbol MaxGap
+// catalog contribution.
+type GapLabel struct {
+	Label   string
+	IsValue bool
+	Gap     int64
+}
+
+// DocSeq is the dictionary-free Prüfer transform of one document: every
+// label is carried as a string, so a DocSeq can be computed by a scan
+// worker with no access to the index, persisted into a run file, and
+// replayed later through Builder.AddSeq — which interns the labels in the
+// exact order a direct Builder.Add would have, reproducing the same symbol
+// dictionary byte for byte.
+type DocSeq struct {
+	// DocID is the document's stream ordinal.
+	DocID uint32
+	// NumNodes is the node count of the (extended, for an EPIndex) tree.
+	NumNodes int32
+	// NPS / LPS are the paper's parallel number and label sequences; LPS
+	// interning order is the slice order.
+	NPS []int32
+	LPS []SeqLabel
+	// Leaves are the tree's leaves in postorder (interned after the LPS).
+	Leaves []LeafLabel
+	// Gaps are the non-leaf nodes' child gaps in node order (interned last).
+	Gaps []GapLabel
+	// Build statistics of the original (unextended) document.
+	Elements int64
+	Values   int64
+	MaxDepth int64
+}
+
+// Transform computes the DocSeq of one document under the given sequence
+// flavor (extended selects Extended-Prüfer, §5.6). It is the pure half of
+// prepareDocument: everything except dictionary interning and storage.
+func Transform(id uint32, doc *xmltree.Document, extended bool) (*DocSeq, error) {
+	if err := doc.Validate(); err != nil {
+		return nil, fmt.Errorf("prix: document %d: %w", id, err)
+	}
+	seqTree := doc
+	if extended {
+		seqTree = prufer.ExtendTree(doc)
+	}
+	seq := prufer.Build(seqTree)
+	ds := &DocSeq{
+		DocID:    id,
+		NumNodes: int32(seqTree.Size()),
+		NPS:      make([]int32, seq.Len()),
+		LPS:      make([]SeqLabel, seq.Len()),
+		Elements: int64(doc.CountElements()),
+		Values:   int64(doc.CountValues()),
+		MaxDepth: int64(doc.MaxDepth()),
+	}
+	for i := 0; i < seq.Len(); i++ {
+		parent := seqTree.Node(seq.Numbers[i])
+		ds.NPS[i] = int32(seq.Numbers[i])
+		ds.LPS[i] = SeqLabel{Label: parent.Label, IsValue: parent.IsValue}
+	}
+	for _, n := range seqTree.Nodes {
+		if n.IsLeaf() {
+			ds.Leaves = append(ds.Leaves, LeafLabel{Post: int32(n.Post), Label: n.Label, IsValue: n.IsValue})
+		}
+	}
+	for _, n := range seqTree.Nodes {
+		if len(n.Children) == 0 {
+			continue
+		}
+		ds.Gaps = append(ds.Gaps, GapLabel{
+			Label:   n.Label,
+			IsValue: n.IsValue,
+			Gap:     int64(n.Children[len(n.Children)-1].Post - n.Children[0].Post),
+		})
+	}
+	return ds, nil
+}
+
+// internDocSeq resolves a DocSeq's labels against the index dictionary —
+// LPS positions first, then leaves, then gaps, the order prepareDocument
+// has always interned in, so replayed and direct builds assign identical
+// symbols — producing the docstore record and interned sequence, and
+// folding the gaps into the MaxGap catalog.
+func (ix *Index) internDocSeq(id uint32, ds *DocSeq) (*docstore.Record, []vtrie.Symbol) {
+	dict := ix.store.Dict()
+	rec := &docstore.Record{
+		DocID:    id,
+		NumNodes: ds.NumNodes,
+		NPS:      ds.NPS,
+		LPS:      make([]vtrie.Symbol, len(ds.LPS)),
+	}
+	syms := make([]vtrie.Symbol, len(ds.LPS))
+	for i, l := range ds.LPS {
+		sym := SymbolFor(dict, l.Label, l.IsValue)
+		rec.LPS[i] = sym
+		syms[i] = sym
+	}
+	for _, lf := range ds.Leaves {
+		rec.Leaves = append(rec.Leaves, docstore.Leaf{
+			Post: lf.Post,
+			Sym:  SymbolFor(dict, lf.Label, lf.IsValue),
+		})
+	}
+	for _, g := range ds.Gaps {
+		sym := SymbolFor(dict, g.Label, g.IsValue)
+		if g.Gap > ix.maxGap[sym] {
+			ix.maxGap[sym] = g.Gap
+		}
+	}
+	return rec, syms
+}
+
+// addSeq stages one pre-transformed document: intern, account stats, store
+// the record and sidecar, and add the sequence to the trie. addDocument and
+// the streaming-ingest replay both funnel through here.
+func (ix *Index) addSeq(builder *vtrie.Builder, id uint32, ds *DocSeq, bs *buildStats) error {
+	rec, syms := ix.internDocSeq(id, ds)
+	bs.elements += ds.Elements
+	bs.values += ds.Values
+	if ds.MaxDepth > bs.maxDepth {
+		bs.maxDepth = ds.MaxDepth
+	}
+	bs.seqLen += int64(len(syms))
+	if len(syms) == 0 {
+		// A single-node document has no sequence; it is still stored so
+		// single-tag fallbacks can see it, but cannot join the trie.
+		if err := ix.store.Put(rec); err != nil {
+			return err
+		}
+		return ix.writeStructure(rec)
+	}
+	if err := builder.Add(syms, id); err != nil {
+		return err
+	}
+	if err := ix.store.Put(rec); err != nil {
+		return err
+	}
+	return ix.writeStructure(rec)
+}
+
+// AddSeq stages one pre-transformed document, the replay half of streaming
+// ingest: the scan phase persists DocSeqs into run files and the merge
+// phase feeds them back here in docid order, reproducing the exact
+// dictionary, trie, and store a Builder.Add sequence over the original
+// documents would have built.
+func (b *Builder) AddSeq(ds *DocSeq) error {
+	if b.done {
+		return fmt.Errorf("prix: AddSeq after Finalize")
+	}
+	if err := b.ix.addSeq(b.trie, b.nextID, ds, &b.stats); err != nil {
+		b.buildEr = err
+		return err
+	}
+	b.nextID++
+	return nil
+}

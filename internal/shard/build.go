@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -97,6 +98,87 @@ func Build(root string, docs []*xmltree.Document, cfg BuildConfig) (*Topology, e
 				return nil, fmt.Errorf("%s replica %d: %w", Name(s), r, err)
 			}
 		}
+	}
+	if err := topo.Save(root); err != nil {
+		return nil, err
+	}
+	return topo, nil
+}
+
+// BuildStream is Build for collections too large to hold in memory: source
+// opens a fresh pass over the documents (yielding them one at a time until
+// io.EOF), and the builder runs one pass per shard, keeping only the
+// documents that shard owns. Global docids are stream positions, exactly as
+// Build assigns them, so the two produce interchangeable layouts.
+func BuildStream(root string, source func() (func() (*xmltree.Document, error), error), cfg BuildConfig) (*Topology, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: build needs at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	epoch := cfg.Epoch
+	if epoch == 0 {
+		epoch = uint64(time.Now().UnixNano())
+	}
+	var total uint32
+	for s := 0; s < cfg.Shards; s++ {
+		next, err := source()
+		if err != nil {
+			return nil, err
+		}
+		b, err := prix.NewBuilder(prix.Options{
+			Extended:        cfg.Extended,
+			BufferPoolPages: cfg.BufferPoolPages,
+			Dir:             ReplicaDir(root, s, 0),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", Name(s), err)
+		}
+		var g uint32
+		for {
+			doc, err := next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				b.Abort()
+				return nil, fmt.Errorf("%s: document %d: %w", Name(s), g, err)
+			}
+			if Owner(g, cfg.Shards) == s {
+				if err := b.Add(doc); err != nil {
+					b.Abort()
+					return nil, fmt.Errorf("%s: %w", Name(s), err)
+				}
+			}
+			g++
+		}
+		if s == 0 {
+			total = g
+		} else if g != total {
+			b.Abort()
+			return nil, fmt.Errorf("shard: source yielded %d documents on pass %d, %d on pass 0", g, s, total)
+		}
+		ix, err := b.Finalize()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", Name(s), err)
+		}
+		if err := ix.Close(); err != nil {
+			return nil, fmt.Errorf("%s: %w", Name(s), err)
+		}
+		for r := 1; r < cfg.Replicas; r++ {
+			if err := cloneReplica(ReplicaDir(root, s, 0), ReplicaDir(root, s, r)); err != nil {
+				return nil, fmt.Errorf("%s replica %d: %w", Name(s), r, err)
+			}
+		}
+	}
+	topo := &Topology{
+		Version:  1,
+		Shards:   cfg.Shards,
+		Replicas: cfg.Replicas,
+		Extended: cfg.Extended,
+		Docs:     total,
+		Epoch:    epoch,
 	}
 	if err := topo.Save(root); err != nil {
 		return nil, err

@@ -35,6 +35,33 @@ func (e *LimitError) Error() string {
 
 func (e *LimitError) Unwrap() error { return ErrLimit }
 
+// ParseError is the typed failure of parsing one document (or one record of
+// a multi-record stream): it pins the input byte offset at which the error
+// was detected and the zero-based ordinal of the document within its
+// stream, so ingest skip reports and prixload diagnostics can point at the
+// offending bytes instead of an anonymous decoder message.
+type ParseError struct {
+	// Offset is the byte offset into the input at which the failure was
+	// detected (the decoder's position, so it points at or just past the
+	// offending construct).
+	Offset int64
+	// Ordinal is the zero-based document/record ordinal within the stream.
+	Ordinal int
+	// Fatal reports that the surrounding stream cannot be re-synchronized
+	// past this record: a Cursor that returns a Fatal error cannot skip it
+	// and yields no further records.
+	Fatal bool
+	// Err is the underlying cause (an *xml.SyntaxError, a *LimitError, a
+	// structural error...).
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xmltree: document %d at byte %d: %v", e.Ordinal, e.Offset, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
 // ParseOptions controls how raw XML is turned into an ordered labeled tree.
 type ParseOptions struct {
 	// KeepWhitespace keeps whitespace-only character data as value nodes.
@@ -69,78 +96,136 @@ func (o *ParseOptions) maxTokenBytes() int64 {
 	return o.MaxTokenBytes
 }
 
+// treeBuilder folds a decoder's token stream into a Node tree, enforcing
+// the depth limit and the attribute/value conventions. It is shared by
+// Parse (whole-input documents) and Cursor (one record of a stream).
+type treeBuilder struct {
+	opts     ParseOptions
+	maxDepth int
+	root     *Node
+	stack    []*Node
+}
+
+func newTreeBuilder(opts ParseOptions) *treeBuilder {
+	return &treeBuilder{opts: opts, maxDepth: opts.maxDepth()}
+}
+
+// depth returns the number of currently open elements.
+func (tb *treeBuilder) depth() int { return len(tb.stack) }
+
+func (tb *treeBuilder) start(t xml.StartElement) error {
+	if tb.maxDepth > 0 && len(tb.stack) >= tb.maxDepth {
+		return &LimitError{What: "element depth", Limit: int64(tb.maxDepth)}
+	}
+	n := &Node{Label: t.Name.Local}
+	for _, a := range t.Attr {
+		attr := &Node{Label: a.Name.Local}
+		if !tb.opts.DropValues {
+			attr.AddChild(&Node{Label: a.Value, IsValue: true})
+		}
+		n.AddChild(attr)
+	}
+	if len(tb.stack) == 0 {
+		if tb.root != nil {
+			return fmt.Errorf("xmltree: multiple root elements")
+		}
+		tb.root = n
+	} else {
+		tb.stack[len(tb.stack)-1].AddChild(n)
+	}
+	tb.stack = append(tb.stack, n)
+	return nil
+}
+
+func (tb *treeBuilder) end(t xml.EndElement) error {
+	if len(tb.stack) == 0 {
+		return fmt.Errorf("xmltree: unbalanced end element %s", t.Name.Local)
+	}
+	tb.stack = tb.stack[:len(tb.stack)-1]
+	return nil
+}
+
+func (tb *treeBuilder) chardata(t xml.CharData) {
+	if len(tb.stack) == 0 || tb.opts.DropValues {
+		return
+	}
+	text := string(t)
+	if !tb.opts.KeepWhitespace {
+		text = strings.TrimSpace(text)
+		if text == "" {
+			return
+		}
+	}
+	tb.stack[len(tb.stack)-1].AddChild(&Node{Label: text, IsValue: true})
+}
+
+// finish validates that exactly one complete element tree was built.
+func (tb *treeBuilder) finish() (*Node, error) {
+	if tb.root == nil {
+		return nil, fmt.Errorf("xmltree: empty document")
+	}
+	if len(tb.stack) != 0 {
+		return nil, fmt.Errorf("xmltree: unclosed elements at EOF")
+	}
+	return tb.root, nil
+}
+
+// tokenLimiter bounds the raw bytes any single decoder token may consume,
+// measured as the decoder-offset delta between consecutive tokens.
+type tokenLimiter struct {
+	last int64
+	max  int64
+}
+
+func (tl *tokenLimiter) check(off int64) error {
+	if tl.max > 0 && off-tl.last > tl.max {
+		return &LimitError{What: "token size", Limit: tl.max}
+	}
+	tl.last = off
+	return nil
+}
+
 // Parse reads one XML document from r and returns it as a Document with all
 // numberings assigned. Attributes become subelements holding a single value
 // node, mirroring the paper's treatment ("no special distinction ... between
-// elements and attributes").
+// elements and attributes"). Failures are reported as *ParseError carrying
+// the input byte offset and the document id as its ordinal.
 func Parse(id int, r io.Reader, opts ParseOptions) (*Document, error) {
 	dec := xml.NewDecoder(r)
-	var root *Node
-	var stack []*Node
-	maxDepth, maxToken := opts.maxDepth(), opts.maxTokenBytes()
-	lastOff := dec.InputOffset()
+	tb := newTreeBuilder(opts)
+	tl := tokenLimiter{last: dec.InputOffset(), max: opts.maxTokenBytes()}
+	fail := func(err error) (*Document, error) {
+		return nil, &ParseError{Offset: dec.InputOffset(), Ordinal: id, Fatal: true, Err: err}
+	}
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("xmltree: parse: %w", err)
+			return fail(fmt.Errorf("xmltree: parse: %w", err))
 		}
 		// The raw bytes one token consumed are the offset delta; bounding it
 		// bounds the decoder's internal buffering per token.
-		if off := dec.InputOffset(); maxToken > 0 {
-			if off-lastOff > maxToken {
-				return nil, &LimitError{What: "token size", Limit: maxToken}
-			}
-			lastOff = off
+		if err := tl.check(dec.InputOffset()); err != nil {
+			return fail(err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
-			if maxDepth > 0 && len(stack) >= maxDepth {
-				return nil, &LimitError{What: "element depth", Limit: int64(maxDepth)}
+			if err := tb.start(t); err != nil {
+				return fail(err)
 			}
-			n := &Node{Label: t.Name.Local}
-			for _, a := range t.Attr {
-				attr := &Node{Label: a.Name.Local}
-				if !opts.DropValues {
-					attr.AddChild(&Node{Label: a.Value, IsValue: true})
-				}
-				n.AddChild(attr)
-			}
-			if len(stack) == 0 {
-				if root != nil {
-					return nil, fmt.Errorf("xmltree: multiple root elements")
-				}
-				root = n
-			} else {
-				stack[len(stack)-1].AddChild(n)
-			}
-			stack = append(stack, n)
 		case xml.EndElement:
-			if len(stack) == 0 {
-				return nil, fmt.Errorf("xmltree: unbalanced end element %s", t.Name.Local)
+			if err := tb.end(t); err != nil {
+				return fail(err)
 			}
-			stack = stack[:len(stack)-1]
 		case xml.CharData:
-			if len(stack) == 0 || opts.DropValues {
-				continue
-			}
-			text := string(t)
-			if !opts.KeepWhitespace {
-				text = strings.TrimSpace(text)
-				if text == "" {
-					continue
-				}
-			}
-			stack[len(stack)-1].AddChild(&Node{Label: text, IsValue: true})
+			tb.chardata(t)
 		}
 	}
-	if root == nil {
-		return nil, fmt.Errorf("xmltree: empty document")
-	}
-	if len(stack) != 0 {
-		return nil, fmt.Errorf("xmltree: unclosed elements at EOF")
+	root, err := tb.finish()
+	if err != nil {
+		return fail(err)
 	}
 	return NewDocument(id, root), nil
 }
