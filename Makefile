@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz chaos bench bench-smoke serve clean ci cover differential shard-e2e ingest-e2e
+.PHONY: all build test race vet fuzz chaos bench bench-smoke serve clean ci cover differential shard-e2e ingest-e2e compact-e2e
 
 all: build vet test
 
 # Everything CI runs, in one target, so local and CI results agree.
-ci: build vet test race differential cover shard-e2e ingest-e2e fuzz chaos bench-smoke
+ci: build vet test race differential cover shard-e2e ingest-e2e compact-e2e fuzz chaos bench-smoke
 
 build:
 	$(GO) build ./...
@@ -47,10 +47,12 @@ cover:
 	$(GO) test -coverprofile=cover-prix.out ./internal/prix > /dev/null
 	$(GO) test -coverprofile=cover-obs.out ./internal/obs > /dev/null
 	$(GO) test -coverprofile=cover-ingest.out -short ./internal/ingest > /dev/null
+	$(GO) test -coverprofile=cover-compact.out ./internal/compact > /dev/null
 	@$(GO) tool cover -func=cover-prix.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/prix coverage %s%% (floor 78%%)\n", $$3; if ($$3+0 < 78.0) exit 1 }'
 	@$(GO) tool cover -func=cover-obs.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/obs coverage %s%% (floor 80%%)\n", $$3; if ($$3+0 < 80.0) exit 1 }'
 	@$(GO) tool cover -func=cover-ingest.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/ingest coverage %s%% (floor 75%%)\n", $$3; if ($$3+0 < 75.0) exit 1 }'
-	@rm -f cover-prix.out cover-obs.out cover-ingest.out
+	@$(GO) tool cover -func=cover-compact.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/compact coverage %s%% (floor 75%%)\n", $$3; if ($$3+0 < 75.0) exit 1 }'
+	@rm -f cover-prix.out cover-obs.out cover-ingest.out cover-compact.out
 
 # Multi-shard serving end to end, under the race detector: scatter-gather
 # query over a live HTTP server, quarantine one shard via a corrupt page,
@@ -71,6 +73,16 @@ shard-e2e:
 ingest-e2e:
 	$(GO) test -race ./internal/ingest -count=1
 	$(GO) test -race ./internal/xmltree -run 'Cursor|Resume|ParseError' -count=1
+
+# Online compaction end to end, under the race detector: concurrent queries
+# and inserts across a zero-downtime epoch swap (answers asserted identical
+# to an uncompacted twin), power-cut sweeps over every write ordinal of a
+# compaction — plain and sharded — with byte-identical resume or an
+# untouched old epoch, the scrub-during-swap gate, and the POST /compact
+# serving surface (epoch bump, gauges, 409 on overlap).
+compact-e2e:
+	$(GO) test -race ./internal/compact -count=1
+	$(GO) test -race ./internal/server -run 'TestCompactEndpoint' -count=1
 
 # Chaos stage: fault-injection and self-healing end to end. Power-cut sweeps
 # across every write point of a commit and of an online repair, bit-flip

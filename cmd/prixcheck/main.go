@@ -28,6 +28,7 @@ import (
 	"sort"
 
 	"repro/internal/btree"
+	"repro/internal/compact"
 	"repro/internal/docstore"
 	"repro/internal/pager"
 	"repro/internal/prix"
@@ -55,14 +56,21 @@ func main() {
 		flag.Usage()
 		os.Exit(exitUnreadable)
 	}
-	status := run(flag.Arg(0), *verbose)
+	// A compacted directory holds only a CURRENT pointer to the live
+	// epoch; plain directories resolve to themselves.
+	dir, err := compact.ResolveDir(flag.Arg(0))
+	if err != nil {
+		fmt.Printf("prixcheck: %v\n", err)
+		os.Exit(exitUnreadable)
+	}
+	status := run(dir, *verbose)
 	if status == exitCorrupt && *repair {
-		if err := runRepair(flag.Arg(0)); err != nil {
+		if err := runRepair(dir); err != nil {
 			fmt.Printf("prixcheck: repair: %v\n", err)
 			os.Exit(exitCorrupt)
 		}
 		fmt.Println("prixcheck: repair pass complete, re-verifying")
-		status = run(flag.Arg(0), *verbose)
+		status = run(dir, *verbose)
 	}
 	os.Exit(status)
 }

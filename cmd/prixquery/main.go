@@ -71,7 +71,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		reconstruct func(uint32) (*core.Document, error)
 	)
 	if _, terr := core.LoadShardTopology(*dir); terr == nil {
-		co, err := core.OpenShardedIndex(*dir, core.Options{BufferPoolPages: *pool}, core.ShardConfig{})
+		co, err := core.OpenShardedIndex(*dir, core.Options{BufferPoolPages: *pool}, core.ShardConfig{
+			// Compacted replicas keep their files under an epoch
+			// subdirectory; the resolver follows each CURRENT pointer.
+			ResolveDir: core.ResolveIndexDir,
+		})
 		if err != nil {
 			return fail(exitError, err)
 		}
@@ -79,7 +83,13 @@ func run(args []string, stdout, stderr *os.File) int {
 		src = co
 		reconstruct = co.ReconstructDocument
 	} else {
-		ix, err := core.OpenIndex(*dir, core.Options{BufferPoolPages: *pool})
+		// A compacted directory holds only a CURRENT pointer to the live
+		// epoch; plain directories resolve to themselves.
+		resolved, err := core.ResolveIndexDir(*dir)
+		if err != nil {
+			return fail(exitError, err)
+		}
+		ix, err := core.OpenIndex(resolved, core.Options{BufferPoolPages: *pool})
 		if err != nil {
 			return fail(exitError, err)
 		}

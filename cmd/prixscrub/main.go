@@ -10,6 +10,14 @@
 //	prixscrub -index /tmp/idx -repair         # scrub and repair in place
 //	prixscrub -index /tmp/idx -snapshot /bak  # consistent snapshot of the index
 //	prixscrub -index /tmp/idx -restore /bak   # replace the index with a snapshot
+//	prixscrub -index /tmp/idx -compact        # offline compaction into a packed epoch
+//
+// -compact rewrites a dynamic index's accumulated inserts into the packed
+// bulk layout under a new epoch directory, committing via an atomic CURRENT
+// pointer write. It resumes an interrupted compaction from its checkpoint
+// (the tool is crash-safe: rerun it after a power cut), reports an
+// already-compacted index as up to date, and on a sharded layout compacts
+// every replica of every shard.
 //
 // Exit status: 0 when the index verifies clean (after repair, if requested),
 // 1 when damage remains, 2 when the index cannot be opened.
@@ -34,6 +42,8 @@ func main() {
 		repair   = flag.Bool("repair", false, "repair damage in place from the index's Prüfer redundancy")
 		snapshot = flag.String("snapshot", "", "write a consistent snapshot of the index to this directory and exit")
 		restore  = flag.String("restore", "", "replace the index files with the snapshot in this directory and exit")
+		compact  = flag.Bool("compact", false, "compact the index offline into a packed epoch (resumes an interrupted compaction) and exit")
+		budget   = flag.Int64("compact-budget", 0, "compaction memory budget in bytes (default 32 MiB)")
 		jsonOut  = flag.Bool("json", false, "print the pass report as JSON")
 	)
 	flag.Parse()
@@ -51,7 +61,44 @@ func main() {
 		return
 	}
 
-	ix, err := core.OpenIndex(*dir, core.Options{})
+	if *compact {
+		var reps []*core.CompactionReport
+		var err error
+		if _, terr := core.LoadShardTopology(*dir); terr == nil {
+			reps, err = core.ResumeOrCompactShardedIndex(*dir, core.CompactionOptions{MemBudget: *budget})
+		} else {
+			var rep *core.CompactionReport
+			rep, err = core.ResumeOrCompactIndex(core.CompactionOptions{Dir: *dir, MemBudget: *budget})
+			reps = []*core.CompactionReport{rep}
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(reps)
+			return
+		}
+		for _, rep := range reps {
+			if rep.Skipped {
+				fmt.Printf("compact: %s already compacted (epoch %d), skipped\n", rep.Dir, rep.Epoch)
+				continue
+			}
+			fmt.Printf("compact: %d docs -> %s (epoch %d, %d runs, %d run bytes, %v)\n",
+				rep.Docs, rep.Dir, rep.Epoch, rep.Runs, rep.RunBytes, rep.Elapsed)
+		}
+		return
+	}
+
+	// A compacted layout keeps its files under an epoch subdirectory;
+	// follow the CURRENT pointer before opening.
+	resolved, err := core.ResolveIndexDir(*dir)
+	if err != nil {
+		log.Printf("resolve: %v", err)
+		os.Exit(2)
+	}
+	ix, err := core.OpenIndex(resolved, core.Options{})
 	if err != nil {
 		log.Printf("open: %v (a snapshot restore may be needed: prixscrub -index %s -restore SNAPDIR)", err, *dir)
 		os.Exit(2)

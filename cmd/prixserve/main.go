@@ -7,6 +7,13 @@
 // GET /debug/slowlog serves the slow-query ring buffer and /debug/pprof/
 // exposes the runtime profiler.
 //
+// A dynamic (insertable) index is served through a compaction root:
+// -compact-interval runs a rate-limited background pass that rewrites the
+// accumulated inserts into the packed bulk layout and swaps epochs with
+// zero downtime (queries never pause; inserts pause only for the final
+// catch-up window), and POST /compact forces a pass. Startup finishes any
+// compaction a crash interrupted before serving.
+//
 // When -index points at a sharded layout (a directory holding the
 // topology.json written by prixload -shards), prixserve serves it through
 // the scatter-gather coordinator: queries fan out to every shard
@@ -65,17 +72,25 @@ func main() {
 		replicas  = flag.Int("replicas", 0, "replicas to open per shard on a sharded layout (0 = all in the topology)")
 		hedge     = flag.Duration("hedge", 0, "launch a backup replica read after this delay (sharded layout; 0 disables hedging)")
 		shardInfl = flag.Int("shard-inflight", 0, "max concurrently executing queries per shard (default 64)")
+		retryN    = flag.Int("retry-budget", 0, "total replica attempts per query on a sharded layout (0 = one per replica)")
+		retryBase = flag.Duration("retry-backoff", 5*time.Millisecond, "base backoff before the second replica attempt (doubles, jittered)")
+		retryMax  = flag.Duration("retry-backoff-max", 250*time.Millisecond, "cap on the exponential replica backoff")
+		compactIv = flag.Duration("compact-interval", 0, "background compaction pass interval on a dynamic index (0 disables the loop; POST /compact still works)")
+		compactMB = flag.Int64("compact-budget", 0, "compaction memory budget in bytes (default 32 MiB)")
 	)
 	flag.Parse()
 	if *dir == "" {
 		log.Fatal("usage: prixserve -index DIR [-addr :8080]")
 	}
 	// A topology.json in the index directory selects the sharded serving
-	// tier; otherwise the directory is a plain single index. Both satisfy
-	// the same QuerySource contract, so everything below is shared.
+	// tier; otherwise the directory is a plain single index — served
+	// through a compaction root when it is dynamic (insertable), read-only
+	// otherwise. All three satisfy the same QuerySource contract, so
+	// everything below is shared.
 	var (
 		src      core.QuerySource
 		indexes  []*core.Index
+		root     *core.CompactRoot
 		topoNote string
 	)
 	if topo, err := core.LoadShardTopology(*dir); err == nil {
@@ -83,6 +98,10 @@ func main() {
 			MaxInFlightPerShard: *shardInfl,
 			HedgeDelay:          *hedge,
 			OpenReplicas:        *replicas,
+			// Compacted replicas keep their files under an epoch
+			// subdirectory; the resolver follows each CURRENT pointer.
+			ResolveDir: core.ResolveIndexDir,
+			Retry:      core.RetryPolicy{Base: *retryBase, Max: *retryMax, Budget: *retryN},
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -92,12 +111,33 @@ func main() {
 		topoNote = fmt.Sprintf(" across %d shards (%d replicas open, epoch %d)",
 			topo.Shards, len(indexes), topo.Epoch)
 	} else if errors.Is(err, core.ErrNoTopology) {
-		ix, err := core.OpenIndex(*dir, core.Options{BufferPoolPages: *pool})
-		if err != nil {
+		// OpenCompactRoot finishes any compaction a crash interrupted, then
+		// follows the epoch pointer and serves the index insertable with
+		// zero-downtime epoch swaps. A bulk-built index without dynamic
+		// labeler state falls back to the plain read-only path.
+		r, err := core.OpenCompactRoot(*dir, core.Options{BufferPoolPages: *pool})
+		switch {
+		case err == nil:
+			root = r
+			src = r
+			indexes = []*core.Index{r.Index().Index()}
+			if e := r.Epoch(); e > 0 {
+				topoNote = fmt.Sprintf(" (compaction epoch %d)", e)
+			}
+		case errors.Is(err, core.ErrNotDynamic):
+			resolved, rerr := core.ResolveIndexDir(*dir)
+			if rerr != nil {
+				log.Fatal(rerr)
+			}
+			ix, oerr := core.OpenIndex(resolved, core.Options{BufferPoolPages: *pool})
+			if oerr != nil {
+				log.Fatal(oerr)
+			}
+			src = ix
+			indexes = []*core.Index{ix}
+		default:
 			log.Fatal(err)
 		}
-		src = ix
-		indexes = []*core.Index{ix}
 	} else {
 		log.Fatal(err)
 	}
@@ -114,28 +154,50 @@ func main() {
 		DisableTracing:   *noTrace,
 		DisablePprof:     *noPprof,
 	})
+	capVal := *inflight
+	if capVal <= 0 {
+		capVal = 64
+	}
+	// Back off while the query load uses more than half the admission
+	// capacity; background maintenance (scrubbing, compaction) is strictly
+	// lower priority than serving.
+	busy := func() bool {
+		return srv.Metrics().InFlight.Load() > int64(capVal/2)
+	}
 	var scrubbers []*core.Scrubber
 	if *scrubIv > 0 {
-		capVal := *inflight
-		if capVal <= 0 {
-			capVal = 64
-		}
-		// Back off while the query load uses more than half the admission
-		// capacity; scrubbing is strictly lower priority. On a sharded
-		// layout each replica index scrubs (and heals) independently.
-		busy := func() bool {
-			return srv.Metrics().InFlight.Load() > int64(capVal/2)
-		}
+		// On a sharded layout each replica index scrubs (and heals)
+		// independently.
 		for _, ix := range indexes {
-			sc := core.NewScrubber(ix, core.ScrubConfig{
+			cfg := core.ScrubConfig{
 				Interval:   *scrubIv,
 				AutoRepair: *scrubFix,
 				Busy:       busy,
-			})
+			}
+			if root != nil {
+				// Behind a compaction root the scrubber re-resolves the
+				// serving epoch each pass and skips passes that collide
+				// with an epoch swap instead of flagging mid-swap files.
+				cfg.Source = func() *core.Index { return root.Index().Index() }
+				cfg.Gate = root.Gate()
+			}
+			sc := core.NewScrubber(ix, cfg)
 			scrubbers = append(scrubbers, sc)
 			sc.Start()
 		}
 		srv.SetScrubbers(scrubbers)
+	}
+	var compactor *core.Compactor
+	if root != nil {
+		compactor = core.NewCompactor(root, core.CompactorConfig{
+			Interval:  *compactIv,
+			MemBudget: *compactMB,
+			Busy:      busy,
+		})
+		if *compactIv > 0 {
+			compactor.Start()
+		}
+		srv.SetCompactor(compactor)
 	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -156,6 +218,14 @@ func main() {
 		}
 		for _, sc := range scrubbers {
 			sc.Stop()
+		}
+		if compactor != nil {
+			compactor.Stop()
+		}
+		if root != nil {
+			if err := root.Close(); err != nil {
+				log.Printf("close: %v", err)
+			}
 		}
 	}()
 

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/compact"
+	"repro/internal/datagen"
+	"repro/internal/prix"
+)
+
+// CompactBenchConfig tunes the online-compaction benchmark.
+type CompactBenchConfig struct {
+	// Datasets selects the corpora (default DBLP). The deep SWISSPROT and
+	// TREEBANK documents exceed the dynamic labeler's virtual-number spread
+	// when grown one insert at a time — they bulk-load fine but cannot be
+	// served insertable — so only DBLP exercises the compaction path.
+	Datasets []string
+	// MemBudgetMB is the compaction memory budget (default 8).
+	MemBudgetMB int
+	// Rounds is how many times each query runs per measurement (default 20).
+	Rounds int
+}
+
+func (c CompactBenchConfig) withDefaults() CompactBenchConfig {
+	if len(c.Datasets) == 0 {
+		c.Datasets = []string{"DBLP"}
+	}
+	if c.MemBudgetMB < 1 {
+		c.MemBudgetMB = 8
+	}
+	if c.Rounds < 1 {
+		c.Rounds = 20
+	}
+	return c
+}
+
+type compactRow struct {
+	dataset    string
+	docs       int
+	beforeQ    time.Duration // mean per query, dynamic index
+	afterQ     time.Duration // mean per query, compacted epoch
+	beforePg   float64       // mean cold-cache pages read per query
+	afterPg    float64
+	wall       time.Duration // compaction elapsed
+	pause      time.Duration // insert freeze window
+	runs       int
+	writeAmp   float64 // (run bytes + new epoch bytes) / new epoch bytes
+	epochBytes int64
+}
+
+// CompactBench measures what online compaction buys and costs: per-query
+// latency and pages read over a dynamically grown index before and after
+// Compact rewrites it into the packed bulk layout, plus the compaction
+// wall time, the insert pause (the only window writers wait), and write
+// amplification (spilled run bytes + new epoch bytes over new epoch bytes).
+func (s *Session) CompactBench(w io.Writer, cfg CompactBenchConfig) error {
+	cfg = cfg.withDefaults()
+	scratch, err := os.MkdirTemp("", "prix-compact-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+
+	fmt.Fprintf(w, "\nOnline compaction (budget %d MiB, %d rounds per query)\n", cfg.MemBudgetMB, cfg.Rounds)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tdocs\tquery before\tquery after\tcold pages before\tcold pages after\twall\tpause\truns\twrite amp")
+	for i, name := range cfg.Datasets {
+		ds, err := s.Dataset(name)
+		if err != nil {
+			return err
+		}
+		row, err := s.compactOne(filepath.Join(scratch, fmt.Sprintf("d%d", i)), ds, cfg)
+		if err != nil {
+			return fmt.Errorf("compact bench %s: %w", name, err)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%.1f\t%.1f\t%s\t%s\t%d\t%.2fx\n",
+			row.dataset, row.docs,
+			row.beforeQ.Round(time.Microsecond), row.afterQ.Round(time.Microsecond),
+			row.beforePg, row.afterPg,
+			row.wall.Round(time.Millisecond), row.pause.Round(time.Microsecond),
+			row.runs, row.writeAmp)
+	}
+	return tw.Flush()
+}
+
+func (s *Session) compactOne(dir string, ds *datagen.Dataset, cfg CompactBenchConfig) (compactRow, error) {
+	// Grow the index the way a serving deployment does: a small seed feeds
+	// the labeler's preparatory pass, everything else arrives via Insert —
+	// the fragmented shape compaction exists to fix.
+	seed := ds.Docs
+	if len(seed) > 64 {
+		seed = seed[:64]
+	}
+	popts := prix.Options{Dir: dir, BufferPoolPages: s.cfg.pool()}
+	di, err := prix.NewDynamicIndex(seed, popts, prix.DynamicOptions{Alpha: 4})
+	if err != nil {
+		return compactRow{}, err
+	}
+	for _, doc := range ds.Docs[len(seed):] {
+		if err := di.Insert(doc); err != nil {
+			di.Close()
+			return compactRow{}, err
+		}
+	}
+	if err := di.Flush(); err != nil {
+		di.Close()
+		return compactRow{}, err
+	}
+	if err := di.Close(); err != nil {
+		return compactRow{}, err
+	}
+
+	// The dynamic index is the RPIndex shape; value queries need the
+	// extended index and are skipped.
+	var queries []*datagen.QuerySpec
+	for i := range ds.Queries {
+		if !ds.Queries[i].Extended {
+			queries = append(queries, &ds.Queries[i])
+		}
+	}
+	if len(queries) == 0 {
+		return compactRow{}, fmt.Errorf("dataset %s has no RPIndex queries", ds.Name)
+	}
+
+	// Cold-cache pages over the fragmented layout, before the root opens
+	// it for serving: a tiny pool forces real page traffic, so the number
+	// reflects the layout's locality rather than the pool size.
+	row := compactRow{dataset: ds.Name}
+	var err2 error
+	if row.beforePg, err2 = coldPages(dir, queries); err2 != nil {
+		return compactRow{}, err2
+	}
+
+	root, err := compact.OpenRoot(dir, prix.Options{BufferPoolPages: s.cfg.pool()})
+	if err != nil {
+		return compactRow{}, err
+	}
+	defer root.Close()
+	measure := func() (time.Duration, error) {
+		// One warmup pass fills the buffer pool, then the timed rounds.
+		for _, qs := range queries {
+			if _, _, err := root.Match(qs.Query(), prix.MatchOptions{WarmCache: true}); err != nil {
+				return 0, err
+			}
+		}
+		t0 := time.Now()
+		n := 0
+		for r := 0; r < cfg.Rounds; r++ {
+			for _, qs := range queries {
+				if _, _, err := root.Match(qs.Query(), prix.MatchOptions{WarmCache: true}); err != nil {
+					return 0, err
+				}
+				n++
+			}
+		}
+		return time.Since(t0) / time.Duration(n), nil
+	}
+
+	row.docs = root.NumDocs()
+	if row.beforeQ, err = measure(); err != nil {
+		return compactRow{}, err
+	}
+	rep, err := root.Compact(context.Background(), compact.CompactOptions{
+		MemBudget: int64(cfg.MemBudgetMB) << 20,
+	})
+	if err != nil {
+		return compactRow{}, err
+	}
+	if row.afterQ, err = measure(); err != nil {
+		return compactRow{}, err
+	}
+	if row.afterPg, err = coldPages(rep.Dir, queries); err != nil {
+		return compactRow{}, err
+	}
+	row.wall = rep.Elapsed
+	row.pause = rep.Pause
+	row.runs = rep.Runs
+	row.epochBytes = dirBytes(rep.Dir)
+	if row.epochBytes > 0 {
+		row.writeAmp = float64(rep.RunBytes+row.epochBytes) / float64(row.epochBytes)
+	}
+	return row, nil
+}
+
+// coldPages opens the index at dir with a deliberately tiny buffer pool
+// and runs every query once, returning the mean physical pages read per
+// query — the locality of the on-disk layout, not the pool's hit rate.
+func coldPages(dir string, queries []*datagen.QuerySpec) (float64, error) {
+	di, err := prix.OpenDynamic(dir, prix.Options{BufferPoolPages: 64})
+	if err != nil {
+		return 0, err
+	}
+	defer di.Close()
+	ix := di.Index()
+	pg0 := ix.PagesRead() // exclude the open-time replay reads
+	for _, qs := range queries {
+		if _, _, err := ix.Match(qs.Query(), prix.MatchOptions{}); err != nil {
+			return 0, err
+		}
+	}
+	return float64(ix.PagesRead()-pg0) / float64(len(queries)), nil
+}
+
+// dirBytes sums the regular files directly under dir.
+func dirBytes(dir string) int64 {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range ents {
+		if info, err := e.Info(); err == nil && info.Mode().IsRegular() {
+			total += info.Size()
+		}
+	}
+	return total
+}

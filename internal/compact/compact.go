@@ -1,0 +1,609 @@
+package compact
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/pager"
+	"repro/internal/prix"
+	"repro/internal/shard"
+)
+
+// Options configures an offline compaction (and the drain/build halves of
+// an online one).
+type Options struct {
+	// Dir is the index directory: an epoch root, or a plain index directory
+	// that gets converted into one by its first compaction.
+	Dir string
+	// MemBudget bounds the bytes buffered before runs and spill chunks hit
+	// disk; 0 means 32 MiB. It is pinned in the manifest: a resume under a
+	// different budget is rejected rather than silently diverging.
+	MemBudget int64
+	// BufferPoolPages sizes the page pools of the source and the rebuilt
+	// index (0 = default).
+	BufferPoolPages int
+	// FS carries every non-page write (runs, manifest, CURRENT, renames,
+	// removals); nil means the OS. Crash-sweep tests inject FaultFS here.
+	FS ingest.FS
+	// OpenFile optionally intercepts page-file opens (fault injection for
+	// the rebuilt index's pages); nil means plain OS files.
+	OpenFile func(path string) (pager.File, error)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MemBudget <= 0 {
+		out.MemBudget = 32 << 20
+	}
+	if out.FS == nil {
+		out.FS = ingest.OSFS{}
+	}
+	return out
+}
+
+// Report summarizes one compaction.
+type Report struct {
+	// SourceDocs is the source's document count when the drain started.
+	SourceDocs int `json:"source_docs"`
+	// Docs is how many documents flowed through sealed drain runs.
+	Docs uint32 `json:"docs"`
+	// DeltaDocs is how many catch-up documents an online compaction
+	// inserted into the new epoch during the freeze window.
+	DeltaDocs int `json:"delta_docs,omitempty"`
+	// Runs / RunBytes account the drain spool written by this invocation.
+	Runs     int   `json:"runs"`
+	RunBytes int64 `json:"run_bytes"`
+	// Epoch / Dir identify the committed epoch.
+	Epoch uint64 `json:"epoch"`
+	Dir   string `json:"dir"`
+	// Dynamic reports the build mode (insertable dynamic vs static bulk).
+	Dynamic bool `json:"dynamic"`
+	// Pause is the online freeze window (inserts blocked, swap performed).
+	Pause time.Duration `json:"pause_ns,omitempty"`
+	// Elapsed is the whole compaction's wall time.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Skipped reports that there was nothing to do (already compacted).
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// Aborted is the typed failure of a compaction: the phase that failed and
+// the cause. An aborted compaction never touches the serving epoch — the
+// old layout keeps serving — and its work directory is preserved so a later
+// Resume can pick up from the last checkpoint.
+type Aborted struct {
+	Phase string
+	Err   error
+}
+
+func (a *Aborted) Error() string {
+	return fmt.Sprintf("compact: aborted in %s phase (old epoch keeps serving): %v", a.Phase, a.Err)
+}
+
+func (a *Aborted) Unwrap() error { return a.Err }
+
+func abortf(phase string, err error) error {
+	var a *Aborted
+	if errors.As(err, &a) {
+		return err
+	}
+	return &Aborted{Phase: phase, Err: err}
+}
+
+// Run compacts the index at o.Dir from scratch, discarding any interrupted
+// attempt's work directory first. The source must be offline (no concurrent
+// writers); live indexes compact through Root.Compact instead.
+func Run(o Options) (*Report, error) { return execute(o, false) }
+
+// Resume continues an interrupted compaction from its manifest checkpoint:
+// sealed drain runs are kept, the bulk build is redone from scratch (it is
+// deterministic, so the result converges on the same bytes), and a
+// compaction that had already published finishes its commit and cleanup.
+// Returns ErrNoManifest when there is nothing to resume.
+func Resume(o Options) (*Report, error) { return execute(o, true) }
+
+// ResumeOrRun is the crash-recovery entry point: resume an interrupted
+// compaction, report an already-completed one as Skipped, or start fresh if
+// none was ever begun.
+func ResumeOrRun(o Options) (*Report, error) {
+	rep, err := Resume(o)
+	if !errors.Is(err, ErrNoManifest) {
+		return rep, err
+	}
+	od := o.withDefaults()
+	if _, epoch, rerr := resolveDir(od.FS, od.Dir); rerr == nil && epoch > 0 {
+		// No manifest but an epoch pointer: the previous compaction
+		// committed and cleaned up. Nothing to recover.
+		return &Report{Epoch: epoch, Dir: filepath.Join(od.Dir, EpochDirName(epoch)), Skipped: true}, nil
+	}
+	return Run(o)
+}
+
+// source is an open compaction source: always an inner *prix.Index, plus
+// the dynamic wrapper when the index carries labeler replay state.
+type source struct {
+	dyn *prix.DynamicIndex
+	ix  *prix.Index
+}
+
+func openSource(dir string, o Options) (*source, error) {
+	popts := prix.Options{BufferPoolPages: o.BufferPoolPages, OpenFile: o.OpenFile}
+	dyn, err := prix.OpenDynamic(dir, popts)
+	if err == nil {
+		return &source{dyn: dyn, ix: dyn.Index()}, nil
+	}
+	if !errors.Is(err, prix.ErrNotDynamic) {
+		return nil, err
+	}
+	ix, err := prix.Open(dir, popts)
+	if err != nil {
+		return nil, err
+	}
+	return &source{ix: ix}, nil
+}
+
+func (s *source) close() error {
+	if s.dyn != nil {
+		return s.dyn.Close()
+	}
+	return s.ix.Close()
+}
+
+// docSeq re-derives one document's dictionary-free Prüfer transform: the
+// stored record reconstructs to the original document (the PR 3 repair
+// invariant), and Transform of that document is exactly what a scan worker
+// would have produced — so drain runs replay through the same machinery as
+// streaming ingest.
+func (s *source) docSeq(id uint32) (*prix.DocSeq, error) {
+	doc, err := s.ix.ReconstructDocument(id)
+	if err != nil {
+		return nil, fmt.Errorf("compact: drain document %d: %w", id, err)
+	}
+	return prix.Transform(id, doc, s.ix.Extended())
+}
+
+// manifestFor derives the checkpoint configuration from an open source.
+func manifestFor(src *source, srcEpoch uint64, o Options) *Manifest {
+	m := &Manifest{
+		Version:     1,
+		Phase:       phaseDrain,
+		SourceEpoch: srcEpoch,
+		NextEpoch:   srcEpoch + 1,
+		Dynamic:     src.dyn != nil,
+		Extended:    src.ix.Extended(),
+		MemBudget:   o.MemBudget,
+	}
+	if src.dyn != nil {
+		m.Alpha = src.dyn.Alpha()
+		m.Spread = src.dyn.Spread()
+	}
+	return m
+}
+
+// execute is the offline phase machine. Every phase transition is
+// checkpointed in the CRC-sealed manifest; drain progress is checkpointed
+// per sealed run; the build is redone from scratch on resume (deterministic
+// output); publish is one directory rename; commit is one atomic CURRENT
+// write — the single point where the new epoch becomes the serving one.
+func execute(o Options, resume bool) (*Report, error) {
+	o = o.withDefaults()
+	fs := o.FS
+	root := o.Dir
+	workdir := filepath.Join(root, WorkDirName)
+	start := time.Now()
+
+	_, srcEpoch, err := resolveDir(fs, root)
+	if err != nil {
+		return nil, abortf(phaseDrain, err)
+	}
+	srcDir := root
+	if srcEpoch > 0 {
+		srcDir = filepath.Join(root, EpochDirName(srcEpoch))
+	}
+
+	var m *Manifest
+	if resume {
+		if m, err = loadManifest(fs, workdir); err != nil {
+			return nil, err
+		}
+		switch {
+		case m.SourceEpoch == srcEpoch:
+		case m.NextEpoch == srcEpoch && (m.Phase == phasePublish || m.Phase == phaseDone):
+			// CURRENT already points at the manifest's target epoch: the
+			// commit landed but the crash hit before the phase-done save or
+			// mid-cleanup. The compaction is effectively done — fall through
+			// to re-enter publish (idempotent) and finish the cleanup.
+		default:
+			return nil, abortf(m.Phase, fmt.Errorf("compact: manifest compacts epoch %d but %d is serving", m.SourceEpoch, srcEpoch))
+		}
+	} else {
+		if err := fs.RemoveAll(workdir); err != nil {
+			return nil, abortf(phaseDrain, err)
+		}
+		// An uncommitted next-epoch directory (a failed publish whose CURRENT
+		// write never happened) is debris: CURRENT never pointed at it, and a
+		// fresh run under different options would otherwise collide with it.
+		if err := fs.RemoveAll(filepath.Join(root, EpochDirName(srcEpoch+1))); err != nil {
+			return nil, abortf(phaseDrain, err)
+		}
+		if err := fs.MkdirAll(workdir); err != nil {
+			return nil, abortf(phaseDrain, err)
+		}
+	}
+
+	nextEpoch := srcEpoch + 1
+	if m != nil {
+		nextEpoch = m.NextEpoch
+	}
+	rep := &Report{Epoch: nextEpoch, Dir: filepath.Join(root, EpochDirName(nextEpoch))}
+
+	// Drain + build need the source; publish/done never reopen it, so a
+	// resume after the swap point cannot be blocked by source damage.
+	if m == nil || m.Phase == phaseDrain || m.Phase == phaseBuild {
+		src, err := openSource(srcDir, o)
+		if err != nil {
+			return nil, abortf(phaseDrain, err)
+		}
+		if m == nil {
+			m = manifestFor(src, srcEpoch, o)
+			if err := m.save(fs, workdir); err != nil {
+				src.close()
+				return nil, abortf(phaseDrain, err)
+			}
+		} else if err := m.matches(manifestFor(src, srcEpoch, o)); err != nil {
+			src.close()
+			return nil, abortf(m.Phase, err)
+		}
+		rep.Dynamic = m.Dynamic
+		rep.SourceDocs = src.ix.NumDocs()
+		total := uint32(rep.SourceDocs)
+		// Re-enter drain when documents landed past the watermark (an online
+		// compaction interrupted between drain and publish): the build phase
+		// restarts from scratch anyway, so extending the run spool is safe.
+		if m.Phase == phaseDrain || total > m.Docs {
+			m.Phase = phaseDrain
+			if err := drain(fs, workdir, m, src, total, rep, nil); err != nil {
+				src.close()
+				return nil, abortf(phaseDrain, err)
+			}
+			m.Docs = total
+			m.Phase = phaseBuild
+			if err := m.save(fs, workdir); err != nil {
+				src.close()
+				return nil, abortf(phaseDrain, err)
+			}
+		}
+		if err := src.close(); err != nil {
+			return nil, abortf(phaseBuild, err)
+		}
+		built, _, err := build(fs, workdir, m, o, nil)
+		if err != nil {
+			return nil, abortf(phaseBuild, err)
+		}
+		if err := built.close(); err != nil {
+			return nil, abortf(phaseBuild, err)
+		}
+		m.Phase = phasePublish
+		if err := m.save(fs, workdir); err != nil {
+			return nil, abortf(phaseBuild, err)
+		}
+	} else {
+		rep.Dynamic = m.Dynamic
+		rep.SourceDocs = int(m.Docs)
+	}
+	rep.Docs = m.Docs
+	rep.Runs = len(m.Runs)
+
+	if m.Phase == phasePublish {
+		if err := publishCommit(fs, root, workdir, m); err != nil {
+			return nil, abortf(phasePublish, err)
+		}
+		m.Phase = phaseDone
+		if err := m.save(fs, workdir); err != nil {
+			return nil, abortf(phasePublish, err)
+		}
+	}
+	if err := cleanup(fs, root, workdir, m.SourceEpoch); err != nil {
+		return nil, abortf(phaseDone, err)
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// drain spools documents [watermark, total) of the source into sealed run
+// files, checkpointing the manifest after every seal. Runs roll over at a
+// quarter of the memory budget so the spool never needs more than one
+// run's worth of buffered bytes.
+func drain(fs ingest.FS, workdir string, m *Manifest, src *source, total uint32, rep *Report, pace func() error) error {
+	drained := uint32(0)
+	for _, r := range m.Runs {
+		drained += r.Docs
+	}
+	if drained >= total {
+		return nil
+	}
+	// Unsealed runs and stale build output are debris from a crash.
+	if err := clearDebris(fs, workdir, m); err != nil {
+		return err
+	}
+	runLimit := m.MemBudget / 4
+	if runLimit < 8<<10 {
+		runLimit = 8 << 10
+	}
+	var w *ingest.RunWriter
+	var name string
+	seal := func() error {
+		crc, err := w.Seal()
+		if err != nil {
+			return err
+		}
+		m.Runs = append(m.Runs, RunInfo{Name: name, Docs: w.Docs(), CRC: crc})
+		rep.Runs++
+		rep.RunBytes += w.Bytes()
+		w = nil
+		return m.save(fs, workdir)
+	}
+	for id := drained; id < total; id++ {
+		if pace != nil {
+			if err := pace(); err != nil {
+				if w != nil {
+					w.Abort()
+				}
+				return err
+			}
+		}
+		ds, err := src.docSeq(id)
+		if err != nil {
+			if w != nil {
+				w.Abort()
+			}
+			return err
+		}
+		if w == nil {
+			name = fmt.Sprintf("run-%04d", len(m.Runs))
+			if w, err = ingest.NewRunWriter(fs, filepath.Join(workdir, name)); err != nil {
+				return err
+			}
+		}
+		if err := w.Add(ds); err != nil {
+			w.Abort()
+			return err
+		}
+		if w.Bytes() >= runLimit {
+			if err := seal(); err != nil {
+				return err
+			}
+		}
+	}
+	if w != nil {
+		return seal()
+	}
+	return nil
+}
+
+// built is the output of the build phase: exactly one of dyn/ix is set.
+type built struct {
+	dyn *prix.DynamicIndex
+	ix  *prix.Index
+}
+
+func (b *built) close() error {
+	if b.dyn != nil {
+		return b.dyn.Close()
+	}
+	return b.ix.Close()
+}
+
+// build replays the sealed runs into a fresh bulk-loaded index under
+// workdir/next. It always starts from scratch — next/ and spill/ are
+// removed first — because the bulk load is deterministic: redoing it after
+// a crash converges on byte-identical files, which is cheaper and simpler
+// than checkpointing a half-built B+-tree. pace, when set, throttles the
+// replay (the online compactor's rate limit).
+func build(fs ingest.FS, workdir string, m *Manifest, o Options, pace func() error) (*built, uint32, error) {
+	nextDir := filepath.Join(workdir, nextDirName)
+	spillDir := filepath.Join(workdir, spillDirName)
+	for _, dir := range []string{nextDir, spillDir} {
+		if err := fs.RemoveAll(dir); err != nil {
+			return nil, 0, err
+		}
+		if err := fs.MkdirAll(dir); err != nil {
+			return nil, 0, err
+		}
+	}
+	popts := prix.Options{
+		Extended:        m.Extended,
+		Dir:             nextDir,
+		BufferPoolPages: o.BufferPoolPages,
+		OpenFile:        o.OpenFile,
+	}
+	bo := prix.BulkOptions{Spill: &fsSpiller{fs: fs, dir: spillDir}, MemBudget: m.MemBudget}
+	replay := func(fn func(*prix.DocSeq) error) error {
+		var next uint32
+		for _, ri := range m.Runs {
+			r, err := ingest.OpenRun(fs, filepath.Join(workdir, ri.Name))
+			if err != nil {
+				return err
+			}
+			for {
+				ds, err := r.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					r.Close()
+					return err
+				}
+				if ds.DocID != next {
+					r.Close()
+					return fmt.Errorf("compact: %s: docid %d out of order (want %d)", ri.Name, ds.DocID, next)
+				}
+				next++
+				if pace != nil {
+					if err := pace(); err != nil {
+						r.Close()
+						return err
+					}
+				}
+				if err := fn(ds); err != nil {
+					r.Close()
+					return err
+				}
+			}
+			if r.Docs() != ri.Docs || r.SealCRC() != ri.CRC {
+				r.Close()
+				return fmt.Errorf("compact: %s: run drifted from manifest (docs %d/%d, crc %08x/%08x)",
+					ri.Name, r.Docs(), ri.Docs, r.SealCRC(), ri.CRC)
+			}
+			if err := r.Close(); err != nil {
+				return err
+			}
+		}
+		if next != m.Docs {
+			return fmt.Errorf("compact: replayed %d docs, manifest watermark is %d", next, m.Docs)
+		}
+		return nil
+	}
+	if m.Dynamic {
+		di, err := prix.BulkLoadDynamic(popts, prix.DynamicOptions{Alpha: m.Alpha, Spread: m.Spread}, bo, replay)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := fs.RemoveAll(spillDir); err != nil {
+			di.Close()
+			return nil, 0, err
+		}
+		return &built{dyn: di}, m.Docs, nil
+	}
+	b, err := prix.NewBuilder(popts)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := replay(func(ds *prix.DocSeq) error { return b.AddSeq(ds) }); err != nil {
+		b.Abort()
+		return nil, 0, err
+	}
+	ix, err := b.FinalizeBulk(bo)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := fs.RemoveAll(spillDir); err != nil {
+		ix.Close()
+		return nil, 0, err
+	}
+	return &built{ix: ix}, m.Docs, nil
+}
+
+// publishCommit renames the finished build into its epoch directory and
+// atomically flips the CURRENT pointer to it. The rename is idempotent
+// across a crash (an existing, complete epoch directory is kept — only a
+// finished build is ever renamed, so presence implies completeness) and the
+// pointer write is the commit point.
+func publishCommit(fs ingest.FS, root, workdir string, m *Manifest) error {
+	epochDir := filepath.Join(root, EpochDirName(m.NextEpoch))
+	if probe, err := fs.Open(filepath.Join(epochDir, prix.ForestFileName)); err == nil {
+		probe.Close()
+	} else {
+		if err := fs.Rename(filepath.Join(workdir, nextDirName), epochDir); err != nil {
+			return err
+		}
+	}
+	cur := &current{Version: 1, Epoch: m.NextEpoch, Dir: EpochDirName(m.NextEpoch)}
+	return cur.save(fs, root)
+}
+
+// cleanup removes the superseded layout (the previous epoch directory, or
+// the plain page files of a just-converted root) and the work directory.
+// It runs only after commit and is idempotent — a crash mid-cleanup resumes
+// here and re-deletes whatever is left.
+func cleanup(fs ingest.FS, root, workdir string, srcEpoch uint64) error {
+	if srcEpoch > 0 {
+		if err := fs.RemoveAll(filepath.Join(root, EpochDirName(srcEpoch))); err != nil {
+			return err
+		}
+	} else {
+		for _, name := range []string{
+			prix.ForestFileName, prix.DocsFileName,
+			prix.ForestJournalFileName, prix.DocsJournalFileName,
+		} {
+			if err := fs.Remove(filepath.Join(root, name)); err != nil && !isNotExist(err) {
+				return err
+			}
+		}
+	}
+	return fs.RemoveAll(workdir)
+}
+
+// fsSpiller adapts the injectable FS to the bulk loader's Spiller.
+type fsSpiller struct {
+	fs  ingest.FS
+	dir string
+}
+
+func (s *fsSpiller) Create(name string) (io.WriteCloser, error) {
+	f, err := s.fs.Create(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	return &spillFile{f: f}, nil
+}
+
+func (s *fsSpiller) Open(name string) (io.ReadCloser, error) {
+	return s.fs.Open(filepath.Join(s.dir, name))
+}
+
+func (s *fsSpiller) Remove(name string) error {
+	return s.fs.Remove(filepath.Join(s.dir, name))
+}
+
+// spillFile adapts ingest.File (Writer+Sync+Close) to io.WriteCloser,
+// syncing on close so a sealed chunk is durable before it is read back.
+type spillFile struct{ f ingest.File }
+
+func (s *spillFile) Write(p []byte) (int, error) { return s.f.Write(p) }
+
+func (s *spillFile) Close() error {
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// RunSharded compacts every replica of every shard under a sharded layout
+// root, each into its own epoch-root conversion. Replica directories are
+// self-contained indexes, so per-shard compaction is N×R independent
+// offline compactions; a failure reports the replica it happened in and
+// leaves that replica's old layout serving.
+func RunSharded(root string, o Options) ([]*Report, error) {
+	return eachReplica(root, o, Run)
+}
+
+// ResumeSharded finishes whatever each replica was doing: resumes
+// interrupted compactions, skips completed ones, starts missing ones.
+func ResumeSharded(root string, o Options) ([]*Report, error) {
+	return eachReplica(root, o, ResumeOrRun)
+}
+
+func eachReplica(root string, o Options, run func(Options) (*Report, error)) ([]*Report, error) {
+	topo, err := shard.LoadTopology(root)
+	if err != nil {
+		return nil, err
+	}
+	var reps []*Report
+	for s := 0; s < topo.Shards; s++ {
+		for r := 0; r < topo.Replicas; r++ {
+			so := o
+			so.Dir = shard.ReplicaDir(root, s, r)
+			rep, err := run(so)
+			if err != nil {
+				return reps, fmt.Errorf("compact: %s replica %d: %w", shard.Name(s), r, err)
+			}
+			reps = append(reps, rep)
+		}
+	}
+	return reps, nil
+}

@@ -1,0 +1,208 @@
+package compact
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a background Compactor (the scrubber's loop idiom: periodic
+// passes, throttled, yielding to foreground load).
+type Config struct {
+	// Interval between compaction attempts for Start (default 5m).
+	Interval time.Duration
+	// MemBudget per compaction (0 = 32 MiB).
+	MemBudget int64
+	// Throttle is the sleep every 64 drained/replayed documents, bounding
+	// the compactor's I/O share.
+	Throttle time.Duration
+	// Busy, when non-nil, reports foreground pressure; the compactor backs
+	// off BusyBackoff while it returns true.
+	Busy        func() bool
+	BusyBackoff time.Duration
+	// CatchupThreshold / MaxRounds bound the pre-freeze chase
+	// (CompactOptions semantics).
+	CatchupThreshold int
+	MaxRounds        int
+}
+
+func (c *Config) interval() time.Duration {
+	if c.Interval <= 0 {
+		return 5 * time.Minute
+	}
+	return c.Interval
+}
+
+// Stats is a point-in-time snapshot of the compactor's counters.
+type Stats struct {
+	Runs          uint64 `json:"runs"`
+	Failures      uint64 `json:"failures"`
+	Skipped       uint64 `json:"skipped"`
+	DocsCompacted uint64 `json:"docs_compacted"`
+	// Epoch is the Root's current serving epoch.
+	Epoch uint64 `json:"epoch"`
+	// Running reports a compaction in flight right now.
+	Running bool `json:"running"`
+	// LastPause / LastElapsed describe the most recent successful run.
+	LastPause   time.Duration `json:"last_pause_ns"`
+	LastElapsed time.Duration `json:"last_elapsed_ns"`
+}
+
+// Compactor periodically compacts a live Root in the background. Runs that
+// would be no-ops — nothing inserted since the last committed epoch — are
+// skipped and counted, so an idle index is not rewritten every interval.
+type Compactor struct {
+	root *Root
+	cfg  Config
+
+	runs     atomic.Uint64
+	failures atomic.Uint64
+	skipped  atomic.Uint64
+	docs     atomic.Uint64
+
+	mu        sync.Mutex
+	last      *Report
+	lastRun   *Report // most recent non-skipped run, feeding the gauges
+	lastErr   error
+	lastEpoch uint64
+	lastDocs  int
+	primed    bool
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// New builds a Compactor over a live Root. A Root already serving a
+// committed epoch is treated as up to date: the first interval only runs if
+// documents arrive (POST /compact forces a run regardless).
+func New(r *Root, cfg Config) *Compactor {
+	c := &Compactor{
+		root: r,
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if epoch := r.Epoch(); epoch > 0 {
+		c.lastEpoch, c.lastDocs, c.primed = epoch, r.NumDocs(), true
+	}
+	return c
+}
+
+// Start launches the background loop: one attempt every Interval until Stop.
+func (c *Compactor) Start() {
+	c.startOnce.Do(func() {
+		go c.loop()
+	})
+}
+
+// Stop halts the loop and waits for an in-flight compaction to finish. Safe
+// to call without Start and more than once.
+func (c *Compactor) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.startOnce.Do(func() { close(c.done) })
+	<-c.done
+}
+
+func (c *Compactor) loop() {
+	defer close(c.done)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-c.stop
+		cancel()
+	}()
+	ticker := time.NewTicker(c.cfg.interval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		if _, err := c.runOnce(ctx, false); err != nil && ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// RunOnce compacts now, regardless of whether anything changed (the
+// POST /compact entry point). It still refuses to overlap a running
+// compaction (ErrCompacting).
+func (c *Compactor) RunOnce(ctx context.Context) (*Report, error) {
+	return c.runOnce(ctx, true)
+}
+
+func (c *Compactor) runOnce(ctx context.Context, force bool) (*Report, error) {
+	if !force && c.upToDate() {
+		c.skipped.Add(1)
+		rep := &Report{Epoch: c.root.Epoch(), Skipped: true}
+		c.mu.Lock()
+		c.last = rep
+		c.lastErr = nil
+		c.mu.Unlock()
+		return rep, nil
+	}
+	rep, err := c.root.Compact(ctx, CompactOptions{
+		MemBudget:        c.cfg.MemBudget,
+		CatchupThreshold: c.cfg.CatchupThreshold,
+		MaxRounds:        c.cfg.MaxRounds,
+		Throttle:         c.cfg.Throttle,
+		Busy:             c.cfg.Busy,
+		BusyBackoff:      c.cfg.BusyBackoff,
+	})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.failures.Add(1)
+		c.lastErr = err
+		if rep != nil {
+			c.last = rep
+		}
+		return rep, err
+	}
+	c.runs.Add(1)
+	c.docs.Add(uint64(rep.Docs) + uint64(rep.DeltaDocs))
+	c.last, c.lastRun, c.lastErr = rep, rep, nil
+	c.lastEpoch, c.lastDocs, c.primed = rep.Epoch, c.root.NumDocs(), true
+	return rep, nil
+}
+
+// upToDate reports that the serving epoch is the one this compactor (or
+// startup) last saw committed and no documents arrived since.
+func (c *Compactor) upToDate() bool {
+	if c.root.NumDocs() == 0 {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.primed && c.root.Epoch() == c.lastEpoch && c.root.NumDocs() == c.lastDocs
+}
+
+// Stats returns the lifetime counters.
+func (c *Compactor) Stats() Stats {
+	st := Stats{
+		Runs:          c.runs.Load(),
+		Failures:      c.failures.Load(),
+		Skipped:       c.skipped.Load(),
+		DocsCompacted: c.docs.Load(),
+		Epoch:         c.root.Epoch(),
+		Running:       c.root.Compacting(),
+	}
+	c.mu.Lock()
+	if c.lastRun != nil {
+		st.LastPause = c.lastRun.Pause
+		st.LastElapsed = c.lastRun.Elapsed
+	}
+	c.mu.Unlock()
+	return st
+}
+
+// LastReport returns the most recent attempt's report (nil before the
+// first) and its error, if it failed.
+func (c *Compactor) LastReport() (*Report, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last, c.lastErr
+}

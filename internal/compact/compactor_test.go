@@ -1,0 +1,157 @@
+package compact
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/prix"
+	"repro/internal/xmltree"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCompactorLoop drives the background loop end to end: the first
+// interval compacts the never-compacted root, idle intervals are skipped
+// and counted (an idle index is not rewritten every tick), and a new
+// insert makes the next interval compact again.
+func TestCompactorLoop(t *testing.T) {
+	dir := t.TempDir()
+	buildDynamicDir(t, dir, corpus(20))
+	root, err := OpenRoot(dir, prix.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Close()
+
+	c := New(root, Config{Interval: 2 * time.Millisecond, MemBudget: 32 << 10})
+	c.Start()
+	defer c.Stop()
+
+	waitFor(t, "first background compaction", func() bool { return c.Stats().Runs == 1 })
+	if root.Epoch() != 1 {
+		t.Fatalf("epoch after first background run = %d", root.Epoch())
+	}
+	rep, err := c.LastReport()
+	if err != nil || rep == nil || rep.Epoch != 1 {
+		t.Fatalf("LastReport = %+v, %v", rep, err)
+	}
+
+	// Nothing inserted since: intervals skip instead of rewriting.
+	waitFor(t, "idle skip", func() bool { return c.Stats().Skipped >= 2 })
+	if got := c.Stats(); got.Runs != 1 || got.Epoch != 1 {
+		t.Fatalf("idle loop kept compacting: %+v", got)
+	}
+
+	// One insert re-arms the loop.
+	if err := root.Insert(xmltree.MustFromSExpr(0, `(a (b (c)))`)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-insert compaction", func() bool { return c.Stats().Runs == 2 })
+	waitFor(t, "epoch 2", func() bool { return root.Epoch() == 2 })
+
+	c.Stop()
+	st := c.Stats()
+	if st.Failures != 0 || st.Running || st.DocsCompacted < 21 || st.LastElapsed <= 0 {
+		t.Fatalf("final stats: %+v", st)
+	}
+}
+
+// TestCompactorPrimedAtOpen: a root already serving a committed epoch is up
+// to date — the loop skips until documents arrive — but RunOnce (the POST
+// /compact path) forces a rewrite regardless.
+func TestCompactorPrimedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	buildDynamicDir(t, dir, corpus(15))
+	if _, err := Run(Options{Dir: dir, MemBudget: 32 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	root, err := OpenRoot(dir, prix.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Close()
+	if root.Epoch() != 1 {
+		t.Fatalf("reopened epoch = %d", root.Epoch())
+	}
+
+	c := New(root, Config{Interval: 2 * time.Millisecond, MemBudget: 32 << 10})
+	c.Start()
+	waitFor(t, "primed skip", func() bool { return c.Stats().Skipped >= 2 })
+	if got := c.Stats(); got.Runs != 0 {
+		t.Fatalf("primed compactor rewrote an idle root: %+v", got)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+
+	rep, err := c.RunOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epoch != 2 || root.Epoch() != 2 {
+		t.Fatalf("forced RunOnce: report %+v, root epoch %d", rep, root.Epoch())
+	}
+}
+
+// TestRootProxies covers the Root's serving pass-throughs over a live
+// epoch: counters, the insert hook (fired on insert and on swap), flush,
+// and the generation that bumps on both inserts and swaps.
+func TestRootProxies(t *testing.T) {
+	dir := t.TempDir()
+	buildDynamicDir(t, dir, corpus(20))
+	root, err := OpenRoot(dir, prix.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Close()
+
+	if root.Extended() {
+		t.Fatal("RP-built root reports extended")
+	}
+	if len(root.Quarantined()) != 0 {
+		t.Fatalf("fresh root has quarantined docs: %v", root.Quarantined())
+	}
+	querySig(t, root, testQueries[0])
+	if root.PagesRead() == 0 {
+		t.Fatal("PagesRead did not account the query's physical reads")
+	}
+
+	fired := 0
+	root.OnInsert(func() { fired++ })
+	gen := root.Generation()
+	if err := root.Insert(xmltree.MustFromSExpr(0, `(a (b))`)); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("insert hook fired %d times, want 1", fired)
+	}
+	if root.Generation() <= gen {
+		t.Fatal("generation did not advance on insert")
+	}
+	if err := root.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A swap fires the hooks too (standing in for the invalidation an
+	// insert would have triggered) and bumps the generation.
+	gen = root.Generation()
+	if _, err := root.Compact(context.Background(), CompactOptions{MemBudget: 32 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	if fired < 2 {
+		t.Fatalf("swap did not fire the insert hooks (fired=%d)", fired)
+	}
+	if root.Generation() <= gen {
+		t.Fatal("generation did not advance on swap")
+	}
+}

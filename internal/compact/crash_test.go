@@ -1,0 +1,229 @@
+package compact
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ingest"
+	"repro/internal/pager"
+	"repro/internal/prix"
+	"repro/internal/shard"
+)
+
+// faultOpenFile wires the rebuilt index's page files to the same power
+// clock the FaultFS uses, so one write ordinal spans the whole compaction:
+// drain runs, manifest saves, spill chunks, index pages, CURRENT, renames
+// and removals alike.
+func faultOpenFile(clock *pager.PowerClock) func(string) (pager.File, error) {
+	return func(path string) (pager.File, error) {
+		f, err := pager.OpenOSFilePadded(path)
+		if err != nil {
+			return nil, err
+		}
+		ff := pager.NewFaultFile(f)
+		ff.SetPowerClock(clock)
+		return ff, nil
+	}
+}
+
+// TestCompactCrashSweepPlain is the power-cut sweep of the compaction
+// resume contract: learn the total write count W of an uninterrupted
+// compaction, then for every k in 1..W rerun it with the power cut (torn
+// final write included) at the k-th write. After every cut the root must
+// still resolve and serve the exact pre-compaction answers — the old
+// source untouched, or the fully committed new epoch — and ResumeOrRun on
+// a healthy stack must converge on a byte-identical final layout.
+func TestCompactCrashSweepPlain(t *testing.T) {
+	base := t.TempDir()
+	docs := corpus(18)
+	pristine := filepath.Join(base, "pristine")
+	if err := os.MkdirAll(pristine, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	buildDynamicDir(t, pristine, docs)
+	src, err := prix.OpenDynamic(pristine, prix.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSig := map[string]string{}
+	for _, qs := range testQueries {
+		wantSig[qs] = querySig(t, src.Index(), qs)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := func(dir string) Options { return Options{Dir: dir, MemBudget: 32 << 10} }
+
+	// Uninterrupted baseline.
+	baseDir := filepath.Join(base, "base")
+	copyTree(t, pristine, baseDir)
+	if _, err := Run(opts(baseDir)); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotDir(t, baseDir)
+
+	// Learn W with a counting clock on every write path; the faulted but
+	// never-cut run must still produce the baseline bytes.
+	counting := pager.NewPowerClock(0)
+	countDir := filepath.Join(base, "count")
+	copyTree(t, pristine, countDir)
+	oc := opts(countDir)
+	oc.FS = ingest.NewFaultFS(ingest.OSFS{}, counting)
+	oc.OpenFile = faultOpenFile(counting)
+	if _, err := Run(oc); err != nil {
+		t.Fatal(err)
+	}
+	sameSnapshots(t, want, snapshotDir(t, countDir), "counting run")
+	w := counting.Writes()
+	if w < 10 {
+		t.Fatalf("suspiciously few write points observed: %d", w)
+	}
+
+	out := filepath.Join(base, "cut")
+	for k := int64(1); k <= w; k++ {
+		if err := os.RemoveAll(out); err != nil {
+			t.Fatal(err)
+		}
+		copyTree(t, pristine, out)
+		clock := pager.NewPowerClock(k)
+		clock.SetTornBytes(pager.PageSize / 3)
+		o := opts(out)
+		o.FS = ingest.NewFaultFS(ingest.OSFS{}, clock)
+		o.OpenFile = faultOpenFile(clock)
+		if _, err := Run(o); err == nil {
+			t.Fatalf("cut at write %d/%d: run unexpectedly succeeded", k, w)
+		}
+
+		// A server restarted right after the cut must serve immediately:
+		// CURRENT commits via an atomic rename, so the root resolves to
+		// either the untouched source or the fully built new epoch — never
+		// a torn in-between — and answers are unchanged.
+		resolved, epoch, err := resolveDir(ingest.OSFS{}, out)
+		if err != nil {
+			t.Fatalf("cut at write %d/%d: root does not resolve: %v", k, w, err)
+		}
+		ix, err := prix.OpenDynamic(resolved, prix.Options{})
+		if err != nil {
+			t.Fatalf("cut at write %d/%d: serving layout (epoch %d) does not open: %v", k, w, epoch, err)
+		}
+		if ix.NumDocs() != len(docs) {
+			t.Fatalf("cut at write %d/%d: serving layout has %d docs, want %d", k, w, ix.NumDocs(), len(docs))
+		}
+		for _, qs := range testQueries {
+			if got := querySig(t, ix.Index(), qs); got != wantSig[qs] {
+				t.Fatalf("cut at write %d/%d: %s answers differently on the surviving layout", k, w, qs)
+			}
+		}
+		if err := ix.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Recovery on a healthy stack converges byte-identically.
+		rep, err := ResumeOrRun(opts(out))
+		if err != nil {
+			t.Fatalf("recovery after cut at write %d/%d: %v", k, w, err)
+		}
+		if rep.Epoch != 1 {
+			t.Fatalf("cut at write %d/%d: recovery reports epoch %d", k, w, rep.Epoch)
+		}
+		sameSnapshots(t, want, snapshotDir(t, out), fmt.Sprintf("cut at write %d/%d", k, w))
+	}
+}
+
+// TestCompactCrashSweepSharded runs the same per-ordinal sweep over a
+// sharded, replicated layout: a cut strands some replicas compacted, one
+// mid-flight, the rest untouched; the coordinator must still open and
+// answer identically, and ResumeSharded must finish every replica into the
+// baseline bytes.
+func TestCompactCrashSweepSharded(t *testing.T) {
+	base := t.TempDir()
+	docs := corpus(16)
+	pristine := filepath.Join(base, "pristine")
+	if _, err := shard.Build(pristine, docs, shard.BuildConfig{Shards: 2, Replicas: 2, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	co, err := shard.Open(pristine, prix.Options{}, shard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSig := map[string]string{}
+	for _, qs := range testQueries {
+		wantSig[qs] = coordSig(t, co, qs)
+	}
+	if err := co.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := func() Options { return Options{MemBudget: 32 << 10} }
+
+	baseDir := filepath.Join(base, "base")
+	copyTree(t, pristine, baseDir)
+	if _, err := RunSharded(baseDir, opts()); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotDir(t, baseDir)
+
+	counting := pager.NewPowerClock(0)
+	countDir := filepath.Join(base, "count")
+	copyTree(t, pristine, countDir)
+	oc := opts()
+	oc.FS = ingest.NewFaultFS(ingest.OSFS{}, counting)
+	oc.OpenFile = faultOpenFile(counting)
+	if _, err := RunSharded(countDir, oc); err != nil {
+		t.Fatal(err)
+	}
+	sameSnapshots(t, want, snapshotDir(t, countDir), "counting run")
+	w := counting.Writes()
+	if w < 20 {
+		t.Fatalf("suspiciously few write points observed: %d", w)
+	}
+
+	out := filepath.Join(base, "cut")
+	for k := int64(1); k <= w; k++ {
+		if err := os.RemoveAll(out); err != nil {
+			t.Fatal(err)
+		}
+		copyTree(t, pristine, out)
+		clock := pager.NewPowerClock(k)
+		clock.SetTornBytes(pager.PageSize / 3)
+		o := opts()
+		o.FS = ingest.NewFaultFS(ingest.OSFS{}, clock)
+		o.OpenFile = faultOpenFile(clock)
+		if _, err := RunSharded(out, o); err == nil {
+			t.Fatalf("cut at write %d/%d: sharded run unexpectedly succeeded", k, w)
+		}
+
+		// The whole tier keeps serving across the cut: every replica
+		// resolves (committed epoch or untouched plain layout) and the
+		// coordinator's answers are unchanged.
+		co, err := shard.Open(out, prix.Options{}, shard.Config{ResolveDir: ResolveDir})
+		if err != nil {
+			t.Fatalf("cut at write %d/%d: coordinator does not open: %v", k, w, err)
+		}
+		for _, qs := range testQueries {
+			if got := coordSig(t, co, qs); got != wantSig[qs] {
+				t.Fatalf("cut at write %d/%d: %s answers differently mid-recovery", k, w, qs)
+			}
+		}
+		if err := co.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		reps, err := ResumeSharded(out, opts())
+		if err != nil {
+			t.Fatalf("recovery after cut at write %d/%d: %v", k, w, err)
+		}
+		if len(reps) != 4 {
+			t.Fatalf("cut at write %d/%d: recovered %d replicas, want 4", k, w, len(reps))
+		}
+		for i, rep := range reps {
+			if rep.Epoch != 1 {
+				t.Fatalf("cut at write %d/%d: replica %d recovered at epoch %d", k, w, i, rep.Epoch)
+			}
+		}
+		sameSnapshots(t, want, snapshotDir(t, out), fmt.Sprintf("cut at write %d/%d", k, w))
+	}
+}

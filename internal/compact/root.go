@@ -1,0 +1,483 @@
+package compact
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/prix"
+	"repro/internal/twig"
+	"repro/internal/xmltree"
+)
+
+// ErrCompacting reports that a compaction is already running on this Root.
+var ErrCompacting = errors.New("compact: compaction already in progress")
+
+// Root is a live, serving view of an epoch-root directory: it opens the
+// current epoch's DynamicIndex, serves queries and inserts through it, and
+// swaps to a freshly compacted epoch with zero downtime. It implements the
+// server's Source, inserter, and epoch interfaces, so prixserve can serve a
+// Root exactly like a bare DynamicIndex — except that query cache keys pick
+// up the epoch, invalidating for free across a swap.
+type Root struct {
+	dir  string
+	opts prix.Options
+
+	// mu guards the (di, epoch) pair. Queries hold it as readers for their
+	// whole duration, so the swap's write-lock acquisition doubles as a
+	// drain barrier: once the swap holds mu, no query references the old
+	// epoch and its files can be closed immediately.
+	mu    sync.RWMutex
+	di    *prix.DynamicIndex
+	epoch uint64
+	// genBase folds superseded epochs' insert counts into Generation: each
+	// swap adds the old epoch's count plus one tick, so the value stays
+	// strictly monotonic even though the new epoch's counter restarts.
+	genBase uint64
+
+	// insertMu serializes writers and is the freeze latch: the compactor
+	// holds it across the catch-up + swap window, so the pause inserts see
+	// is exactly Report.Pause.
+	insertMu sync.Mutex
+
+	// hooks are Root-level OnInsert hooks, re-registered onto each epoch's
+	// index via the fireHooks forwarder so registrations survive swaps.
+	hooksMu sync.Mutex
+	hooks   []func()
+
+	// swapMu + swapPending implement the scrubber gate: a scrub pass holds
+	// swapMu as a reader while checking invariants; the swap takes it as a
+	// writer. swapPending makes the gate non-blocking for the scrubber (it
+	// skips, rather than stalls, a pass that collides with a swap).
+	swapMu      sync.RWMutex
+	swapPending atomic.Bool
+
+	compacting atomic.Bool
+}
+
+// OpenRoot opens dir for live serving, first finishing any compaction a
+// crash interrupted (resuming from its manifest checkpoint, or committing
+// and cleaning up one that had already published). The directory may be a
+// plain dynamic index or an epoch root; opts follows prix.Open semantics
+// (Dir is taken from dir).
+func OpenRoot(dir string, opts prix.Options) (*Root, error) {
+	if _, err := Recover(Options{Dir: dir, BufferPoolPages: opts.BufferPoolPages, OpenFile: opts.OpenFile}); err != nil {
+		return nil, err
+	}
+	resolved, epoch, err := resolveDir(ingest.OSFS{}, dir)
+	if err != nil {
+		return nil, err
+	}
+	di, err := prix.OpenDynamic(resolved, opts)
+	if err != nil {
+		return nil, err
+	}
+	r := &Root{dir: dir, opts: opts, di: di, epoch: epoch}
+	di.OnInsert(r.fireHooks)
+	return r, nil
+}
+
+// Recover finishes an interrupted compaction of dir, if any; with no
+// pending manifest it does nothing. Unlike ResumeOrRun it never starts a
+// fresh compaction, so it is safe to call unconditionally at startup.
+func Recover(o Options) (*Report, error) {
+	rep, err := Resume(o)
+	if errors.Is(err, ErrNoManifest) {
+		return nil, nil
+	}
+	return rep, err
+}
+
+func (r *Root) fireHooks() {
+	r.hooksMu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.hooksMu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+}
+
+// Match serves a query against the current epoch. The read lock spans the
+// whole query, pinning the epoch's files open until it returns.
+func (r *Root) Match(q *twig.Query, opts prix.MatchOptions) ([]prix.Match, *prix.QueryStats, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.di.Match(q, opts)
+}
+
+// Insert adds one document to the current epoch. During a swap's freeze
+// window it blocks (for Report.Pause) and then lands in the new epoch.
+func (r *Root) Insert(doc *xmltree.Document) error {
+	r.insertMu.Lock()
+	defer r.insertMu.Unlock()
+	r.mu.RLock()
+	di := r.di
+	r.mu.RUnlock()
+	return di.Insert(doc)
+}
+
+// PagesRead proxies the current epoch's physical-read counter.
+func (r *Root) PagesRead() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.di.PagesRead()
+}
+
+// NumDocs returns the current epoch's document count.
+func (r *Root) NumDocs() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.di.NumDocs()
+}
+
+// Extended reports whether the index is an EPIndex.
+func (r *Root) Extended() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.di.Extended()
+}
+
+// Quarantined proxies the current epoch's quarantined docids.
+func (r *Root) Quarantined() []uint32 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.di.Quarantined()
+}
+
+// Generation counts successful inserts across epochs plus one tick per
+// swap, so any cache keyed on it invalidates when either happens. Swaps
+// fold the retired epoch's count into a base rather than resetting, so the
+// value never repeats within a process lifetime.
+func (r *Root) Generation() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.genBase + r.di.Generation()
+}
+
+// OnInsert registers a hook run after every successful insert and after
+// every epoch swap (the swap fires the hooks once, standing in for the
+// cache invalidation an insert would have triggered).
+func (r *Root) OnInsert(fn func()) {
+	r.hooksMu.Lock()
+	defer r.hooksMu.Unlock()
+	r.hooks = append(r.hooks, fn)
+}
+
+// TopologyEpoch exposes the compaction epoch to the executor's cache key,
+// the same slot a sharded coordinator fills with its placement epoch: a
+// result computed against one epoch's files can never be served from cache
+// once a swap committed a different set.
+func (r *Root) TopologyEpoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
+}
+
+// Epoch returns the serving epoch (0 until the first compaction commits).
+func (r *Root) Epoch() uint64 { return r.TopologyEpoch() }
+
+// Compacting reports whether a compaction is currently running.
+func (r *Root) Compacting() bool { return r.compacting.Load() }
+
+// RepairForest rebuilds the current epoch's forest from surviving records.
+func (r *Root) RepairForest() ([]uint32, error) {
+	r.mu.RLock()
+	di := r.di
+	r.mu.RUnlock()
+	return di.RepairForest()
+}
+
+// Index returns the current epoch's DynamicIndex for callers that need the
+// raw handle (the scrubber's Source hook). The handle is only valid until
+// the next swap; combine with Gate to avoid inspecting a mid-swap epoch.
+func (r *Root) Index() *prix.DynamicIndex {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.di
+}
+
+// Flush persists the current epoch's directory metadata.
+func (r *Root) Flush() error {
+	r.insertMu.Lock()
+	defer r.insertMu.Unlock()
+	r.mu.RLock()
+	di := r.di
+	r.mu.RUnlock()
+	return di.Flush()
+}
+
+// Close flushes and closes the current epoch.
+func (r *Root) Close() error {
+	r.insertMu.Lock()
+	defer r.insertMu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.di.Flush(); err != nil {
+		return err
+	}
+	return r.di.Close()
+}
+
+// Gate is the swap gate handed to scrubbers (it satisfies scrub.SwapGate):
+// TryEnter succeeds only while no epoch swap is pending or in progress, and
+// holds the swap out until Exit. A scrubber that fails TryEnter skips the
+// segment instead of reporting forest-invariant violations against files
+// that are mid-swap.
+type Gate struct{ r *Root }
+
+// Gate returns the Root's swap gate.
+func (r *Root) Gate() *Gate { return &Gate{r: r} }
+
+// TryEnter attempts to start a swap-sensitive read pass. It never blocks:
+// if a swap is pending (or another TryEnter raced the writer), it returns
+// false and the caller should skip.
+func (g *Gate) TryEnter() bool {
+	if g.r.swapPending.Load() {
+		return false
+	}
+	return g.r.swapMu.TryRLock()
+}
+
+// Exit ends a pass started by a successful TryEnter.
+func (g *Gate) Exit() { g.r.swapMu.RUnlock() }
+
+// CompactOptions tunes one online compaction.
+type CompactOptions struct {
+	// MemBudget bounds buffered bytes (0 = 32 MiB); pinned in the manifest.
+	MemBudget int64
+	// CatchupThreshold is the backlog (documents inserted since the drain
+	// watermark) below which the compactor stops chasing and freezes to
+	// finish the rest synchronously. 0 means 16.
+	CatchupThreshold int
+	// MaxRounds caps the chase: after this many drain rounds the compactor
+	// freezes regardless of backlog, bounding pause time at roughly one
+	// round's worth of inserts. 0 means 10.
+	MaxRounds int
+	// Throttle, when set, sleeps this long every throttleEvery drained or
+	// replayed documents — the background rate limit.
+	Throttle time.Duration
+	// Busy, when set, reports foreground pressure; the compactor backs off
+	// BusyBackoff instead of working (the scrubber's yield idiom).
+	Busy        func() bool
+	BusyBackoff time.Duration
+}
+
+// throttleEvery is how many documents pass between pacing checks.
+const throttleEvery = 64
+
+func (co *CompactOptions) withDefaults() CompactOptions {
+	out := *co
+	if out.CatchupThreshold <= 0 {
+		out.CatchupThreshold = 16
+	}
+	if out.MaxRounds <= 0 {
+		out.MaxRounds = 10
+	}
+	if out.BusyBackoff <= 0 {
+		out.BusyBackoff = 100 * time.Millisecond
+	}
+	return out
+}
+
+// Compact rewrites the live index into a packed bulk-loaded epoch and swaps
+// to it, without stopping queries and pausing inserts only for the final
+// catch-up + swap window (Report.Pause). Phases:
+//
+//  1. drain — spool every document into sealed runs, checkpointed in the
+//     manifest, rate-limited; queries and inserts proceed untouched.
+//     Repeated until the insert backlog is below CatchupThreshold.
+//  2. build — bulk-load the runs into .compact/next (kept open), also
+//     rate-limited and restartable from scratch.
+//  3. freeze — block new inserts, insert the last backlog directly into
+//     the new index, flush it.
+//  4. publish + commit — rename next/ to epoch-N, atomically write CURRENT.
+//  5. swap — repoint the Root (draining in-flight queries), close the old
+//     epoch, delete its files.
+//
+// Any failure before step 4's CURRENT write aborts with *Aborted: the old
+// epoch keeps serving, untouched, and the work directory is preserved so
+// the next attempt resumes from the last checkpoint. ctx cancellation is
+// honored between documents during drain and build.
+func (r *Root) Compact(ctx context.Context, co CompactOptions) (*Report, error) {
+	if !r.compacting.CompareAndSwap(false, true) {
+		return nil, ErrCompacting
+	}
+	defer r.compacting.Store(false)
+	co = co.withDefaults()
+	oo := Options{Dir: r.dir, MemBudget: co.MemBudget, BufferPoolPages: r.opts.BufferPoolPages, OpenFile: r.opts.OpenFile}
+	o := oo.withDefaults()
+	fs := o.FS
+	workdir := filepath.Join(r.dir, WorkDirName)
+	start := time.Now()
+
+	r.mu.RLock()
+	old, srcEpoch := r.di, r.epoch
+	r.mu.RUnlock()
+	src := &source{dyn: old, ix: old.Index()}
+	probe := manifestFor(src, srcEpoch, o)
+
+	var paced int
+	pace := func() error {
+		paced++
+		if paced%throttleEvery != 0 {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for co.Busy != nil && co.Busy() {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(co.BusyBackoff):
+			}
+		}
+		if co.Throttle > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(co.Throttle):
+			}
+		}
+		return nil
+	}
+
+	// Reuse a previous in-process attempt's sealed runs when its manifest is
+	// still in drain/build under identical configuration; otherwise start
+	// clean, discarding any uncommitted next-epoch directory a failed publish
+	// left behind (CURRENT never pointed at it).
+	m, err := loadManifest(fs, workdir)
+	if err != nil || m.Phase == phasePublish || m.Phase == phaseDone ||
+		m.SourceEpoch != srcEpoch || m.matches(probe) != nil {
+		if err := fs.RemoveAll(workdir); err != nil {
+			return nil, &Aborted{Phase: phaseDrain, Err: err}
+		}
+		if err := fs.RemoveAll(filepath.Join(r.dir, EpochDirName(srcEpoch+1))); err != nil {
+			return nil, &Aborted{Phase: phaseDrain, Err: err}
+		}
+		if err := fs.MkdirAll(workdir); err != nil {
+			return nil, &Aborted{Phase: phaseDrain, Err: err}
+		}
+		m = probe
+		if err := m.save(fs, workdir); err != nil {
+			return nil, &Aborted{Phase: phaseDrain, Err: err}
+		}
+	}
+
+	rep := &Report{Epoch: srcEpoch + 1, Dir: filepath.Join(r.dir, EpochDirName(srcEpoch+1)), Dynamic: true}
+	rep.SourceDocs = old.NumDocs()
+
+	// Phase 1: chase the live index. Each round drains up to the snapshot
+	// taken at its start; inserts landing during the round feed the next.
+	for rounds := 0; ; rounds++ {
+		total := uint32(old.NumDocs())
+		m.Phase = phaseDrain
+		if err := drain(fs, workdir, m, src, total, rep, pace); err != nil {
+			return nil, &Aborted{Phase: phaseDrain, Err: err}
+		}
+		m.Docs = total
+		if err := m.save(fs, workdir); err != nil {
+			return nil, &Aborted{Phase: phaseDrain, Err: err}
+		}
+		if old.NumDocs()-int(total) <= co.CatchupThreshold || rounds+1 >= co.MaxRounds {
+			break
+		}
+	}
+	m.Phase = phaseBuild
+	if err := m.save(fs, workdir); err != nil {
+		return nil, &Aborted{Phase: phaseDrain, Err: err}
+	}
+	rep.Docs = m.Docs
+	rep.Runs = len(m.Runs)
+
+	// Phase 2: bulk-load the runs. The new index stays open — its page files
+	// live in .compact/next and follow the directory through the publish
+	// rename, so the swap needs no reopen.
+	built, _, err := build(fs, workdir, m, o, pace)
+	if err != nil {
+		return nil, &Aborted{Phase: phaseBuild, Err: err}
+	}
+	next := built.dyn
+	fail := func(phase string, err error) (*Report, error) {
+		next.Close()
+		return nil, &Aborted{Phase: phase, Err: err}
+	}
+
+	// Phase 3: freeze. The swap gate goes pending first so a scrubber pass
+	// cannot start mid-swap (and an in-flight one finishes before the swap),
+	// without that wait inflating the insert pause.
+	r.swapPending.Store(true)
+	r.swapMu.Lock()
+	pauseStart := time.Now()
+	r.insertMu.Lock()
+	unfreeze := func() {
+		r.insertMu.Unlock()
+		r.swapMu.Unlock()
+		r.swapPending.Store(false)
+	}
+	for id := m.Docs; id < uint32(old.NumDocs()); id++ {
+		doc, err := old.Index().ReconstructDocument(id)
+		if err != nil {
+			unfreeze()
+			return fail(phaseBuild, fmt.Errorf("compact: catch-up document %d: %w", id, err))
+		}
+		if err := next.Insert(doc); err != nil {
+			unfreeze()
+			return fail(phaseBuild, fmt.Errorf("compact: catch-up document %d: %w", id, err))
+		}
+		rep.DeltaDocs++
+	}
+	if err := next.Flush(); err != nil {
+		unfreeze()
+		return fail(phaseBuild, err)
+	}
+
+	// Phase 4: publish and commit. The CURRENT write is the point of no
+	// return — before it, any failure leaves the old epoch serving.
+	m.Phase = phasePublish
+	if err := m.save(fs, workdir); err != nil {
+		unfreeze()
+		return fail(phaseBuild, err)
+	}
+	if err := publishCommit(fs, r.dir, workdir, m); err != nil {
+		unfreeze()
+		return fail(phasePublish, err)
+	}
+
+	// Phase 5: swap. Taking mu drains in-flight queries off the old epoch;
+	// new queries (and the unfrozen inserts) see the new one. The epoch bump
+	// changes every cache key, so stale results cannot be served.
+	r.mu.Lock()
+	r.genBase += old.Generation() + 1
+	r.di = next
+	r.epoch = m.NextEpoch
+	r.mu.Unlock()
+	next.OnInsert(r.fireHooks)
+	unfreeze()
+	rep.Pause = time.Since(pauseStart)
+	r.fireHooks()
+
+	// Post-commit teardown. The new epoch is serving whatever happens here;
+	// an error is reported but no longer aborts anything, and a leftover
+	// work directory or old epoch is re-deleted by the next recovery.
+	closeErr := old.Close()
+	m.Phase = phaseDone
+	if err := m.save(fs, workdir); err == nil {
+		err = cleanup(fs, r.dir, workdir, m.SourceEpoch)
+		if closeErr == nil {
+			closeErr = err
+		}
+	} else if closeErr == nil {
+		closeErr = err
+	}
+	rep.Elapsed = time.Since(start)
+	if closeErr != nil {
+		return rep, fmt.Errorf("compact: post-commit cleanup (epoch %d is serving): %w", m.NextEpoch, closeErr)
+	}
+	return rep, nil
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"io"
 
+	"repro/internal/compact"
 	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/prix"
@@ -187,6 +188,10 @@ type ShardTopology = shard.Topology
 // replica reads, replicas opened per shard).
 type ShardConfig = shard.Config
 
+// RetryPolicy shapes replica failover: jittered exponential backoff and a
+// per-query attempt budget.
+type RetryPolicy = shard.RetryPolicy
+
 // ShardBuildConfig parameterizes a sharded build (shard/replica counts,
 // index kind).
 type ShardBuildConfig = shard.BuildConfig
@@ -248,6 +253,74 @@ func StreamIngest(o IngestOptions) (*IngestReport, error) { return ingest.Run(o)
 // ResumeIngest restarts an interrupted ingest from its last durable
 // checkpoint; the finished index is byte-identical to an uninterrupted run.
 func ResumeIngest(o IngestOptions) (*IngestReport, error) { return ingest.Resume(o) }
+
+// CompactRoot is a live serving view of an epoch-root index directory:
+// queries and inserts flow through the current epoch, and background
+// compaction swaps in a packed bulk-loaded epoch with zero downtime.
+type CompactRoot = compact.Root
+
+// Compactor periodically compacts a CompactRoot in the background.
+type Compactor = compact.Compactor
+
+// CompactorConfig tunes the background compaction loop (interval, memory
+// budget, throttling).
+type CompactorConfig = compact.Config
+
+// CompactOptions tunes one online compaction run.
+type CompactOptions = compact.CompactOptions
+
+// CompactionOptions configures an offline compaction of a closed index
+// directory (prixscrub -compact).
+type CompactionOptions = compact.Options
+
+// CompactionReport summarizes one compaction.
+type CompactionReport = compact.Report
+
+// ErrNotDynamic reports an on-disk index without dynamic labeler state; it
+// cannot be served insertable (open it read-only via OpenIndex instead).
+var ErrNotDynamic = prix.ErrNotDynamic
+
+// OpenCompactRoot opens a directory for live serving with online
+// compaction: a plain dynamic index or an epoch root, finishing any
+// compaction a crash interrupted first.
+func OpenCompactRoot(dir string, opts Options) (*CompactRoot, error) {
+	return compact.OpenRoot(dir, opts)
+}
+
+// NewCompactor builds the background compaction loop over a live root.
+func NewCompactor(r *CompactRoot, cfg CompactorConfig) *Compactor {
+	return compact.New(r, cfg)
+}
+
+// CompactIndex compacts a closed index directory offline from scratch.
+func CompactIndex(o CompactionOptions) (*CompactionReport, error) {
+	return compact.Run(o)
+}
+
+// ResumeOrCompactIndex resumes an interrupted offline compaction, reports
+// an already-completed one as Skipped, or starts fresh.
+func ResumeOrCompactIndex(o CompactionOptions) (*CompactionReport, error) {
+	return compact.ResumeOrRun(o)
+}
+
+// CompactShardedIndex compacts every replica of every shard under a sharded
+// layout root (offline).
+func CompactShardedIndex(root string, o CompactionOptions) ([]*CompactionReport, error) {
+	return compact.RunSharded(root, o)
+}
+
+// ResumeOrCompactShardedIndex finishes whatever each replica of a sharded
+// layout was doing: resumes interrupted compactions, skips completed ones,
+// starts missing ones.
+func ResumeOrCompactShardedIndex(root string, o CompactionOptions) ([]*CompactionReport, error) {
+	return compact.ResumeSharded(root, o)
+}
+
+// ResolveIndexDir resolves a directory through its epoch pointer: an epoch
+// root yields the serving epoch's subdirectory, a plain index directory
+// yields itself. Every opener should route through this so compacted
+// layouts stay drop-in replacements for plain ones.
+func ResolveIndexDir(dir string) (string, error) { return compact.ResolveDir(dir) }
 
 // ParseOptions bounds the streaming XML parser (max depth, max record size).
 type ParseOptions = xmltree.ParseOptions

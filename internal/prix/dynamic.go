@@ -32,6 +32,11 @@ type DynamicIndex struct {
 	// build a replacement labeler with the same parameters.
 	alpha  int
 	spread uint64
+	// prepared is how many leading documents (docids 0..prepared-1) fed the
+	// labeler's preparatory pass. Flush persists it (with alpha and spread)
+	// so OpenDynamic can replay the exact labeler state from the stored
+	// records alone.
+	prepared int
 	// gen counts successful Inserts; serving-layer caches use it (or the
 	// OnInsert hooks) to invalidate stale results.
 	gen     atomic.Uint64
@@ -61,11 +66,12 @@ func NewDynamicIndex(initial []*xmltree.Document, opts Options, dopts DynamicOpt
 		dopts.Spread = 1 << 20
 	}
 	di := &DynamicIndex{
-		ix:      ix,
-		labeler: vtrie.NewDynamicLabeler(dopts.Alpha, dopts.Spread),
-		trees:   map[vtrie.Symbol]*btree.Tree{},
-		alpha:   dopts.Alpha,
-		spread:  dopts.Spread,
+		ix:       ix,
+		labeler:  vtrie.NewDynamicLabeler(dopts.Alpha, dopts.Spread),
+		trees:    map[vtrie.Symbol]*btree.Tree{},
+		alpha:    dopts.Alpha,
+		spread:   dopts.Spread,
+		prepared: len(initial),
 	}
 	if di.ix.docid, err = ix.forest.Tree(docidTreeName); err != nil {
 		return nil, err
@@ -231,6 +237,12 @@ func (di *DynamicIndex) OnInsert(fn func()) {
 // Underflows reports how many insertions failed with scope underflow.
 func (di *DynamicIndex) Underflows() int { return di.labeler.Underflows() }
 
+// Alpha returns the labeler's prepared-prefix depth.
+func (di *DynamicIndex) Alpha() int { return di.alpha }
+
+// Spread returns the labeler's per-symbol range reservation.
+func (di *DynamicIndex) Spread() uint64 { return di.spread }
+
 // Quarantined proxies the docids quarantined in the document store.
 func (di *DynamicIndex) Quarantined() []uint32 { return di.ix.Quarantined() }
 
@@ -280,6 +292,9 @@ func (di *DynamicIndex) RepairForest() ([]uint32, error) {
 			}
 		}
 		di.labeler = lab
+		// The rebuilt labeler prepared every surviving record, so a replay
+		// (OpenDynamic) must prepare the whole docid range too.
+		di.prepared = di.ix.store.NumDocs()
 		return nil
 	})
 }
@@ -303,6 +318,11 @@ func (di *DynamicIndex) Flush() error {
 	}
 	di.ix.store.SetStat("extended", ext)
 	di.ix.store.SetStat("sequences", int64(di.labeler.Sequences()))
+	// The labeler replay parameters: their presence marks the on-disk index
+	// as dynamic (reopenable via OpenDynamic).
+	di.ix.store.SetStat("alpha", int64(di.alpha))
+	di.ix.store.SetStat("spread", int64(di.spread))
+	di.ix.store.SetStat("prepared", int64(di.prepared))
 	if err := di.ix.store.Flush(); err != nil {
 		return err
 	}

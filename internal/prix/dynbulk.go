@@ -1,0 +1,365 @@
+package prix
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/vtrie"
+)
+
+// This file is the dynamic half of the bulk-load path, built for online
+// compaction: a long-running DynamicIndex accumulates an append-heavy
+// page layout, and the compactor rewrites it into packed bulk-loaded trees
+// that must remain insertable afterwards. FinalizeBulk cannot serve here —
+// its exact Builder labeling has no scope slack for future inserts — so
+// BulkLoadDynamic drives a fresh DynamicLabeler through the same external
+// sort + bulk load, and OpenDynamic replays the labeler state from the
+// stored records so the compacted index reopens ready for more Inserts.
+
+// ErrNotDynamic reports that an on-disk index was not written by a
+// DynamicIndex Flush (it has no labeler replay parameters), so it cannot be
+// reopened insertable.
+var ErrNotDynamic = fmt.Errorf("prix: index has no dynamic labeler state")
+
+// OpenDynamic reopens an on-disk dynamic index — one persisted by
+// DynamicIndex.Flush or built by BulkLoadDynamic — with its labeler state
+// reconstructed, so inserts can continue where they left off.
+//
+// The labeler is rebuilt by deterministic replay: the first `prepared`
+// records feed the preparatory pass, then every record is re-added in docid
+// order. Both passes repeat exactly the operations that built the index, so
+// the in-memory trie (scopes, next-free cursors) matches the persisted
+// postings without any of them being read back.
+func OpenDynamic(dir string, opts Options) (*DynamicIndex, error) {
+	ix, err := Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	alpha, okA := ix.store.Stat("alpha")
+	spread, okS := ix.store.Stat("spread")
+	prepared, okP := ix.store.Stat("prepared")
+	if !okA || !okS || !okP {
+		ix.Close()
+		return nil, fmt.Errorf("%w: %s", ErrNotDynamic, dir)
+	}
+	di := &DynamicIndex{
+		ix:       ix,
+		labeler:  vtrie.NewDynamicLabeler(int(alpha), uint64(spread)),
+		trees:    map[vtrie.Symbol]*btree.Tree{},
+		alpha:    int(alpha),
+		spread:   uint64(spread),
+		prepared: int(prepared),
+	}
+	n := ix.store.NumDocs()
+	prep := int(prepared)
+	if prep > n {
+		prep = n
+	}
+	for id := 0; id < prep; id++ {
+		rec, err := ix.store.GetAny(uint32(id))
+		if err != nil {
+			// Mirrors RepairForest: a record both stores lost is quarantined,
+			// not fatal — the replay skips it like the rebuild did.
+			continue
+		}
+		if len(rec.LPS) == 0 {
+			continue
+		}
+		if err := di.labeler.Prepare(rec.LPS); err != nil {
+			ix.Close()
+			return nil, err
+		}
+	}
+	di.labeler.Finalize()
+	for id := 0; id < n; id++ {
+		rec, err := ix.store.GetAny(uint32(id))
+		if err != nil {
+			continue
+		}
+		if len(rec.LPS) == 0 {
+			continue
+		}
+		// The created postings and the docid entry are already on disk; only
+		// the labeler's in-memory scope bookkeeping is being replayed.
+		if _, _, err := di.labeler.AddReport(rec.LPS, rec.DocID); err != nil {
+			ix.Close()
+			return nil, fmt.Errorf("prix: dynamic replay of document %d: %w", rec.DocID, err)
+		}
+	}
+	di.nextID = uint32(n)
+	return di, nil
+}
+
+// BulkLoadDynamic builds a compacted, still-insertable index from a
+// replayable DocSeq stream: every sequence feeds the labeler's preparatory
+// pass (so the whole collection pre-allocates scopes and the rebuild cannot
+// underflow short of spread exhaustion), then the postings are spilled as
+// sorted runs under bo's memory budget and k-way merged into bulk-loaded
+// B+-trees, exactly like FinalizeBulk's external sort.
+//
+// source is invoked twice and must yield the identical stream both times,
+// in ascending dense docid order (0, 1, 2, ...). Given the same stream and
+// options the produced files are byte-identical, which is what lets a
+// crash-interrupted compaction redo this phase from scratch and converge
+// on the same index.
+func BulkLoadDynamic(opts Options, dopts DynamicOptions, bo BulkOptions, source func(fn func(*DocSeq) error) error) (*DynamicIndex, error) {
+	ix, err := newEmptyIndex(opts)
+	if err != nil {
+		return nil, err
+	}
+	di, err := bulkLoadDynamic(ix, dopts, bo, source)
+	if err != nil {
+		// Restartable callers redo the build from scratch; release the
+		// half-written files rather than leaving them open.
+		ix.Close()
+		return nil, err
+	}
+	return di, nil
+}
+
+func bulkLoadDynamic(ix *Index, dopts DynamicOptions, bo BulkOptions, source func(fn func(*DocSeq) error) error) (*DynamicIndex, error) {
+	if dopts.Spread == 0 {
+		dopts.Spread = 1 << 20
+	}
+	lab := vtrie.NewDynamicLabeler(dopts.Alpha, dopts.Spread)
+	di := &DynamicIndex{
+		ix:      ix,
+		labeler: lab,
+		trees:   map[vtrie.Symbol]*btree.Tree{},
+		alpha:   dopts.Alpha,
+		spread:  dopts.Spread,
+	}
+	var bs buildStats
+
+	// Prepare pass: intern (idempotent — the build pass re-interns the same
+	// labels to the same symbols) and feed the labeler's statistics.
+	next := uint32(0)
+	err := source(func(ds *DocSeq) error {
+		if ds.DocID != next {
+			return fmt.Errorf("prix: bulk dynamic source out of order: got docid %d, want %d", ds.DocID, next)
+		}
+		next++
+		_, syms := ix.internDocSeq(ds.DocID, ds)
+		if len(syms) == 0 {
+			return nil
+		}
+		return lab.Prepare(syms)
+	})
+	if err != nil {
+		return nil, err
+	}
+	lab.Finalize()
+	total := next
+
+	// Mirror finishBulk: the docid tree is created first so page allocation
+	// (and with it the final file bytes) is deterministic.
+	docid, err := ix.forest.Tree(docidTreeName)
+	if err != nil {
+		return nil, err
+	}
+	ix.docid = docid
+
+	spill := bo.Spill
+	if spill == nil {
+		spill = newMemSpiller()
+	}
+	budget := bo.budget()
+	var (
+		posts       []bulkPosting
+		docids      []bulkDocid
+		postChunks  []string
+		docidChunks []string
+		buffered    int64
+	)
+	flushChunks := func() error {
+		if len(posts) > 0 {
+			sort.Slice(posts, func(i, j int) bool {
+				if posts[i].sym != posts[j].sym {
+					return posts[i].sym < posts[j].sym
+				}
+				return posts[i].left < posts[j].left
+			})
+			name := fmt.Sprintf("post-%04d.run", len(postChunks))
+			if err := writePostChunk(spill, name, posts); err != nil {
+				return err
+			}
+			postChunks = append(postChunks, name)
+			posts = posts[:0]
+		}
+		if len(docids) > 0 {
+			// Unlike the static DFS emit, dynamically assigned terminal Lefts
+			// are not globally sorted in docid order, so docid chunks are
+			// sorted here and heap-merged below instead of concatenated.
+			sort.Slice(docids, func(i, j int) bool {
+				if docids[i].left != docids[j].left {
+					return docids[i].left < docids[j].left
+				}
+				return docids[i].docid < docids[j].docid
+			})
+			name := fmt.Sprintf("docid-%04d.run", len(docidChunks))
+			if err := writeDocidChunk(spill, name, docids); err != nil {
+				return err
+			}
+			docidChunks = append(docidChunks, name)
+			docids = docids[:0]
+		}
+		buffered = 0
+		return nil
+	}
+	addPost := func(p vtrie.Posting) error {
+		posts = append(posts, bulkPosting{sym: p.Symbol, left: p.Left, right: p.Right, level: p.Level})
+		buffered += postRecSize
+		if buffered >= budget {
+			return flushChunks()
+		}
+		return nil
+	}
+
+	// The prepared prefix trie's postings are written once, like
+	// NewDynamicIndex does through EmitPrefix.
+	if err := lab.EmitPrefix(addPost); err != nil {
+		return nil, err
+	}
+
+	// Build pass: label each sequence, spill the created postings and the
+	// terminal docid entry, and store the record + structure sidecar.
+	next = 0
+	err = source(func(ds *DocSeq) error {
+		if ds.DocID != next {
+			return fmt.Errorf("prix: bulk dynamic source out of order: got docid %d, want %d", ds.DocID, next)
+		}
+		next++
+		rec, syms := ix.internDocSeq(ds.DocID, ds)
+		bs.elements += ds.Elements
+		bs.values += ds.Values
+		if ds.MaxDepth > bs.maxDepth {
+			bs.maxDepth = ds.MaxDepth
+		}
+		bs.seqLen += int64(len(syms))
+		if len(syms) == 0 {
+			if err := ix.store.Put(rec); err != nil {
+				return err
+			}
+			return ix.writeStructure(rec)
+		}
+		created, terminal, err := lab.AddReport(syms, ds.DocID)
+		if err != nil {
+			return fmt.Errorf("prix: bulk dynamic label of document %d: %w", ds.DocID, err)
+		}
+		for _, p := range created {
+			if err := addPost(p); err != nil {
+				return err
+			}
+		}
+		docids = append(docids, bulkDocid{left: terminal.Left, docid: ds.DocID})
+		buffered += docidRecSize
+		if buffered >= budget {
+			if err := flushChunks(); err != nil {
+				return err
+			}
+		}
+		if err := ix.store.Put(rec); err != nil {
+			return err
+		}
+		return ix.writeStructure(rec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if next != total {
+		return nil, fmt.Errorf("prix: bulk dynamic source replayed %d docs, prepared %d", next, total)
+	}
+	if err := flushChunks(); err != nil {
+		return nil, err
+	}
+
+	if err := ix.bulkLoadPostings(spill, postChunks); err != nil {
+		return nil, err
+	}
+	if err := ix.bulkLoadDocidsMerged(spill, docidChunks); err != nil {
+		return nil, err
+	}
+	for _, name := range append(postChunks, docidChunks...) {
+		if err := spill.Remove(name); err != nil {
+			return nil, err
+		}
+	}
+
+	ix.store.SetCatalog("maxgap", ix.maxGap)
+	ix.store.SetStat("elements", bs.elements)
+	ix.store.SetStat("values", bs.values)
+	ix.store.SetStat("maxdepth", bs.maxDepth)
+	ix.store.SetStat("seqlen", bs.seqLen)
+	ix.store.SetStat("sequences", int64(lab.Sequences()))
+	extended := int64(0)
+	if ix.opts.Extended {
+		extended = 1
+	}
+	ix.store.SetStat("extended", extended)
+	ix.store.SetStat("alpha", int64(dopts.Alpha))
+	ix.store.SetStat("spread", int64(dopts.Spread))
+	ix.store.SetStat("prepared", int64(total))
+	if err := ix.store.Flush(); err != nil {
+		return nil, err
+	}
+	if err := ix.forest.Flush(); err != nil {
+		return nil, err
+	}
+	di.prepared = int(total)
+	di.nextID = total
+	return di, nil
+}
+
+// bulkLoadDocidsMerged is bulkLoadDocids for chunks that are each sorted by
+// (left, docid) but not globally ordered: a k-way heap merge over the
+// 12-byte records. postHeap's comparator already orders by the first 12
+// bytes of the head, which for a docid record is the whole (left, docid)
+// key, so it is reused as-is.
+func (ix *Index) bulkLoadDocidsMerged(spill Spiller, chunks []string) (err error) {
+	var h postHeap
+	defer func() {
+		for _, cr := range h {
+			if cerr := cr.close(); err == nil {
+				err = cerr
+			}
+		}
+	}()
+	for _, name := range chunks {
+		cr, err := openChunk(spill, name, docidRecSize)
+		if err != nil {
+			return err
+		}
+		if cr.done {
+			if err := cr.close(); err != nil {
+				return err
+			}
+			continue
+		}
+		h = append(h, cr)
+	}
+	heap.Init(&h)
+	return ix.docid.BulkLoad(func() ([]byte, []byte, error) {
+		for len(h) > 0 {
+			cr := h[0]
+			if cr.done {
+				heap.Pop(&h)
+				if err := cr.close(); err != nil {
+					return nil, nil, err
+				}
+				continue
+			}
+			key := btree.KeyUint64(binary.BigEndian.Uint64(cr.head[0:8]))
+			val := encodeDocID(binary.BigEndian.Uint32(cr.head[8:12]))
+			if err := cr.advance(); err != nil {
+				return nil, nil, err
+			}
+			heap.Fix(&h, 0)
+			return key, val, nil
+		}
+		return nil, nil, io.EOF
+	})
+}

@@ -60,6 +60,24 @@ type Config struct {
 	// pass its own RepairForest so the labeler is rebuilt alongside the
 	// postings. Nil uses Index.RepairForest (exact relabeling).
 	RepairForest func() ([]uint32, error)
+	// Source, when non-nil, re-resolves the index at the start of every
+	// pass. Serving tiers that swap epochs (internal/compact) pass a
+	// resolver here so the scrubber follows a swap instead of scrubbing a
+	// closed epoch's files.
+	Source func() *prix.Index
+	// Gate, when non-nil, brackets every pass. A pass runs only while
+	// inside the gate; one that cannot enter — an epoch swap is pending or
+	// in progress — is skipped and counted (Stats.PassesSkipped) instead of
+	// reporting forest-invariant violations against files that are mid-swap.
+	Gate SwapGate
+}
+
+// SwapGate coordinates scrub passes with epoch swaps. compact.Root's Gate
+// satisfies it: TryEnter fails while a swap is pending (never blocking the
+// scrubber), and a successful entry holds the swap out until Exit.
+type SwapGate interface {
+	TryEnter() bool
+	Exit()
 }
 
 func (c *Config) interval() time.Duration {
@@ -126,12 +144,16 @@ type Report struct {
 	ForestRebuilt bool          `json:"forest_rebuilt"`
 	Quarantined   []uint32      `json:"quarantined,omitempty"`
 	Clean         bool          `json:"clean"`
-	Duration      time.Duration `json:"duration_ns"`
+	// Skipped reports the pass did not run because the swap gate was held
+	// (an epoch swap was pending); nothing was scanned.
+	Skipped  bool          `json:"skipped,omitempty"`
+	Duration time.Duration `json:"duration_ns"`
 }
 
 // Stats is a point-in-time snapshot of the scrubber's counters.
 type Stats struct {
 	Passes        uint64 `json:"passes"`
+	PassesSkipped uint64 `json:"passes_skipped"`
 	PagesScanned  uint64 `json:"pages_scanned"`
 	DocsScanned   uint64 `json:"docs_scanned"`
 	Findings      uint64 `json:"findings"`
@@ -149,6 +171,7 @@ type Scrubber struct {
 	cfg Config
 
 	passes        atomic.Uint64
+	passesSkipped atomic.Uint64
 	pagesScanned  atomic.Uint64
 	docsScanned   atomic.Uint64
 	findings      atomic.Uint64
@@ -156,6 +179,10 @@ type Scrubber struct {
 	repairsDone   atomic.Uint64
 	repairsFailed atomic.Uint64
 	running       atomic.Bool
+
+	// passMu serializes passes: with a Source resolver, each pass rebinds
+	// s.ix, which must not race a concurrent RepairNow.
+	passMu sync.Mutex
 
 	mu   sync.Mutex
 	last *Report
@@ -219,6 +246,7 @@ func (s *Scrubber) loop() {
 func (s *Scrubber) Stats() Stats {
 	return Stats{
 		Passes:        s.passes.Load(),
+		PassesSkipped: s.passesSkipped.Load(),
 		PagesScanned:  s.pagesScanned.Load(),
 		DocsScanned:   s.docsScanned.Load(),
 		Findings:      s.findings.Load(),
@@ -248,6 +276,27 @@ func (s *Scrubber) RepairNow(ctx context.Context) (*Report, error) {
 }
 
 func (s *Scrubber) pass(ctx context.Context, repair bool) (*Report, error) {
+	s.passMu.Lock()
+	defer s.passMu.Unlock()
+	// Enter the swap gate before touching any file: if an epoch swap is
+	// pending, the files this scrubber would scan are about to be replaced
+	// (or deleted), and any "violation" found in them would be noise. Skip
+	// the pass; the swap waits for no one, and the next pass scrubs the new
+	// epoch.
+	if s.cfg.Gate != nil {
+		if !s.cfg.Gate.TryEnter() {
+			s.passesSkipped.Add(1)
+			rep := &Report{Skipped: true}
+			s.mu.Lock()
+			s.last = rep
+			s.mu.Unlock()
+			return rep, nil
+		}
+		defer s.cfg.Gate.Exit()
+	}
+	if s.cfg.Source != nil {
+		s.ix = s.cfg.Source()
+	}
 	s.running.Store(true)
 	defer s.running.Store(false)
 	start := time.Now()

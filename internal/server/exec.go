@@ -93,11 +93,11 @@ type Result struct {
 // the HTTP service, cmd/prixquery and the serving benchmark, so every
 // entry point observes the same semantics.
 type Executor struct {
-	src      Source
-	cache    *Cache
-	metrics  *Metrics
-	flight   flightGroup
-	keyEpoch string // "\x00<epoch>" when the source carries a topology
+	src     Source
+	cache   *Cache
+	metrics *Metrics
+	flight  flightGroup
+	epochs  epochSource // non-nil when the source carries a topology/epoch
 }
 
 // NewExecutor wires an executor. capacity < 1 disables the result cache;
@@ -108,7 +108,7 @@ func NewExecutor(src Source, cacheCapacity, cacheShards int, m *Metrics) *Execut
 	}
 	e := &Executor{src: src, cache: NewCache(cacheCapacity, cacheShards), metrics: m}
 	if es, ok := src.(epochSource); ok {
-		e.keyEpoch = "\x00" + strconv.FormatUint(es.TopologyEpoch(), 16)
+		e.epochs = es
 	}
 	if di, ok := src.(inserter); ok && e.cache != nil {
 		// Mutable index: every insert invalidates all cached results.
@@ -135,7 +135,13 @@ func (e *Executor) InvalidateCache() { e.cache.Flush() }
 // Execute runs one parsed query. The context bounds execution: its
 // cancellation is observed between the engine's B+-tree range queries.
 func (e *Executor) Execute(ctx context.Context, q *twig.Query, qo QueryOptions) (*Result, error) {
-	key := q.String() + "\x00" + qo.key() + e.keyEpoch
+	key := q.String() + "\x00" + qo.key()
+	if e.epochs != nil {
+		// Read the epoch per query, not at construction: a compaction swap
+		// (or a reshard behind a live coordinator) bumps it mid-flight, and
+		// every key minted after the bump misses the old epoch's entries.
+		key += "\x00" + strconv.FormatUint(e.epochs.TopologyEpoch(), 16)
+	}
 	if ent, ok := e.cache.Get(key); ok {
 		e.metrics.CacheHits.Inc()
 		return &Result{Matches: ent.matches, Stats: ent.stats, Cached: true}, nil

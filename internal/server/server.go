@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/compact"
 	"repro/internal/obs"
 	"repro/internal/prix"
 	"repro/internal/scrub"
@@ -142,6 +143,7 @@ type Server struct {
 	drainOne sync.Once
 	inflight sync.WaitGroup
 	scrs     []*scrub.Scrubber
+	cmp      *compact.Compactor
 	slowlog  *SlowLog
 }
 
@@ -177,6 +179,12 @@ func (s *Server) SetScrubber(sc *scrub.Scrubber) { s.scrs = []*scrub.Scrubber{sc
 // on each.
 func (s *Server) SetScrubbers(scs []*scrub.Scrubber) { s.scrs = scs }
 
+// SetCompactor attaches the background compactor of a compact.Root source,
+// enabling POST /compact and the compaction gauges in /metrics and /stats.
+// Like SetScrubber, the server only reports on it and triggers runs; the
+// caller owns Start/Stop.
+func (s *Server) SetCompactor(c *compact.Compactor) { s.cmp = c }
+
 // Handler returns the service's route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -186,6 +194,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /scrub", s.handleScrub)
 	mux.HandleFunc("POST /repair", s.handleRepair)
+	mux.HandleFunc("POST /compact", s.handleCompact)
 	mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
 	if !s.cfg.DisablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -573,6 +582,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"# TYPE prix_degraded_shards gauge\nprix_degraded_shards %d\n",
 			len(sh.DegradedShards()))
 	}
+	if s.cmp != nil {
+		st := s.cmp.Stats()
+		running := 0
+		if st.Running {
+			running = 1
+		}
+		fmt.Fprintf(w, "# HELP prix_compactions_total Completed background compactions.\n"+
+			"# TYPE prix_compactions_total counter\nprix_compactions_total %d\n", st.Runs)
+		fmt.Fprintf(w, "# HELP prix_compaction_failures_total Compactions aborted before commit.\n"+
+			"# TYPE prix_compaction_failures_total counter\nprix_compaction_failures_total %d\n", st.Failures)
+		fmt.Fprintf(w, "# HELP prix_compactions_skipped_total Compaction intervals skipped with nothing to do.\n"+
+			"# TYPE prix_compactions_skipped_total counter\nprix_compactions_skipped_total %d\n", st.Skipped)
+		fmt.Fprintf(w, "# HELP prix_compaction_docs_total Documents rewritten by compactions.\n"+
+			"# TYPE prix_compaction_docs_total counter\nprix_compaction_docs_total %d\n", st.DocsCompacted)
+		fmt.Fprintf(w, "# HELP prix_compaction_epoch Serving epoch (bumps on every swap).\n"+
+			"# TYPE prix_compaction_epoch gauge\nprix_compaction_epoch %d\n", st.Epoch)
+		fmt.Fprintf(w, "# HELP prix_compaction_running Whether a compaction is in flight.\n"+
+			"# TYPE prix_compaction_running gauge\nprix_compaction_running %d\n", running)
+		fmt.Fprintf(w, "# HELP prix_compaction_last_pause_seconds Insert freeze window of the last compaction.\n"+
+			"# TYPE prix_compaction_last_pause_seconds gauge\nprix_compaction_last_pause_seconds %g\n",
+			st.LastPause.Seconds())
+	}
 }
 
 // StatsSnapshot is the GET /stats payload.
@@ -605,6 +636,8 @@ type StatsSnapshot struct {
 	TopologyEpoch  uint64        `json:"topology_epoch,omitempty"`
 	DegradedShards []string      `json:"degraded_shards,omitempty"`
 	Shards         []shard.Stats `json:"shards,omitempty"`
+	// Compaction is present when a background compactor is attached.
+	Compaction *compact.Stats `json:"compaction,omitempty"`
 }
 
 // Snapshot assembles the current stats.
@@ -638,6 +671,10 @@ func (s *Server) Snapshot() StatsSnapshot {
 		snap.TopologyEpoch = sh.TopologyEpoch()
 		snap.DegradedShards = shardNames(sh.DegradedShards())
 		snap.Shards = sh.ShardStats()
+	}
+	if s.cmp != nil {
+		st := s.cmp.Stats()
+		snap.Compaction = &st
 	}
 	return snap
 }
@@ -733,4 +770,31 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusInternalServerError
 	}
 	writeJSON(w, status, map[string]any{"indexes": reports})
+}
+
+// handleCompact triggers one compaction synchronously and returns its
+// report. An aborted compaction is not fatal to serving — the old epoch
+// keeps answering — so the error response carries the typed phase detail
+// for the operator and nothing else changes.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if s.cmp == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "no compactor attached"})
+		return
+	}
+	rep, err := s.cmp.RunOnce(r.Context())
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, compact.ErrCompacting) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, map[string]any{
+			"error":  err.Error(),
+			"report": rep,
+		})
+		return
+	}
+	// The swap's epoch bump already retires cached results keyed on the old
+	// epoch; the explicit flush just reclaims their memory immediately.
+	s.exec.InvalidateCache()
+	writeJSON(w, http.StatusOK, rep)
 }

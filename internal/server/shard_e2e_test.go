@@ -277,14 +277,14 @@ func TestTopologyEpochInCacheKey(t *testing.T) {
 	defer co2.Close()
 	e1 := NewExecutor(co1, 16, 1, nil)
 	e2 := NewExecutor(co2, 16, 1, nil)
-	if e1.keyEpoch == "" || e2.keyEpoch == "" {
-		t.Fatalf("sharded executors missing epoch key components: %q %q", e1.keyEpoch, e2.keyEpoch)
+	if e1.epochs == nil || e2.epochs == nil {
+		t.Fatal("sharded executors missing epoch source")
 	}
-	if e1.keyEpoch == e2.keyEpoch {
-		t.Fatalf("different epochs share cache key component %q", e1.keyEpoch)
+	if e1.epochs.TopologyEpoch() == e2.epochs.TopologyEpoch() {
+		t.Fatalf("different epochs share cache key component %d", e1.epochs.TopologyEpoch())
 	}
 	plain := NewExecutor(buildIndex(t, 3), 16, 1, nil)
-	if plain.keyEpoch != "" {
-		t.Fatalf("single index carries epoch key component %q", plain.keyEpoch)
+	if plain.epochs != nil {
+		t.Fatal("single index carries an epoch source")
 	}
 }

@@ -241,7 +241,16 @@ func Open(root string, opts prix.Options, cfg Config) (*Coordinator, error) {
 	groups := make([][]Backend, topo.Shards)
 	for s := 0; s < topo.Shards; s++ {
 		for r := 0; r < nrep; r++ {
-			ix, err := prix.Open(ReplicaDir(root, s, r), prix.Options{
+			dir := ReplicaDir(root, s, r)
+			if cfg.ResolveDir != nil {
+				// A compacted replica keeps its files under an epoch
+				// subdirectory; the resolver follows its CURRENT pointer.
+				if dir, err = cfg.ResolveDir(dir); err != nil {
+					closeAll()
+					return nil, fmt.Errorf("%s replica %d: %w", Name(s), r, err)
+				}
+			}
+			ix, err := prix.Open(dir, prix.Options{
 				Extended:        topo.Extended,
 				BufferPoolPages: opts.BufferPoolPages,
 			})

@@ -35,6 +35,15 @@ type Config struct {
 	// A read-light deployment can serve from one replica per shard and
 	// leave the rest on disk for failover redeploys.
 	OpenReplicas int
+	// Retry shapes sequential replica failover: jittered exponential
+	// backoff between attempts and a per-query attempt budget. The zero
+	// value keeps immediate one-attempt-per-replica failover.
+	Retry RetryPolicy
+	// ResolveDir, when non-nil, maps each replica directory to the
+	// directory actually holding its index files before Open loads it.
+	// compact.ResolveDir goes here so replicas compacted into epoch-root
+	// layouts stay openable in place. Nil opens replica directories as-is.
+	ResolveDir func(dir string) (string, error)
 }
 
 // Coordinator is the scatter-gather query tier over a shard set. It
@@ -72,6 +81,7 @@ func NewCoordinator(topo *Topology, replicas [][]Backend, cfg Config) (*Coordina
 		if err != nil {
 			return nil, err
 		}
+		sh.SetRetry(cfg.Retry)
 		c.shards[s] = sh
 	}
 	return c, nil

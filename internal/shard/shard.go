@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync/atomic"
 	"time"
 
@@ -11,6 +12,24 @@ import (
 	"repro/internal/prix"
 	"repro/internal/twig"
 )
+
+// RetryPolicy shapes sequential failover across a shard's replica group.
+// The zero value reproduces plain failover: one immediate attempt per
+// replica, no sleeps.
+type RetryPolicy struct {
+	// Base is the backoff before the second attempt; each further attempt
+	// doubles it (capped at Max), with ±50% jitter so replicas recovering
+	// from a shared stall are not hammered in lockstep. 0 fails over
+	// immediately.
+	Base time.Duration
+	// Max caps the exponential growth (0 = uncapped).
+	Max time.Duration
+	// Budget is the total attempts allowed per query, counting the first.
+	// More attempts than replicas loops back over the group — a transient
+	// error (replica restarting, page cache thrash) gets retried after the
+	// backoff instead of failing the query. 0 means one attempt per replica.
+	Budget int
+}
 
 // Backend is one index carrying a shard's documents — *prix.Index and
 // *prix.DynamicIndex both satisfy it. All replicas of a shard hold
@@ -37,6 +56,7 @@ type Shard struct {
 	// coordinator owns.
 	sem   chan struct{}
 	hedge time.Duration
+	retry RetryPolicy
 	// rr rotates the first replica tried, spreading read load (and buffer
 	// pool warmth) across the replica group.
 	rr atomic.Uint32
@@ -48,6 +68,7 @@ type Shard struct {
 	queries   atomic.Uint64
 	errs      atomic.Uint64
 	failovers atomic.Uint64
+	retries   atomic.Uint64
 	hedges    atomic.Uint64
 	degraded  atomic.Uint64
 	latencyNS atomic.Int64
@@ -78,6 +99,10 @@ func NewShard(id int, toGlobal []uint32, replicas []Backend, maxInFlight int, he
 		hedge:    hedge,
 	}, nil
 }
+
+// SetRetry installs the failover retry policy. Call before the shard
+// serves queries (it is not synchronized against in-flight Matches).
+func (s *Shard) SetRetry(p RetryPolicy) { s.retry = p }
 
 // ID returns the shard's ordinal in the topology.
 func (s *Shard) ID() int { return s.id }
@@ -133,6 +158,7 @@ type Stats struct {
 	Queries     uint64   `json:"queries"`
 	Errors      uint64   `json:"errors"`
 	Failovers   uint64   `json:"failovers"`
+	Retries     uint64   `json:"retries"`
 	Hedges      uint64   `json:"hedges"`
 	Degraded    uint64   `json:"degraded"`
 	Down        bool     `json:"down,omitempty"`
@@ -150,6 +176,7 @@ func (s *Shard) Stats() Stats {
 		Queries:     s.queries.Load(),
 		Errors:      s.errs.Load(),
 		Failovers:   s.failovers.Load(),
+		Retries:     s.retries.Load(),
 		Hedges:      s.hedges.Load(),
 		Degraded:    s.degraded.Load(),
 		Down:        s.down.Load(),
@@ -230,8 +257,10 @@ func (a *attempt) better(b *attempt) bool {
 }
 
 // matchReplicas picks the replica order (rotating the start for read
-// spreading) and runs the failover — sequential, or hedged when a hedge
-// delay is configured and the shard has more than one replica.
+// spreading) and runs the failover — sequential with the retry policy's
+// jittered exponential backoff, or hedged when a hedge delay is configured
+// and the shard has more than one replica (the hedge path launches the
+// whole group latency-driven, so the retry budget applies only here).
 func (s *Shard) matchReplicas(ctx context.Context, q *twig.Query, opts prix.MatchOptions) ([]prix.Match, *prix.QueryStats, error) {
 	n := len(s.replicas)
 	first := 0
@@ -241,11 +270,29 @@ func (s *Shard) matchReplicas(ctx context.Context, q *twig.Query, opts prix.Matc
 	if s.hedge > 0 && n > 1 {
 		return s.matchHedged(ctx, q, opts, first)
 	}
+	budget := s.retry.Budget
+	if budget <= 0 {
+		budget = n
+	}
+	delay := s.retry.Base
 	var best *attempt
-	for i := 0; i < n; i++ {
+	for i := 0; i < budget; i++ {
 		r := (first + i) % n
 		if i > 0 {
 			s.failovers.Add(1)
+			if i >= n {
+				s.retries.Add(1)
+			}
+			if delay > 0 {
+				if err := backoffSleep(ctx, &delay, s.retry.Max); err != nil {
+					// The query's own deadline consumed the budget mid-backoff;
+					// serve the best degraded outcome rather than nothing.
+					if best != nil && best.err == nil {
+						return best.ms, best.stats, nil
+					}
+					return nil, nil, err
+				}
+			}
 		}
 		a := s.tryReplica(ctx, r, q, opts)
 		if a.err == nil && !a.stats.Degraded {
@@ -259,8 +306,36 @@ func (s *Shard) matchReplicas(ctx context.Context, q *twig.Query, opts prix.Matc
 		if a.better(best) {
 			best = a
 		}
+		if i >= n-1 && best.err == nil {
+			// Every replica answered, just degraded (quarantined documents,
+			// not transient failures); retrying re-reads the same damage.
+			break
+		}
 	}
 	return best.ms, best.stats, best.err
+}
+
+// backoffSleep sleeps the current jittered delay (±50%), doubles it for the
+// next round (capped), and aborts early on context death.
+func backoffSleep(ctx context.Context, delay *time.Duration, max time.Duration) error {
+	d := *delay
+	if max > 0 && d > max {
+		d = max
+	}
+	next := d * 2
+	if max > 0 && next > max {
+		next = max
+	}
+	*delay = next
+	jittered := d/2 + time.Duration(rand.Int63n(int64(d)+1))
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // matchHedged is failover driven by latency as well as errors: the next
