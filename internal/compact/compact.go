@@ -189,6 +189,7 @@ func manifestFor(src *source, srcEpoch uint64, o Options) *Manifest {
 // output); publish is one directory rename; commit is one atomic CURRENT
 // write — the single point where the new epoch becomes the serving one.
 func execute(o Options, resume bool) (*Report, error) {
+	explicitBudget := o.MemBudget > 0
 	o = o.withDefaults()
 	fs := o.FS
 	root := o.Dir
@@ -219,6 +220,13 @@ func execute(o Options, resume bool) (*Report, error) {
 		default:
 			return nil, abortf(m.Phase, fmt.Errorf("compact: manifest compacts epoch %d but %d is serving", m.SourceEpoch, srcEpoch))
 		}
+		if !explicitBudget {
+			// Startup recovery (OpenRoot → Recover) does not know what
+			// budget the interrupted compaction ran under; the manifest pins
+			// it, so adopt it instead of rejecting the resume over a phantom
+			// drift. An explicit caller-supplied budget is still checked.
+			o.MemBudget = m.MemBudget
+		}
 	} else {
 		if err := fs.RemoveAll(workdir); err != nil {
 			return nil, abortf(phaseDrain, err)
@@ -239,6 +247,37 @@ func execute(o Options, resume bool) (*Report, error) {
 		nextEpoch = m.NextEpoch
 	}
 	rep := &Report{Epoch: nextEpoch, Dir: filepath.Join(root, EpochDirName(nextEpoch))}
+
+	// A phasePublish manifest whose commit never landed (CURRENT still
+	// names the source epoch) may only republish the pre-built epoch if the
+	// source gained nothing since the build: a failed online publish
+	// unfreezes inserts, and every document acknowledged after that failure
+	// exists solely in the source. Root.Compact demotes the checkpoint
+	// before unfreezing, but that demotion is itself a write that can fail,
+	// so verify the watermark here too and fall back to re-draining.
+	if m != nil && m.Phase == phasePublish && m.SourceEpoch == srcEpoch {
+		src, err := openSource(srcDir, o)
+		if err != nil {
+			return nil, abortf(phasePublish, err)
+		}
+		docs := uint32(src.ix.NumDocs())
+		if err := src.close(); err != nil {
+			return nil, abortf(phasePublish, err)
+		}
+		if docs > m.Docs+m.DeltaDocs {
+			// The stale build must go: its epoch directory (if the publish
+			// rename happened) would otherwise satisfy the idempotent-publish
+			// probe and commit without the post-failure documents.
+			if err := fs.RemoveAll(filepath.Join(root, EpochDirName(m.NextEpoch))); err != nil {
+				return nil, abortf(phasePublish, err)
+			}
+			m.Phase = phaseBuild
+			m.DeltaDocs = 0
+			if err := m.save(fs, workdir); err != nil {
+				return nil, abortf(phasePublish, err)
+			}
+		}
+	}
 
 	// Drain + build need the source; publish/done never reopen it, so a
 	// resume after the swap point cannot be blocked by source damage.
@@ -507,6 +546,13 @@ func publishCommit(fs ingest.FS, root, workdir string, m *Manifest) error {
 	if probe, err := fs.Open(filepath.Join(epochDir, prix.ForestFileName)); err == nil {
 		probe.Close()
 	} else {
+		// Only a finished build is ever renamed into place, so an epoch
+		// directory without its forest file is debris (an interrupted
+		// publish rollback's half-removed tree); clear it or the rename
+		// fails with ENOTEMPTY forever.
+		if err := fs.RemoveAll(epochDir); err != nil {
+			return err
+		}
 		if err := fs.Rename(filepath.Join(workdir, nextDirName), epochDir); err != nil {
 			return err
 		}

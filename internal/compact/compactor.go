@@ -2,6 +2,7 @@ package compact
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +69,8 @@ type Compactor struct {
 	lastEpoch uint64
 	lastDocs  int
 	primed    bool
+	stopped   bool
+	forced    sync.WaitGroup // in-flight RunOnce calls; Stop waits them out
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -98,12 +101,21 @@ func (c *Compactor) Start() {
 	})
 }
 
-// Stop halts the loop and waits for an in-flight compaction to finish. Safe
-// to call without Start and more than once.
+// Stop ends the compactor's lifetime: it halts the loop, cancels and waits
+// out any in-flight compaction (including a forced RunOnce), and makes
+// later RunOnce calls fail with ErrStopped — so a caller can safely close
+// the underlying Root the moment Stop returns. Safe to call without Start
+// and more than once.
 func (c *Compactor) Stop() {
-	c.stopOnce.Do(func() { close(c.stop) })
+	c.stopOnce.Do(func() {
+		c.mu.Lock()
+		c.stopped = true
+		c.mu.Unlock()
+		close(c.stop)
+	})
 	c.startOnce.Do(func() { close(c.done) })
 	<-c.done
+	c.forced.Wait()
 }
 
 func (c *Compactor) loop() {
@@ -127,11 +139,39 @@ func (c *Compactor) loop() {
 	}
 }
 
+// ErrStopped reports a forced run against a compactor whose Stop already
+// ran.
+var ErrStopped = errors.New("compact: compactor stopped")
+
 // RunOnce compacts now, regardless of whether anything changed (the
 // POST /compact entry point). It still refuses to overlap a running
-// compaction (ErrCompacting).
+// compaction (ErrCompacting). The run is detached from ctx's cancellation
+// — a client disconnect or proxy timeout must not throw away minutes of
+// drain/build work on an operator-triggered maintenance action — and is
+// canceled only by Stop; ctx's values still flow through.
 func (c *Compactor) RunOnce(ctx context.Context) (*Report, error) {
-	return c.runOnce(ctx, true)
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return nil, ErrStopped
+	}
+	c.forced.Add(1)
+	c.mu.Unlock()
+	run, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	defer cancel()
+	watch := make(chan struct{})
+	defer func() {
+		close(watch)
+		c.forced.Done()
+	}()
+	go func() {
+		select {
+		case <-c.stop:
+			cancel()
+		case <-watch:
+		}
+	}()
+	return c.runOnce(run, true)
 }
 
 func (c *Compactor) runOnce(ctx context.Context, force bool) (*Report, error) {

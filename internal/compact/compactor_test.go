@@ -2,6 +2,7 @@ package compact
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -91,8 +92,6 @@ func TestCompactorPrimedAtOpen(t *testing.T) {
 	if got := c.Stats(); got.Runs != 0 {
 		t.Fatalf("primed compactor rewrote an idle root: %+v", got)
 	}
-	c.Stop()
-	c.Stop() // idempotent
 
 	rep, err := c.RunOnce(context.Background())
 	if err != nil {
@@ -100,6 +99,39 @@ func TestCompactorPrimedAtOpen(t *testing.T) {
 	}
 	if rep.Epoch != 2 || root.Epoch() != 2 {
 		t.Fatalf("forced RunOnce: report %+v, root epoch %d", rep, root.Epoch())
+	}
+
+	c.Stop()
+	c.Stop() // idempotent
+	// Stop ends the lifetime: later forced runs are refused, so the caller
+	// can close the Root without racing a compaction.
+	if _, err := c.RunOnce(context.Background()); !errors.Is(err, ErrStopped) {
+		t.Fatalf("RunOnce after Stop: err = %v, want ErrStopped", err)
+	}
+}
+
+// TestRunOnceDetachedFromCaller: a forced run survives its caller's context
+// — POST /compact must not throw away a long compaction because the client
+// disconnected — while Stop still cancels it.
+func TestRunOnceDetachedFromCaller(t *testing.T) {
+	dir := t.TempDir()
+	buildDynamicDir(t, dir, corpus(20))
+	root, err := OpenRoot(dir, prix.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Close()
+
+	c := New(root, Config{MemBudget: 32 << 10})
+	defer c.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone
+	rep, err := c.RunOnce(ctx)
+	if err != nil {
+		t.Fatalf("RunOnce aborted with the caller's context: %v", err)
+	}
+	if rep.Epoch != 1 || root.Epoch() != 1 {
+		t.Fatalf("detached run: report %+v, root epoch %d", rep, root.Epoch())
 	}
 }
 

@@ -180,6 +180,14 @@ type Manifest struct {
 	MemBudget int64 `json:"mem_budget"`
 	// Docs is the drain watermark: documents [0, Docs) are covered by Runs.
 	Docs uint32 `json:"docs"`
+	// DeltaDocs is how many catch-up documents an online compaction
+	// inserted directly into the built index during its freeze window
+	// (set just before the phase moves to publish). Docs+DeltaDocs is the
+	// built epoch's true watermark: a resume at phasePublish that finds
+	// the source grown past it knows inserts were acknowledged after a
+	// failed publish and must re-drain instead of committing the stale
+	// build.
+	DeltaDocs uint32 `json:"delta_docs,omitempty"`
 	// Runs lists the sealed drain runs in replay order.
 	Runs []RunInfo `json:"runs"`
 	// Checksum is CRC-32C over the JSON with this field zeroed.

@@ -27,6 +27,9 @@ var ErrCompacting = errors.New("compact: compaction already in progress")
 type Root struct {
 	dir  string
 	opts prix.Options
+	// fs, when non-nil, carries the compactor's non-page writes (tests
+	// inject failing filesystems here); nil means the OS.
+	fs ingest.FS
 
 	// mu guards the (di, epoch) pair. Queries hold it as readers for their
 	// whole duration, so the swap's write-lock acquisition doubles as a
@@ -309,7 +312,7 @@ func (r *Root) Compact(ctx context.Context, co CompactOptions) (*Report, error) 
 	}
 	defer r.compacting.Store(false)
 	co = co.withDefaults()
-	oo := Options{Dir: r.dir, MemBudget: co.MemBudget, BufferPoolPages: r.opts.BufferPoolPages, OpenFile: r.opts.OpenFile}
+	oo := Options{Dir: r.dir, MemBudget: co.MemBudget, BufferPoolPages: r.opts.BufferPoolPages, FS: r.fs, OpenFile: r.opts.OpenFile}
 	o := oo.withDefaults()
 	fs := o.FS
 	workdir := filepath.Join(r.dir, WorkDirName)
@@ -440,13 +443,30 @@ func (r *Root) Compact(ctx context.Context, co CompactOptions) (*Report, error) 
 	// Phase 4: publish and commit. The CURRENT write is the point of no
 	// return — before it, any failure leaves the old epoch serving.
 	m.Phase = phasePublish
+	m.DeltaDocs = uint32(rep.DeltaDocs)
 	if err := m.save(fs, workdir); err != nil {
 		unfreeze()
 		return fail(phaseBuild, err)
 	}
 	if err := publishCommit(fs, r.dir, workdir, m); err != nil {
-		unfreeze()
-		return fail(phasePublish, err)
+		if cur, lerr := loadCurrent(fs, r.dir); lerr == nil && cur.Epoch == m.NextEpoch {
+			// The pointer write landed despite the reported failure: the
+			// commit is durable, so fall through to the swap — aborting now
+			// would resume inserts into an epoch that no longer owns the
+			// root.
+		} else {
+			// Before inserts resume, the on-disk checkpoint must stop saying
+			// phasePublish: recovery at that phase commits the pre-built
+			// epoch as-is — correct this instant, but silently dropping
+			// every insert acknowledged from here on. Demote it (recovery
+			// then re-drains past the watermark) while the freeze still
+			// holds the watermark fixed.
+			if rbErr := rollbackPublish(fs, r.dir, workdir, m); rbErr != nil {
+				err = errors.Join(err, rbErr)
+			}
+			unfreeze()
+			return fail(phasePublish, err)
+		}
 	}
 
 	// Phase 5: swap. Taking mu drains in-flight queries off the old epoch;
@@ -480,4 +500,27 @@ func (r *Root) Compact(ctx context.Context, co CompactOptions) (*Report, error) 
 		return rep, fmt.Errorf("compact: post-commit cleanup (epoch %d is serving): %w", m.NextEpoch, closeErr)
 	}
 	return rep, nil
+}
+
+// rollbackPublish undoes a failed publish before inserts resume. The epoch
+// directory a partial publish may have renamed into place is removed first
+// — otherwise the idempotent-publish probe would resurrect the stale build
+// on recovery — then the checkpoint is demoted to phaseBuild so recovery
+// re-drains anything inserted past the watermark. If the demotion cannot
+// be written, the whole work directory is discarded instead: recovery then
+// finds nothing to resume and the old epoch simply keeps serving. Only
+// when every fallback fails is an error returned; execute's phasePublish
+// watermark check is the last line of defense for that case.
+func rollbackPublish(fs ingest.FS, root, workdir string, m *Manifest) error {
+	if err := fs.RemoveAll(filepath.Join(root, EpochDirName(m.NextEpoch))); err == nil {
+		m.Phase = phaseBuild
+		m.DeltaDocs = 0
+		if err := m.save(fs, workdir); err == nil {
+			return nil
+		}
+	}
+	if err := fs.RemoveAll(workdir); err != nil {
+		return fmt.Errorf("compact: publish rollback failed (recovery must not trust the phase-publish checkpoint): %w", err)
+	}
+	return nil
 }

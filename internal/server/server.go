@@ -773,9 +773,13 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleCompact triggers one compaction synchronously and returns its
-// report. An aborted compaction is not fatal to serving — the old epoch
-// keeps answering — so the error response carries the typed phase detail
-// for the operator and nothing else changes.
+// report. The run is detached from the request context inside RunOnce — a
+// client disconnect or proxy timeout does not abort the compaction, which
+// keeps running to commit (only compactor Stop cancels it); the dropped
+// response is recoverable via /stats. An aborted compaction is not fatal
+// to serving — the old epoch keeps answering — so the error response
+// carries the typed phase detail for the operator and nothing else
+// changes.
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if s.cmp == nil {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "no compactor attached"})
@@ -786,6 +790,8 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusInternalServerError
 		if errors.Is(err, compact.ErrCompacting) {
 			status = http.StatusConflict
+		} else if errors.Is(err, compact.ErrStopped) {
+			status = http.StatusServiceUnavailable
 		}
 		writeJSON(w, status, map[string]any{
 			"error":  err.Error(),

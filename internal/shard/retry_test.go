@@ -101,6 +101,30 @@ func TestRetryStopsOnDegraded(t *testing.T) {
 	}
 }
 
+// TestRetryKeepsTryingPastMixedCycle: a cycle that mixes a degraded
+// success with a transient error must not trigger the all-degraded early
+// break — the erroring replica may recover and return a clean answer, and
+// serving it beats settling for the degraded one while budget remains.
+func TestRetryKeepsTryingPastMixedCycle(t *testing.T) {
+	q := twig.MustParse(`//a`)
+	degraded := &stubBackend{docs: 1, degraded: true}
+	flaky := &flakyBackend{stubBackend: stubBackend{docs: 1}, failFirst: 1}
+	sh := retryShard(t, RetryPolicy{Base: time.Microsecond, Budget: 4}, degraded, flaky)
+	ms, stats, err := sh.Match(context.Background(), q, prix.MatchOptions{})
+	if err != nil {
+		t.Fatalf("mixed cycle should have recovered a clean answer: %v", err)
+	}
+	if stats.Degraded {
+		t.Fatal("settled for the degraded answer instead of retrying the recovering replica")
+	}
+	if len(ms) != 1 || ms[0].DocID != 42 {
+		t.Fatalf("recovered query: ms=%v", ms)
+	}
+	if flaky.calls != 2 {
+		t.Fatalf("recovering replica tried %d times, want 2 (1 failure + 1 success)", flaky.calls)
+	}
+}
+
 // TestRetryBackoffHonorsContext: a context that dies mid-backoff fails the
 // query promptly instead of sleeping out the schedule.
 func TestRetryBackoffHonorsContext(t *testing.T) {

@@ -276,6 +276,7 @@ func (s *Shard) matchReplicas(ctx context.Context, q *twig.Query, opts prix.Matc
 	}
 	delay := s.retry.Base
 	var best *attempt
+	cycleErred := false
 	for i := 0; i < budget; i++ {
 		r := (first + i) % n
 		if i > 0 {
@@ -303,13 +304,22 @@ func (s *Shard) matchReplicas(ctx context.Context, q *twig.Query, opts prix.Matc
 			// attempt inherits the same dead context.
 			return nil, nil, a.err
 		}
+		if a.err != nil {
+			cycleErred = true
+		}
 		if a.better(best) {
 			best = a
 		}
-		if i >= n-1 && best.err == nil {
-			// Every replica answered, just degraded (quarantined documents,
-			// not transient failures); retrying re-reads the same damage.
-			break
+		if (i+1)%n == 0 {
+			if best.err == nil && !cycleErred {
+				// Every replica in this cycle answered, just degraded
+				// (quarantined documents, not transient failures); retrying
+				// re-reads the same damage. A cycle that mixed a degraded
+				// success with transient errors keeps retrying — a
+				// recovering replica may yet return a clean answer.
+				break
+			}
+			cycleErred = false
 		}
 	}
 	return best.ms, best.stats, best.err
