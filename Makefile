@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz chaos bench bench-smoke serve clean ci cover differential shard-e2e ingest-e2e compact-e2e
+.PHONY: all build test race vet fuzz chaos bench bench-smoke serve clean ci cover differential shard-e2e ingest-e2e compact-e2e hot-e2e
 
 all: build vet test
 
 # Everything CI runs, in one target, so local and CI results agree.
-ci: build vet test race differential cover shard-e2e ingest-e2e compact-e2e fuzz chaos bench-smoke
+ci: build vet test race differential cover shard-e2e ingest-e2e compact-e2e hot-e2e fuzz chaos bench-smoke
 
 build:
 	$(GO) build ./...
@@ -27,11 +27,13 @@ vet:
 
 # Short fuzz passes over the parsing/encoding boundaries: the query parser
 # (the service boundary), the docstore record decoder (the corruption
-# boundary) and the trace/slow-log JSON encoder (the ?trace=1 boundary).
+# boundary), the trace/slow-log JSON encoder (the ?trace=1 boundary) and the
+# dynamic labeler's range-allocation invariants (the insert boundary).
 fuzz:
 	$(GO) test ./internal/twig -run FuzzParseQuery -fuzz FuzzParseQuery -fuzztime 30s
 	$(GO) test ./internal/docstore -run FuzzDecodeRecord -fuzz FuzzDecodeRecord -fuzztime 30s
 	$(GO) test ./internal/obs -run FuzzSpanJSON -fuzz FuzzSpanJSON -fuzztime 30s
+	$(GO) test ./internal/vtrie -run FuzzDynamicLabeler -fuzz FuzzDynamicLabeler -fuzztime 30s
 
 # The oracle-backed differential suite: every engine (PRIX serial/parallel,
 # MatchExhaustive, TwigStack, TwigStackXB, ViST) against the brute-force
@@ -48,11 +50,13 @@ cover:
 	$(GO) test -coverprofile=cover-obs.out ./internal/obs > /dev/null
 	$(GO) test -coverprofile=cover-ingest.out -short ./internal/ingest > /dev/null
 	$(GO) test -coverprofile=cover-compact.out ./internal/compact > /dev/null
+	$(GO) test -coverprofile=cover-hot.out ./internal/hot > /dev/null
 	@$(GO) tool cover -func=cover-prix.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/prix coverage %s%% (floor 78%%)\n", $$3; if ($$3+0 < 78.0) exit 1 }'
 	@$(GO) tool cover -func=cover-obs.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/obs coverage %s%% (floor 80%%)\n", $$3; if ($$3+0 < 80.0) exit 1 }'
 	@$(GO) tool cover -func=cover-ingest.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/ingest coverage %s%% (floor 75%%)\n", $$3; if ($$3+0 < 75.0) exit 1 }'
 	@$(GO) tool cover -func=cover-compact.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/compact coverage %s%% (floor 75%%)\n", $$3; if ($$3+0 < 75.0) exit 1 }'
-	@rm -f cover-prix.out cover-obs.out cover-ingest.out cover-compact.out
+	@$(GO) tool cover -func=cover-hot.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/hot coverage %s%% (floor 75%%)\n", $$3; if ($$3+0 < 75.0) exit 1 }'
+	@rm -f cover-prix.out cover-obs.out cover-ingest.out cover-compact.out cover-hot.out
 
 # Multi-shard serving end to end, under the race detector: scatter-gather
 # query over a live HTTP server, quarantine one shard via a corrupt page,
@@ -83,6 +87,16 @@ ingest-e2e:
 compact-e2e:
 	$(GO) test -race ./internal/compact -count=1
 	$(GO) test -race ./internal/server -run 'TestCompactEndpoint' -count=1
+
+# Compressed hot tier end to end, under the race detector: the byte-identity
+# differential (hot vs uncompressed twin across every query shape, serial and
+# parallel, with a zero-physical-reads check on a resident corpus), the
+# dynamic write path racing queries against tier invalidations, eviction
+# under budget pressure, and the server's /stats//metrics residency surface.
+hot-e2e:
+	$(GO) test -race ./internal/prix -run 'TestHot' -count=1
+	$(GO) test -race ./internal/hot -count=1
+	$(GO) test -race ./internal/server -run 'TestHotTierSurfaces' -count=1
 
 # Chaos stage: fault-injection and self-healing end to end. Power-cut sweeps
 # across every write point of a commit and of an online repair, bit-flip

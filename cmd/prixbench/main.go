@@ -43,6 +43,7 @@ func main() {
 		replicas  = flag.Int("replicas", 1, "shards bench: replicas per shard")
 		sizes     = flag.String("ingest-sizes", "", "ingest bench: comma-separated corpus sizes in MB (default 8,24,72)")
 		memBudget = flag.Int("ingest-budget", 0, "ingest bench: memory budget in MB (default 8)")
+		hotBudget = flag.Int64("hot-budget", 0, "stages bench: compressed hot-tier bytes for the hot pass (default 8 MiB; negative skips it)")
 	)
 	flag.Parse()
 	s := bench.NewSession(bench.Config{Scale: *scale, Seed: *seed, PoolPages: *pool})
@@ -90,7 +91,7 @@ func main() {
 		if *datasets != "" {
 			names = strings.Split(*datasets, ",")
 		}
-		run(s.Stages(w, bench.StagesConfig{Datasets: names}))
+		run(s.Stages(w, bench.StagesConfig{Datasets: names, HotBudget: *hotBudget}))
 	case "shards":
 		var names []string
 		if *datasets != "" {

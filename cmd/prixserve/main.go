@@ -77,6 +77,7 @@ func main() {
 		retryMax  = flag.Duration("retry-backoff-max", 250*time.Millisecond, "cap on the exponential replica backoff")
 		compactIv = flag.Duration("compact-interval", 0, "background compaction pass interval on a dynamic index (0 disables the loop; POST /compact still works)")
 		compactMB = flag.Int64("compact-budget", 0, "compaction memory budget in bytes (default 32 MiB)")
+		hotBudget = flag.Int64("hot-budget", 0, "compressed in-memory hot tier budget in bytes (0 disables; results stay byte-identical)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -94,7 +95,7 @@ func main() {
 		topoNote string
 	)
 	if topo, err := core.LoadShardTopology(*dir); err == nil {
-		co, err := core.OpenShardedIndex(*dir, core.Options{BufferPoolPages: *pool}, core.ShardConfig{
+		co, err := core.OpenShardedIndex(*dir, core.Options{BufferPoolPages: *pool, HotBudget: *hotBudget}, core.ShardConfig{
 			MaxInFlightPerShard: *shardInfl,
 			HedgeDelay:          *hedge,
 			OpenReplicas:        *replicas,
@@ -115,7 +116,7 @@ func main() {
 		// follows the epoch pointer and serves the index insertable with
 		// zero-downtime epoch swaps. A bulk-built index without dynamic
 		// labeler state falls back to the plain read-only path.
-		r, err := core.OpenCompactRoot(*dir, core.Options{BufferPoolPages: *pool})
+		r, err := core.OpenCompactRoot(*dir, core.Options{BufferPoolPages: *pool, HotBudget: *hotBudget})
 		switch {
 		case err == nil:
 			root = r
@@ -129,7 +130,7 @@ func main() {
 			if rerr != nil {
 				log.Fatal(rerr)
 			}
-			ix, oerr := core.OpenIndex(resolved, core.Options{BufferPoolPages: *pool})
+			ix, oerr := core.OpenIndex(resolved, core.Options{BufferPoolPages: *pool, HotBudget: *hotBudget})
 			if oerr != nil {
 				log.Fatal(oerr)
 			}

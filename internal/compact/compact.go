@@ -32,6 +32,9 @@ type Options struct {
 	// OpenFile optionally intercepts page-file opens (fault injection for
 	// the rebuilt index's pages); nil means plain OS files.
 	OpenFile func(path string) (pager.File, error)
+	// HotBudget enables the compressed in-memory hot tier on the source and
+	// every rebuilt epoch (see prix.Options.HotBudget); 0 disables it.
+	HotBudget int64
 }
 
 func (o *Options) withDefaults() Options {
@@ -130,7 +133,7 @@ type source struct {
 }
 
 func openSource(dir string, o Options) (*source, error) {
-	popts := prix.Options{BufferPoolPages: o.BufferPoolPages, OpenFile: o.OpenFile}
+	popts := prix.Options{BufferPoolPages: o.BufferPoolPages, OpenFile: o.OpenFile, HotBudget: o.HotBudget}
 	dyn, err := prix.OpenDynamic(dir, popts)
 	if err == nil {
 		return &source{dyn: dyn, ix: dyn.Index()}, nil
@@ -458,6 +461,9 @@ func build(fs ingest.FS, workdir string, m *Manifest, o Options, pace func() err
 		Dir:             nextDir,
 		BufferPoolPages: o.BufferPoolPages,
 		OpenFile:        o.OpenFile,
+		// The new epoch is built in-process and stays open through the swap,
+		// so its tier (summaries included) is populated during the rewrite.
+		HotBudget: o.HotBudget,
 	}
 	bo := prix.BulkOptions{Spill: &fsSpiller{fs: fs, dir: spillDir}, MemBudget: m.MemBudget}
 	replay := func(fn func(*prix.DocSeq) error) error {

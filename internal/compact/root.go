@@ -69,7 +69,7 @@ type Root struct {
 // plain dynamic index or an epoch root; opts follows prix.Open semantics
 // (Dir is taken from dir).
 func OpenRoot(dir string, opts prix.Options) (*Root, error) {
-	if _, err := Recover(Options{Dir: dir, BufferPoolPages: opts.BufferPoolPages, OpenFile: opts.OpenFile}); err != nil {
+	if _, err := Recover(Options{Dir: dir, BufferPoolPages: opts.BufferPoolPages, OpenFile: opts.OpenFile, HotBudget: opts.HotBudget}); err != nil {
 		return nil, err
 	}
 	resolved, epoch, err := resolveDir(ingest.OSFS{}, dir)
@@ -136,6 +136,14 @@ func (r *Root) NumDocs() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.di.NumDocs()
+}
+
+// HotStats snapshots the current epoch's compressed hot tier (each epoch
+// owns a fresh tier; a swap starts the counters over).
+func (r *Root) HotStats() prix.HotStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.di.HotStats()
 }
 
 // Extended reports whether the index is an EPIndex.
@@ -312,7 +320,7 @@ func (r *Root) Compact(ctx context.Context, co CompactOptions) (*Report, error) 
 	}
 	defer r.compacting.Store(false)
 	co = co.withDefaults()
-	oo := Options{Dir: r.dir, MemBudget: co.MemBudget, BufferPoolPages: r.opts.BufferPoolPages, FS: r.fs, OpenFile: r.opts.OpenFile}
+	oo := Options{Dir: r.dir, MemBudget: co.MemBudget, BufferPoolPages: r.opts.BufferPoolPages, FS: r.fs, OpenFile: r.opts.OpenFile, HotBudget: r.opts.HotBudget}
 	o := oo.withDefaults()
 	fs := o.FS
 	workdir := filepath.Join(r.dir, WorkDirName)

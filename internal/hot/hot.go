@@ -1,0 +1,205 @@
+// Package hot is the compressed in-memory hot tier: delta+varint posting
+// lists mirroring the Trie-Symbol and Docid B+-trees, and succinct
+// per-document structure summaries (balanced-parentheses shape plus packed
+// labels) mirroring docstore records. Both shrink the common read path —
+// the Algorithm 1 descent and the Algorithm 2 fetch — to memory-resident
+// decoding, so hot queries touch no pager pages for those stages. The tier
+// is strictly a cache: every structure is built from (and verified against)
+// the authoritative B+-tree/docstore image, evicted LRU under a byte
+// budget, and invalidated by writers, so results stay byte-identical to
+// the uncompressed path.
+package hot
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// blockEntries is how many entries share one block of a compressed list;
+// the block index holds one raw first-key per block, bounding the sequential
+// decode a range scan must do to reach its lower bound.
+const blockEntries = 128
+
+// blockRef locates one block: the raw LeftPos of its first entry and its
+// byte offset into the data buffer.
+type blockRef struct {
+	firstLeft uint64
+	off       uint32
+}
+
+// startBlock returns the index of the block a scan with lower bound lo must
+// start decoding at. Equal keys can run across block boundaries, so the
+// scan starts one block before the first block whose first key reaches lo.
+func startBlock(refs []blockRef, lo uint64) int {
+	i := sort.Search(len(refs), func(b int) bool { return refs[b].firstLeft >= lo })
+	if i > 0 {
+		i--
+	}
+	return i
+}
+
+// inRange applies B+-tree Scan bound semantics to one key.
+func inRange(k, lo, hi uint64, loIncl, hiIncl bool) (ok, past bool) {
+	if k > hi || (k == hi && !hiIncl) {
+		return false, true
+	}
+	if k < lo || (k == lo && !loIncl) {
+		return false, false
+	}
+	return true, false
+}
+
+// Postings is an immutable compressed Trie-Symbol posting list: entries
+// (Left, Right, Level) in exactly the order the source B+-tree's Scan
+// visits them (ascending Left, duplicates in insertion order). Entries are
+// delta+varint coded per block: Left as a delta from its predecessor,
+// Right as its span above Left, Level raw.
+type Postings struct {
+	data []byte
+	refs []blockRef
+	n    int
+}
+
+// PostingsBuilder accumulates entries in scan order.
+type PostingsBuilder struct {
+	data     []byte
+	refs     []blockRef
+	n        int
+	prevLeft uint64
+}
+
+// NewPostingsBuilder returns an empty builder.
+func NewPostingsBuilder() *PostingsBuilder { return &PostingsBuilder{} }
+
+// Add appends one posting. Calls must arrive in B+-tree Scan order.
+func (b *PostingsBuilder) Add(left, right uint64, level uint32) {
+	if b.n%blockEntries == 0 {
+		b.refs = append(b.refs, blockRef{firstLeft: left, off: uint32(len(b.data))})
+		b.prevLeft = left
+	}
+	b.data = binary.AppendUvarint(b.data, left-b.prevLeft)
+	b.data = binary.AppendUvarint(b.data, right-left)
+	b.data = binary.AppendUvarint(b.data, uint64(level))
+	b.prevLeft = left
+	b.n++
+}
+
+// Len returns the number of entries added so far.
+func (b *PostingsBuilder) Len() int { return b.n }
+
+// Build freezes the builder into an immutable list.
+func (b *PostingsBuilder) Build() *Postings {
+	return &Postings{data: b.data, refs: b.refs, n: b.n}
+}
+
+// Len returns the number of entries.
+func (p *Postings) Len() int { return p.n }
+
+// SizeBytes approximates the list's memory footprint.
+func (p *Postings) SizeBytes() int { return len(p.data) + len(p.refs)*12 + 48 }
+
+// Scan visits entries with Left in the given bounds, in list order,
+// mirroring btree.Tree.Scan semantics. fn returning false stops the scan.
+func (p *Postings) Scan(lo, hi uint64, loIncl, hiIncl bool, fn func(left, right uint64, level uint32) bool) {
+	if p.n == 0 {
+		return
+	}
+	bi := startBlock(p.refs, lo)
+	off := int(p.refs[bi].off)
+	left := p.refs[bi].firstLeft
+	first := true
+	for i := bi * blockEntries; i < p.n; i++ {
+		if i%blockEntries == 0 && !first {
+			left = p.refs[i/blockEntries].firstLeft
+		}
+		first = false
+		d, w := binary.Uvarint(p.data[off:])
+		off += w
+		span, w := binary.Uvarint(p.data[off:])
+		off += w
+		lvl, w := binary.Uvarint(p.data[off:])
+		off += w
+		left += d
+		ok, past := inRange(left, lo, hi, loIncl, hiIncl)
+		if past {
+			return
+		}
+		if ok && !fn(left, left+span, uint32(lvl)) {
+			return
+		}
+	}
+}
+
+// DocIDs is an immutable compressed Docid-index list: (Left, DocID) pairs
+// in B+-tree Scan order.
+type DocIDs struct {
+	data []byte
+	refs []blockRef
+	n    int
+}
+
+// DocIDsBuilder accumulates docid entries in scan order.
+type DocIDsBuilder struct {
+	data     []byte
+	refs     []blockRef
+	n        int
+	prevLeft uint64
+}
+
+// NewDocIDsBuilder returns an empty builder.
+func NewDocIDsBuilder() *DocIDsBuilder { return &DocIDsBuilder{} }
+
+// Add appends one (Left, DocID) entry in B+-tree Scan order.
+func (b *DocIDsBuilder) Add(left uint64, docID uint32) {
+	if b.n%blockEntries == 0 {
+		b.refs = append(b.refs, blockRef{firstLeft: left, off: uint32(len(b.data))})
+		b.prevLeft = left
+	}
+	b.data = binary.AppendUvarint(b.data, left-b.prevLeft)
+	b.data = binary.AppendUvarint(b.data, uint64(docID))
+	b.prevLeft = left
+	b.n++
+}
+
+// Len returns the number of entries added so far.
+func (b *DocIDsBuilder) Len() int { return b.n }
+
+// Build freezes the builder into an immutable list.
+func (b *DocIDsBuilder) Build() *DocIDs {
+	return &DocIDs{data: b.data, refs: b.refs, n: b.n}
+}
+
+// Len returns the number of entries.
+func (d *DocIDs) Len() int { return d.n }
+
+// SizeBytes approximates the list's memory footprint.
+func (d *DocIDs) SizeBytes() int { return len(d.data) + len(d.refs)*12 + 48 }
+
+// Scan visits entries with Left in the given bounds, in list order.
+func (d *DocIDs) Scan(lo, hi uint64, loIncl, hiIncl bool, fn func(left uint64, docID uint32) bool) {
+	if d.n == 0 {
+		return
+	}
+	bi := startBlock(d.refs, lo)
+	off := int(d.refs[bi].off)
+	left := d.refs[bi].firstLeft
+	first := true
+	for i := bi * blockEntries; i < d.n; i++ {
+		if i%blockEntries == 0 && !first {
+			left = d.refs[i/blockEntries].firstLeft
+		}
+		first = false
+		delta, w := binary.Uvarint(d.data[off:])
+		off += w
+		id, w := binary.Uvarint(d.data[off:])
+		off += w
+		left += delta
+		ok, past := inRange(left, lo, hi, loIncl, hiIncl)
+		if past {
+			return
+		}
+		if ok && !fn(left, uint32(id)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package hot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/docstore"
+	"repro/internal/vtrie"
+)
+
+type tripleEntry struct {
+	left, right uint64
+	level       uint32
+}
+
+// refScan is the oracle: linear filtering with B+-tree Scan bound
+// semantics over the uncompressed entries.
+func refScan(entries []tripleEntry, lo, hi uint64, loIncl, hiIncl bool) []tripleEntry {
+	var out []tripleEntry
+	for _, e := range entries {
+		if e.left < lo || (e.left == lo && !loIncl) {
+			continue
+		}
+		if e.left > hi || (e.left == hi && !hiIncl) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestPostingsScanMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Sorted lefts with duplicate runs, some crossing block boundaries.
+	var entries []tripleEntry
+	left := uint64(0)
+	for len(entries) < 1000 {
+		left += uint64(rng.Intn(5)) // 0 creates duplicates
+		entries = append(entries, tripleEntry{
+			left:  left,
+			right: left + uint64(rng.Intn(1000)),
+			level: uint32(rng.Intn(64)),
+		})
+	}
+	b := NewPostingsBuilder()
+	for _, e := range entries {
+		b.Add(e.left, e.right, e.level)
+	}
+	p := b.Build()
+	if p.Len() != len(entries) || b.Len() != len(entries) {
+		t.Fatalf("Len = %d, want %d", p.Len(), len(entries))
+	}
+	if p.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes not positive")
+	}
+	maxLeft := entries[len(entries)-1].left
+	for trial := 0; trial < 500; trial++ {
+		lo := uint64(rng.Intn(int(maxLeft) + 2))
+		hi := lo + uint64(rng.Intn(int(maxLeft)+2))
+		loIncl, hiIncl := rng.Intn(2) == 0, rng.Intn(2) == 0
+		want := refScan(entries, lo, hi, loIncl, hiIncl)
+		var got []tripleEntry
+		p.Scan(lo, hi, loIncl, hiIncl, func(l, r uint64, lvl uint32) bool {
+			got = append(got, tripleEntry{l, r, lvl})
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("scan (%d,%d] incl(%v,%v): %d entries, want %d", lo, hi, loIncl, hiIncl, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("scan (%d,%d]: entry %d = %+v, want %+v", lo, hi, i, got[i], want[i])
+			}
+		}
+	}
+	// Early stop.
+	n := 0
+	p.Scan(0, math.MaxUint64, true, true, func(l, r uint64, lvl uint32) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	// Empty list.
+	NewPostingsBuilder().Build().Scan(0, math.MaxUint64, true, true, func(l, r uint64, lvl uint32) bool {
+		t.Fatal("empty list emitted")
+		return false
+	})
+}
+
+func TestPostingsFullRange(t *testing.T) {
+	b := NewPostingsBuilder()
+	b.Add(1, math.MaxUint64, 1)
+	b.Add(math.MaxUint64, math.MaxUint64, 2)
+	p := b.Build()
+	var got []tripleEntry
+	p.Scan(0, math.MaxUint64, false, true, func(l, r uint64, lvl uint32) bool {
+		got = append(got, tripleEntry{l, r, lvl})
+		return true
+	})
+	if len(got) != 2 || got[0] != (tripleEntry{1, math.MaxUint64, 1}) || got[1] != (tripleEntry{math.MaxUint64, math.MaxUint64, 2}) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDocIDsScanMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type pair struct {
+		left  uint64
+		docID uint32
+	}
+	var entries []pair
+	left := uint64(0)
+	for len(entries) < 700 {
+		left += uint64(rng.Intn(4))
+		entries = append(entries, pair{left: left, docID: uint32(rng.Intn(1 << 20))})
+	}
+	b := NewDocIDsBuilder()
+	for _, e := range entries {
+		b.Add(e.left, e.docID)
+	}
+	d := b.Build()
+	if d.Len() != len(entries) || b.Len() != len(entries) || d.SizeBytes() <= 0 {
+		t.Fatal("len/size bookkeeping")
+	}
+	maxLeft := entries[len(entries)-1].left
+	for trial := 0; trial < 300; trial++ {
+		lo := uint64(rng.Intn(int(maxLeft) + 2))
+		hi := lo + uint64(rng.Intn(int(maxLeft)+2))
+		var want []pair
+		for _, e := range entries {
+			if e.left >= lo && e.left <= hi {
+				want = append(want, e)
+			}
+		}
+		var got []pair
+		d.Scan(lo, hi, true, true, func(l uint64, id uint32) bool {
+			got = append(got, pair{l, id})
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("scan [%d,%d]: %d entries, want %d", lo, hi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("scan [%d,%d]: entry %d = %+v, want %+v", lo, hi, i, got[i], want[i])
+			}
+		}
+	}
+	NewDocIDsBuilder().Build().Scan(0, math.MaxUint64, true, true, func(uint64, uint32) bool {
+		t.Fatal("empty list emitted")
+		return false
+	})
+}
+
+// chainRecord builds the record of a path a/b/c/... with n nodes: node i's
+// parent is i+1, leaves is node 1 only.
+func chainRecord(docID uint32, n int32, syms []vtrie.Symbol) *docstore.Record {
+	rec := &docstore.Record{DocID: docID, NumNodes: n}
+	for i := int32(1); i < n; i++ {
+		rec.NPS = append(rec.NPS, i+1)
+		rec.LPS = append(rec.LPS, syms[i]) // label of node i+1
+	}
+	rec.Leaves = []docstore.Leaf{{Post: 1, Sym: syms[0]}}
+	return rec
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	recs := []*docstore.Record{
+		// A small bushy tree: root 5 with children 2 and 4; 2's child 1;
+		// 4's child 3. NPS[i] is parent of node i+1... indices: node 1→2,
+		// 2→5, 3→4, 4→5.
+		{
+			DocID: 3, NumNodes: 5,
+			NPS:    []int32{2, 5, 4, 5},
+			LPS:    []vtrie.Symbol{7, 9, 8, 9},
+			Leaves: []docstore.Leaf{{Post: 1, Sym: 4}, {Post: 3, Sym: 5}},
+		},
+		chainRecord(1, 6, []vtrie.Symbol{3, 1, 4, 1, 5, 9}),
+		// Single node: empty NPS/LPS.
+		{DocID: 9, NumNodes: 1, Leaves: []docstore.Leaf{{Post: 1, Sym: 2}}},
+		// Wide: root 4 with leaf children 1..3.
+		{
+			DocID: 2, NumNodes: 4,
+			NPS:    []int32{4, 4, 4},
+			LPS:    []vtrie.Symbol{6, 6, 6},
+			Leaves: []docstore.Leaf{{Post: 1, Sym: 1}, {Post: 2, Sym: 2}, {Post: 3, Sym: 3}},
+		},
+	}
+	for _, rec := range recs {
+		s := NewSummary(rec)
+		if s == nil {
+			t.Fatalf("doc %d: not encodable", rec.DocID)
+		}
+		if s.DocID() != rec.DocID || s.SizeBytes() <= 0 {
+			t.Fatalf("doc %d: bookkeeping", rec.DocID)
+		}
+		got := s.Record()
+		if !s.matches(rec) || got.NumNodes != rec.NumNodes {
+			t.Fatalf("doc %d: round trip mismatch: %+v vs %+v", rec.DocID, got, rec)
+		}
+	}
+}
+
+func TestSummaryRejectsDamage(t *testing.T) {
+	bad := []*docstore.Record{
+		nil,
+		{DocID: 1, NumNodes: 0},
+		// NPS length wrong.
+		{DocID: 1, NumNodes: 3, NPS: []int32{3}, LPS: []vtrie.Symbol{1}},
+		// Parent not after child in postorder.
+		{DocID: 1, NumNodes: 3, NPS: []int32{1, 3}, LPS: []vtrie.Symbol{1, 2},
+			Leaves: []docstore.Leaf{{Post: 2, Sym: 3}}},
+		// Parent out of range.
+		{DocID: 1, NumNodes: 3, NPS: []int32{9, 3}, LPS: []vtrie.Symbol{1, 2},
+			Leaves: []docstore.Leaf{{Post: 1, Sym: 3}}},
+		// Conflicting labels for one node.
+		{DocID: 1, NumNodes: 3, NPS: []int32{3, 3}, LPS: []vtrie.Symbol{1, 2},
+			Leaves: []docstore.Leaf{{Post: 1, Sym: 5}, {Post: 2, Sym: 5}}},
+		// Leaf list missing a leaf: encodable shape but the round trip
+		// must catch the difference.
+		{DocID: 1, NumNodes: 3, NPS: []int32{3, 3}, LPS: []vtrie.Symbol{2, 2}},
+		// Leaf entry pointing at an internal node.
+		{DocID: 1, NumNodes: 3, NPS: []int32{2, 3}, LPS: []vtrie.Symbol{4, 2},
+			Leaves: []docstore.Leaf{{Post: 1, Sym: 3}, {Post: 2, Sym: 4}}},
+	}
+	for i, rec := range bad {
+		if s := NewSummary(rec); s != nil {
+			t.Fatalf("case %d admitted: %+v", i, rec)
+		}
+	}
+}
+
+type fakeSized int
+
+func (f fakeSized) SizeBytes() int { return int(f) }
+
+func TestTierBudgetAndLRU(t *testing.T) {
+	tr := NewTier(100)
+	if tr.Budget() != 100 {
+		t.Fatal("budget")
+	}
+	if !tr.Add("a", fakeSized(40)) || !tr.Add("b", fakeSized(40)) {
+		t.Fatal("admission under budget failed")
+	}
+	if _, ok := tr.Get("a"); !ok { // a becomes MRU
+		t.Fatal("a missing")
+	}
+	if !tr.Add("c", fakeSized(40)) { // evicts b (LRU)
+		t.Fatal("c rejected")
+	}
+	if _, ok := tr.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := tr.Get("a"); !ok {
+		t.Fatal("a evicted out of LRU order")
+	}
+	st := tr.Stats()
+	if st.Evictions != 1 || st.Bytes != 80 || st.Items != 2 || st.Budget != 100 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Hits < 2 || st.Misses < 1 {
+		t.Fatalf("hit accounting %+v", st)
+	}
+	// Oversized item rejected outright.
+	if tr.Add("huge", fakeSized(101)) {
+		t.Fatal("oversized admitted")
+	}
+	// TryAdd never evicts.
+	if tr.TryAdd("d", fakeSized(40)) {
+		t.Fatal("TryAdd evicted")
+	}
+	if tr.TryAdd("e", fakeSized(10)) == false {
+		t.Fatal("TryAdd rejected a fitting item")
+	}
+	// Replacement frees the old size.
+	if !tr.Add("a", fakeSized(10)) {
+		t.Fatal("replace failed")
+	}
+	if tr.Bytes() != 60 {
+		t.Fatalf("bytes after replace = %d", tr.Bytes())
+	}
+	tr.Invalidate("a")
+	if _, ok := tr.Get("a"); ok {
+		t.Fatal("a survived Invalidate")
+	}
+	tr.InvalidateAll()
+	if tr.Len() != 0 || tr.Bytes() != 0 {
+		t.Fatal("InvalidateAll left residue")
+	}
+}

@@ -1,0 +1,244 @@
+package hot
+
+import (
+	"math/bits"
+
+	"repro/internal/docstore"
+	"repro/internal/vtrie"
+)
+
+// Summary is a succinct encoding of one document's refinement data: the
+// tree shape as 2n balanced-parentheses bits (children visited in ascending
+// postorder, so the DFS re-derives the original numbering) and one packed
+// label per node. NPS, LPS and the leaf list all decode from those two
+// vectors, replacing the docstore record fetch for hot-resident documents.
+//
+// NewSummary round-trips the encoding against the source record and admits
+// nothing on any mismatch, so a decoded Summary is behaviourally identical
+// to the record it replaced — the tier can never change query results.
+type Summary struct {
+	docID  uint32
+	n      int32
+	bp     []uint64 // 2n shape bits, MSB-first within a word
+	packed []uint64 // n labels at width bits each
+	width  uint8
+}
+
+// DocID returns the document the summary encodes.
+func (s *Summary) DocID() uint32 { return s.docID }
+
+// SizeBytes approximates the summary's memory footprint.
+func (s *Summary) SizeBytes() int { return len(s.bp)*8 + len(s.packed)*8 + 48 }
+
+// NewSummary encodes rec, returning nil when the record is not expressible
+// (structural damage) or when the decoded image differs from the source in
+// any field — the caller then simply keeps reading the record from the
+// store.
+func NewSummary(rec *docstore.Record) *Summary {
+	if rec == nil {
+		return nil
+	}
+	n := int(rec.NumNodes)
+	if n < 1 || len(rec.NPS) != n-1 || len(rec.LPS) != n-1 {
+		return nil
+	}
+	// parent[i] is the postorder number of node i's parent; postorder
+	// numbers a parent after its children, so parent[i] > i must hold.
+	parent := make([]int32, n+1)
+	children := make([][]int32, n+1)
+	for i := 1; i < n; i++ {
+		p := rec.NPS[i-1]
+		if p <= int32(i) || p > int32(n) {
+			return nil
+		}
+		parent[i] = p
+		children[p] = append(children[p], int32(i))
+	}
+	// One label per node: internal nodes from the LPS (their label appears
+	// wherever they act as a parent), leaves from the leaf list. Conflicts
+	// mean a damaged record; unlabeled nodes keep 0 and the round-trip
+	// check below decides whether that is faithful.
+	labels := make([]vtrie.Symbol, n+1)
+	labeled := make([]bool, n+1)
+	setLabel := func(post int32, sym vtrie.Symbol) bool {
+		if post < 1 || post > int32(n) {
+			return false
+		}
+		if labeled[post] && labels[post] != sym {
+			return false
+		}
+		labels[post] = sym
+		labeled[post] = true
+		return true
+	}
+	for i := 1; i < n; i++ {
+		if !setLabel(rec.NPS[i-1], rec.LPS[i-1]) {
+			return nil
+		}
+	}
+	for _, l := range rec.Leaves {
+		if !setLabel(l.Post, l.Sym) {
+			return nil
+		}
+	}
+	var maxSym vtrie.Symbol
+	for post := 1; post <= n; post++ {
+		if labels[post] > maxSym {
+			maxSym = labels[post]
+		}
+	}
+	width := uint8(bits.Len32(uint32(maxSym)))
+	if width == 0 {
+		width = 1
+	}
+	s := &Summary{
+		docID:  rec.DocID,
+		n:      rec.NumNodes,
+		bp:     make([]uint64, (2*n+63)/64),
+		packed: make([]uint64, (n*int(width)+63)/64),
+		width:  width,
+	}
+	// Balanced parentheses by iterative DFS from the root (node n), children
+	// ascending: '(' on entry, ')' on exit. The DFS must visit exactly n
+	// nodes or the parent array was not a tree.
+	bit := 0
+	setBit := func(open bool) {
+		if open {
+			s.bp[bit/64] |= 1 << uint(63-bit%64)
+		}
+		bit++
+	}
+	type frame struct {
+		node int32
+		next int
+	}
+	stack := []frame{{node: int32(n)}}
+	setBit(true)
+	visited := 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		kids := children[f.node]
+		if f.next < len(kids) {
+			c := kids[f.next]
+			f.next++
+			setBit(true)
+			visited++
+			stack = append(stack, frame{node: c})
+			continue
+		}
+		setBit(false)
+		stack = stack[:len(stack)-1]
+	}
+	if visited != n || bit != 2*n {
+		return nil
+	}
+	for post := 1; post <= n; post++ {
+		s.putLabel(post, labels[post])
+	}
+	if !s.matches(rec) {
+		return nil
+	}
+	return s
+}
+
+// putLabel packs the label of node post (1-based) into the label vector.
+func (s *Summary) putLabel(post int, sym vtrie.Symbol) {
+	w := int(s.width)
+	start := (post - 1) * w
+	for b := 0; b < w; b++ {
+		if sym&(1<<uint(w-1-b)) != 0 {
+			i := start + b
+			s.packed[i/64] |= 1 << uint(63-i%64)
+		}
+	}
+}
+
+// label unpacks the label of node post (1-based).
+func (s *Summary) label(post int) vtrie.Symbol {
+	w := int(s.width)
+	start := (post - 1) * w
+	var sym vtrie.Symbol
+	for b := 0; b < w; b++ {
+		i := start + b
+		sym <<= 1
+		if s.packed[i/64]&(1<<uint(63-i%64)) != 0 {
+			sym |= 1
+		}
+	}
+	return sym
+}
+
+// Record decodes the summary back into a fresh docstore record. The result
+// is freshly allocated on every call; callers may treat it exactly like a
+// record read from the store.
+func (s *Summary) Record() *docstore.Record {
+	n := int(s.n)
+	// Walk the parentheses: preorder ids index the temporary arrays, the
+	// close bit assigns postorder numbers, and the open-time stack gives
+	// each node its parent's preorder id.
+	parentPre := make([]int32, n)
+	postOf := make([]int32, n)
+	preOf := make([]int32, n+1)
+	kids := make([]int32, n)
+	stack := make([]int32, 0, 64)
+	pre := int32(0)
+	post := int32(0)
+	for bit := 0; bit < 2*n; bit++ {
+		if s.bp[bit/64]&(1<<uint(63-bit%64)) != 0 {
+			id := pre
+			pre++
+			if len(stack) > 0 {
+				parentPre[id] = stack[len(stack)-1]
+				kids[stack[len(stack)-1]]++
+			} else {
+				parentPre[id] = -1
+			}
+			stack = append(stack, id)
+		} else {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			post++
+			postOf[id] = post
+			preOf[post] = id
+		}
+	}
+	rec := &docstore.Record{
+		DocID:    s.docID,
+		NumNodes: s.n,
+		NPS:      make([]int32, n-1),
+		LPS:      make([]vtrie.Symbol, n-1),
+	}
+	for p := 1; p < n; p++ {
+		pp := postOf[parentPre[preOf[p]]]
+		rec.NPS[p-1] = pp
+		rec.LPS[p-1] = s.label(int(pp))
+	}
+	for p := 1; p <= n; p++ {
+		if kids[preOf[p]] == 0 {
+			rec.Leaves = append(rec.Leaves, docstore.Leaf{Post: int32(p), Sym: s.label(p)})
+		}
+	}
+	return rec
+}
+
+// matches reports whether the decoded image equals rec field by field (nil
+// and empty slices compare equal).
+func (s *Summary) matches(rec *docstore.Record) bool {
+	got := s.Record()
+	if got.DocID != rec.DocID || got.NumNodes != rec.NumNodes ||
+		len(got.NPS) != len(rec.NPS) || len(got.LPS) != len(rec.LPS) ||
+		len(got.Leaves) != len(rec.Leaves) {
+		return false
+	}
+	for i := range got.NPS {
+		if got.NPS[i] != rec.NPS[i] || got.LPS[i] != rec.LPS[i] {
+			return false
+		}
+	}
+	for i := range got.Leaves {
+		if got.Leaves[i] != rec.Leaves[i] {
+			return false
+		}
+	}
+	return true
+}

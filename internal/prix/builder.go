@@ -76,7 +76,9 @@ func newEmptyIndex(opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{opts: opts, forest: forest, store: store, maxGap: map[vtrie.Symbol]int64{}}, nil
+	ix := &Index{opts: opts, forest: forest, store: store, maxGap: map[vtrie.Symbol]int64{}}
+	ix.initHot()
+	return ix, nil
 }
 
 // Add stages one document. Documents receive sequential ids in Add order,

@@ -203,7 +203,11 @@ func (ix *Index) finishBulk(builder *vtrie.Builder, bs *buildStats, bo BulkOptio
 	if err := ix.store.Flush(); err != nil {
 		return err
 	}
-	return ix.forest.Flush()
+	if err := ix.forest.Flush(); err != nil {
+		return err
+	}
+	ix.PreloadHot()
+	return nil
 }
 
 func writePostChunk(spill Spiller, name string, posts []bulkPosting) error {

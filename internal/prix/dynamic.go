@@ -156,6 +156,7 @@ func (di *DynamicIndex) insertLocked(doc *xmltree.Document) error {
 	if err := di.ix.docid.Insert(btree.KeyUint64(terminal.Left), encodeDocID(id)); err != nil {
 		return err
 	}
+	di.ix.hotInvalidateDocid()
 	if err := di.ix.store.Put(rec); err != nil {
 		return err
 	}
@@ -176,7 +177,11 @@ func (di *DynamicIndex) writePosting(p vtrie.Posting) error {
 		}
 		di.trees[p.Symbol] = t
 	}
-	return t.Insert(btree.KeyUint64(p.Left), encodePosting(p.Right, p.Level))
+	if err := t.Insert(btree.KeyUint64(p.Left), encodePosting(p.Right, p.Level)); err != nil {
+		return err
+	}
+	di.ix.hotInvalidateTree(p.Symbol)
+	return nil
 }
 
 // Index returns the underlying index. Direct use is unsynchronized: callers

@@ -311,6 +311,7 @@ func bulkLoadDynamic(ix *Index, dopts DynamicOptions, bo BulkOptions, source fun
 	}
 	di.prepared = int(total)
 	di.nextID = total
+	ix.PreloadHot()
 	return di, nil
 }
 

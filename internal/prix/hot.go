@@ -1,0 +1,296 @@
+package prix
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/docstore"
+	"repro/internal/hot"
+	"repro/internal/vtrie"
+)
+
+// This file wires the compressed in-memory hot tier (internal/hot) into the
+// query path. With Options.HotBudget > 0 the index keeps, under one LRU byte
+// budget:
+//
+//   - one compressed posting list per Trie-Symbol tree, serving the
+//     Algorithm 1 range scans without touching the forest;
+//   - the compressed Docid list, serving the terminal docid scans;
+//   - one succinct structure summary per document, serving the Algorithm 2
+//     record fetch without touching the document store.
+//
+// Everything in the tier is a verified cache of the authoritative B+-tree /
+// docstore image: lists replay the source tree's Scan order entry for
+// entry, summaries are round-trip-checked at admission, and every writer
+// (dynamic insert, record rewrite, forest rebuild) invalidates what it
+// touches — so results are byte-identical to the uncompressed path at every
+// parallelism setting. Quarantined documents are re-checked on every hot
+// record hit and bypass the tier.
+//
+// Tier reads and lazy builds happen under repairMu.RLock; every structural
+// writer holds repairMu.Lock, so a build always snapshots a stable image.
+
+// hotState owns the tier plus admission bookkeeping. The rejected set
+// remembers keys whose built structure exceeded the whole budget, so a
+// query does not rebuild (and re-reject) an oversized list on every miss;
+// an invalidation clears the mark because the source data changed size.
+type hotState struct {
+	tier     *hot.Tier
+	mu       sync.Mutex
+	rejected map[string]bool
+}
+
+func (h *hotState) skipBuild(key string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rejected[key]
+}
+
+func (h *hotState) markRejected(key string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rejected[key] = true
+}
+
+func (h *hotState) invalidate(key string) {
+	h.tier.Invalidate(key)
+	h.mu.Lock()
+	delete(h.rejected, key)
+	h.mu.Unlock()
+}
+
+func (h *hotState) invalidateAll() {
+	h.tier.InvalidateAll()
+	h.mu.Lock()
+	h.rejected = map[string]bool{}
+	h.mu.Unlock()
+}
+
+// Tier keys: posting lists share the forest tree's name ("s<sym>", "docid")
+// under "t:", record summaries use "r:<docid>".
+func treeKey(name string) string     { return "t:" + name }
+func recKey(docID uint32) string     { return fmt.Sprintf("r:%d", docID) }
+func (ix *Index) docidKey() string   { return treeKey(docidTreeName) }
+func symKey(s vtrie.Symbol) string   { return treeKey(symTreeName(s)) }
+
+// initHot creates the tier when the options enable it.
+func (ix *Index) initHot() {
+	if ix.opts.HotBudget > 0 {
+		ix.hot = &hotState{tier: hot.NewTier(ix.opts.HotBudget), rejected: map[string]bool{}}
+	}
+}
+
+// HotStats reports the tier's residency and hit counters; Enabled false
+// means no tier is configured (all other fields zero).
+type HotStats struct {
+	Enabled bool      `json:"enabled"`
+	Tier    hot.Stats `json:"tier"`
+}
+
+// HotStats snapshots the hot tier.
+func (ix *Index) HotStats() HotStats {
+	if ix.hot == nil {
+		return HotStats{}
+	}
+	return HotStats{Enabled: true, Tier: ix.hot.tier.Stats()}
+}
+
+// HotStats proxies the underlying index's tier snapshot.
+func (di *DynamicIndex) HotStats() HotStats { return di.ix.HotStats() }
+
+// buildHotPostings compresses one Trie-Symbol tree by replaying its full
+// Scan; entry order is exactly the tree's, so a hot Scan emits what the
+// tree's Scan would.
+func buildHotPostings(tree *btree.Tree) (*hot.Postings, error) {
+	b := hot.NewPostingsBuilder()
+	err := tree.Scan(btree.KeyUint64(0), btree.KeyUint64(math.MaxUint64), true, true, func(k, v []byte) bool {
+		r, lvl := decodePosting(v)
+		b.Add(btree.Uint64Key(k), r, lvl)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// buildHotDocIDs compresses the Docid tree the same way.
+func buildHotDocIDs(tree *btree.Tree) (*hot.DocIDs, error) {
+	b := hot.NewDocIDsBuilder()
+	err := tree.Scan(btree.KeyUint64(0), btree.KeyUint64(math.MaxUint64), true, true, func(k, v []byte) bool {
+		b.Add(btree.Uint64Key(k), decodeDocID(v))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// hotPostings returns the compressed list for one Trie-Symbol tree, building
+// and admitting it on a miss. nil means the scan must go to the tree (tier
+// disabled, list over budget, or a build I/O error the tree path will
+// surface itself).
+func (ix *Index) hotPostings(s vtrie.Symbol, tree *btree.Tree) *hot.Postings {
+	if ix.hot == nil {
+		return nil
+	}
+	key := symKey(s)
+	if v, ok := ix.hot.tier.Get(key); ok {
+		return v.(*hot.Postings)
+	}
+	if ix.hot.skipBuild(key) {
+		return nil
+	}
+	p, err := buildHotPostings(tree)
+	if err != nil {
+		return nil
+	}
+	if !ix.hot.tier.Add(key, p) {
+		ix.hot.markRejected(key)
+		return nil
+	}
+	return p
+}
+
+// hotDocIDs is hotPostings for the Docid index.
+func (ix *Index) hotDocIDs() *hot.DocIDs {
+	if ix.hot == nil || ix.docid == nil {
+		return nil
+	}
+	key := ix.docidKey()
+	if v, ok := ix.hot.tier.Get(key); ok {
+		return v.(*hot.DocIDs)
+	}
+	if ix.hot.skipBuild(key) {
+		return nil
+	}
+	d, err := buildHotDocIDs(ix.docid)
+	if err != nil {
+		return nil
+	}
+	if !ix.hot.tier.Add(key, d) {
+		ix.hot.markRejected(key)
+		return nil
+	}
+	return d
+}
+
+// hotSummary returns the resident structure summary for a document, or nil.
+// Admission happens separately (admitHotRecord) so the miss path charges
+// the store read, not the getter.
+func (ix *Index) hotSummary(docID uint32) *hot.Summary {
+	if ix.hot == nil {
+		return nil
+	}
+	if v, ok := ix.hot.tier.Get(recKey(docID)); ok {
+		return v.(*hot.Summary)
+	}
+	return nil
+}
+
+// admitHotRecord tries to cache a just-fetched record as a summary. A
+// record the succinct encoding cannot reproduce exactly is simply not
+// admitted (NewSummary returns nil after its round-trip check).
+func (ix *Index) admitHotRecord(rec *docstore.Record) {
+	if ix.hot == nil || rec == nil {
+		return
+	}
+	key := recKey(rec.DocID)
+	if ix.hot.skipBuild(key) {
+		return
+	}
+	s := hot.NewSummary(rec)
+	if s == nil {
+		ix.hot.markRejected(key)
+		return
+	}
+	if !ix.hot.tier.Add(key, s) {
+		ix.hot.markRejected(key)
+	}
+}
+
+// hotInvalidateTree drops one symbol tree's compressed list (a posting was
+// inserted).
+func (ix *Index) hotInvalidateTree(s vtrie.Symbol) {
+	if ix.hot != nil {
+		ix.hot.invalidate(symKey(s))
+	}
+}
+
+// hotInvalidateDocid drops the compressed docid list.
+func (ix *Index) hotInvalidateDocid() {
+	if ix.hot != nil {
+		ix.hot.invalidate(ix.docidKey())
+	}
+}
+
+// hotInvalidateDoc drops one document's summary (rewrite or quarantine).
+func (ix *Index) hotInvalidateDoc(docID uint32) {
+	if ix.hot != nil {
+		ix.hot.invalidate(recKey(docID))
+	}
+}
+
+// hotInvalidateAll empties the tier (forest rebuild replaced everything).
+func (ix *Index) hotInvalidateAll() {
+	if ix.hot != nil {
+		ix.hot.invalidateAll()
+	}
+}
+
+// PreloadHot fills the tier in priority order — the docid list, then every
+// Trie-Symbol list ascending, then document summaries ascending — without
+// evicting anything already loaded; each phase stops at the first structure
+// that no longer fits. Open and the builders call it automatically; it is a
+// no-op without a tier. Callers that own the index exclusively may call it
+// again after bulk mutations.
+func (ix *Index) PreloadHot() {
+	if ix.hot == nil {
+		return
+	}
+	if ix.docid != nil {
+		if _, ok := ix.hot.tier.Get(ix.docidKey()); !ok {
+			if d, err := buildHotDocIDs(ix.docid); err == nil {
+				if !ix.hot.tier.TryAdd(ix.docidKey(), d) {
+					return
+				}
+			}
+		}
+	}
+	for s := vtrie.Symbol(0); int(s) < ix.store.Dict().Len(); s++ {
+		tree := ix.forest.Lookup(symTreeName(s))
+		if tree == nil {
+			continue
+		}
+		if _, ok := ix.hot.tier.Get(symKey(s)); ok {
+			continue
+		}
+		p, err := buildHotPostings(tree)
+		if err != nil {
+			continue
+		}
+		if !ix.hot.tier.TryAdd(symKey(s), p) {
+			break
+		}
+	}
+	for id := 0; id < ix.store.NumDocs(); id++ {
+		docID := uint32(id)
+		if _, ok := ix.hot.tier.Get(recKey(docID)); ok {
+			continue
+		}
+		rec, err := ix.store.Get(docID)
+		if err != nil {
+			continue
+		}
+		s := hot.NewSummary(rec)
+		if s == nil {
+			continue
+		}
+		if !ix.hot.tier.TryAdd(recKey(docID), s) {
+			break
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package prix
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/twig"
+	"repro/internal/xmltree"
+)
+
+// buildHot is build() with a hot-tier budget.
+func buildHot(t testing.TB, extended bool, budget int64, docs ...*xmltree.Document) *Index {
+	t.Helper()
+	ix, err := Build(docs, Options{Extended: extended, BufferPoolPages: 64, HotBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// hotComparable strips the stats fields that legitimately differ between a
+// hot and an uncompressed run of the same query: page reads (the tier's
+// whole point), tier hit counters, and timing. Everything the descent and
+// refinement count — range queries, prunes, candidates, matches, record
+// fetches — must be identical.
+func hotComparable(s *QueryStats) QueryStats {
+	c := *s
+	c.PagesRead = 0
+	c.HotPostingHits = 0
+	c.HotRecordHits = 0
+	c.Elapsed = 0
+	c.DegradedShards = nil
+	return c
+}
+
+// TestHotDifferential is the tentpole's core contract: an index serving
+// range scans and record fetches from the compressed hot tier returns
+// byte-identical matches — and identical work counters — to its
+// uncompressed twin, for every differential query shape, ordered and
+// unordered, serial and parallel, on both index kinds. It also proves the
+// tier actually served: a fully resident corpus must answer the exact-shape
+// suite with zero physical page reads.
+func TestHotDifferential(t *testing.T) {
+	docs := parallelCorpus()
+	for _, extended := range []bool{false, true} {
+		cold := build(t, extended, docs...)
+		hotIx := buildHot(t, extended, 16<<20, docs...)
+		if st := hotIx.HotStats(); !st.Enabled || st.Tier.Bytes == 0 || st.Tier.Items == 0 {
+			t.Fatalf("ext=%v: tier not resident after preload: %+v", extended, st)
+		}
+		for _, sh := range diffShapes {
+			q := twig.MustParse(sh.src)
+			modes := []bool{false}
+			if sh.branches {
+				modes = append(modes, true)
+			}
+			for _, unordered := range modes {
+				for _, par := range []int{1, 4} {
+					opts := MatchOptions{WarmCache: true, Unordered: unordered, Parallelism: par}
+					var wantMS, gotMS []Match
+					var wantStats, gotStats *QueryStats
+					var wantErr, gotErr error
+					if sh.exact || extended {
+						wantMS, wantStats, wantErr = cold.Match(q, opts)
+						gotMS, gotStats, gotErr = hotIx.Match(q, opts)
+					} else {
+						wantMS, wantStats, wantErr = cold.MatchExhaustive(q, opts)
+						gotMS, gotStats, gotErr = hotIx.MatchExhaustive(q, opts)
+					}
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("ext=%v %s unordered=%v par=%d: hot err %v, cold err %v",
+							extended, sh.src, unordered, par, gotErr, wantErr)
+					}
+					if wantErr != nil {
+						continue
+					}
+					if !reflect.DeepEqual(gotMS, wantMS) {
+						t.Errorf("ext=%v %s unordered=%v par=%d: hot matches diverge\n got %v\nwant %v",
+							extended, sh.src, unordered, par, gotMS, wantMS)
+					}
+					if got, want := hotComparable(gotStats), hotComparable(wantStats); !reflect.DeepEqual(got, want) {
+						t.Errorf("ext=%v %s unordered=%v par=%d: hot stats = %+v, cold %+v",
+							extended, sh.src, unordered, par, got, want)
+					}
+					if par == 1 && (sh.exact || extended) {
+						// Multi-node shapes descend the trie (posting hits);
+						// the single-node shape scans records (summary hits).
+						if q.Size() > 1 && gotStats.HotPostingHits == 0 {
+							t.Errorf("ext=%v %s: no hot posting hits despite resident tier", extended, sh.src)
+						}
+						if q.Size() == 1 && gotStats.HotRecordHits == 0 {
+							t.Errorf("ext=%v %s: no hot record hits despite resident tier", extended, sh.src)
+						}
+					}
+				}
+			}
+		}
+		// Fully hot-resident: the whole query path must run without a single
+		// physical page read (the cold twin, same shapes, reads plenty).
+		for _, sh := range diffShapes {
+			if !sh.exact && !extended {
+				continue
+			}
+			_, stats, err := hotIx.Match(twig.MustParse(sh.src), MatchOptions{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.PagesRead != 0 {
+				t.Errorf("ext=%v %s: %d physical reads on a hot-resident index", extended, sh.src, stats.PagesRead)
+			}
+		}
+		if st := hotIx.HotStats(); st.Tier.Hits == 0 {
+			t.Errorf("ext=%v: tier recorded no hits: %+v", extended, st)
+		}
+		if err := cold.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := hotIx.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// hotE2EQueries are the exact-edge differential shapes DynamicIndex.Match
+// answers directly (value, branch, single-node and chain classes included).
+func hotE2EQueries() []*twig.Query {
+	var qs []*twig.Query
+	for _, sh := range diffShapes {
+		if sh.exact {
+			qs = append(qs, twig.MustParse(sh.src))
+		}
+	}
+	return qs
+}
+
+// TestHotE2E drives the dynamic write path against the tier: a hot dynamic
+// index and its uncompressed twin ingest the same documents while queries
+// hammer the hot index concurrently (the -race run is the point), and at
+// every quiescent point both twins must return byte-identical matches at
+// serial and parallel settings — inserts invalidate exactly the lists and
+// summaries they touch, so a query can never see a stale structure.
+func TestHotE2E(t *testing.T) {
+	docs := parallelCorpus()
+	initial, rest := docs[:6], docs[6:]
+	mk := func(budget int64) *DynamicIndex {
+		di, err := NewDynamicIndex(initial, Options{BufferPoolPages: 64, HotBudget: budget},
+			DynamicOptions{Alpha: 2, Spread: 1 << 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return di
+	}
+	cold := mk(0)
+	hotDi := mk(8 << 20)
+	queries := hotE2EQueries()
+
+	compare := func(label string) {
+		t.Helper()
+		for _, q := range queries {
+			for _, par := range []int{1, 4} {
+				opts := MatchOptions{Parallelism: par}
+				wantMS, wantStats, err := cold.Match(q, opts)
+				if err != nil {
+					t.Fatalf("%s %s par=%d cold: %v", label, q, par, err)
+				}
+				gotMS, gotStats, err := hotDi.Match(q, opts)
+				if err != nil {
+					t.Fatalf("%s %s par=%d hot: %v", label, q, par, err)
+				}
+				if !reflect.DeepEqual(gotMS, wantMS) {
+					t.Fatalf("%s %s par=%d: hot matches diverge\n got %v\nwant %v", label, q, par, gotMS, wantMS)
+				}
+				if got, want := hotComparable(gotStats), hotComparable(wantStats); !reflect.DeepEqual(got, want) {
+					t.Errorf("%s %s par=%d: hot stats = %+v, cold %+v", label, q, par, got, want)
+				}
+			}
+		}
+	}
+	compare("initial")
+
+	// Concurrent phase: four query workers loop over the shapes against the
+	// hot index while the main goroutine inserts into both twins. Results
+	// are not compared here (the twins pass through different insert counts
+	// at different instants); the workers exist to race reads, lazy tier
+	// builds and invalidations against the writer under -race.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[(i+w)%len(queries)]
+				if _, _, err := hotDi.Match(q, MatchOptions{Parallelism: 1 + i%3}); err != nil {
+					t.Errorf("concurrent query %s: %v", q, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for _, d := range rest {
+		if err := cold.Insert(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := hotDi.Insert(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	compare("after concurrent inserts")
+
+	// A forest rebuild replaces every structure; the tier must start over
+	// and the twins must still agree.
+	if _, err := hotDi.RepairForest(); err != nil {
+		t.Fatal(err)
+	}
+	compare("after forest rebuild")
+
+	st := hotDi.HotStats()
+	if !st.Enabled || st.Tier.Hits == 0 {
+		t.Errorf("hot tier unused during e2e: %+v", st)
+	}
+	if cst := cold.HotStats(); cst.Enabled {
+		t.Errorf("uncompressed twin reports a tier: %+v", cst)
+	}
+	for _, di := range []*DynamicIndex{cold, hotDi} {
+		if err := di.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestHotEvictionUnderPressure pins LRU demotion: a budget too small for
+// the whole corpus keeps serving correct results while evicting, and never
+// admits a structure larger than the budget.
+func TestHotEvictionUnderPressure(t *testing.T) {
+	docs := parallelCorpus()
+	cold := build(t, false, docs...)
+	// A few KiB: some summaries and small lists fit, the rest thrash.
+	hotIx := buildHot(t, false, 4<<10, docs...)
+	for _, sh := range diffShapes {
+		if !sh.exact {
+			continue
+		}
+		q := twig.MustParse(sh.src)
+		wantMS, _, err := cold.Match(q, MatchOptions{WarmCache: true, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMS, _, err := hotIx.Match(q, MatchOptions{WarmCache: true, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotMS, wantMS) {
+			t.Errorf("%s: matches diverge under tier pressure", sh.src)
+		}
+	}
+	st := hotIx.HotStats()
+	if st.Tier.Bytes > st.Tier.Budget {
+		t.Errorf("tier over budget: %+v", st)
+	}
+}
+
+// TestHotStatsJSONShape pins the exported stats surface the server's
+// /stats block marshals.
+func TestHotStatsJSONShape(t *testing.T) {
+	ix := buildHot(t, false, 1<<20, xmltree.PaperTree(0))
+	st := ix.HotStats()
+	if !st.Enabled {
+		t.Fatal("tier disabled")
+	}
+	if st.Tier.Budget != 1<<20 {
+		t.Fatalf("budget = %d", st.Tier.Budget)
+	}
+	if s := fmt.Sprintf("%+v", st); s == "" {
+		t.Fatal("unprintable")
+	}
+}

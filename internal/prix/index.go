@@ -38,6 +38,12 @@ type Options struct {
 	// wrappers here so a PowerClock can cut power inside the merge phase of
 	// a streaming build; nil means plain OS files.
 	OpenFile func(path string) (pager.File, error)
+	// HotBudget, when positive, enables the compressed in-memory hot tier
+	// (internal/hot) with that many bytes: delta-coded posting lists and
+	// succinct per-document structure summaries serve the common read path
+	// without touching the buffer pools, demoted LRU under the budget.
+	// Results are byte-identical to the uncompressed path. 0 disables it.
+	HotBudget int64
 }
 
 func (o *Options) openFile(path string) (pager.File, error) {
@@ -137,6 +143,9 @@ type Index struct {
 	// scrubber operating on the shared *Index needs no knowledge of the
 	// dynamic wrapper.
 	repairMu sync.RWMutex
+	// hot is the compressed in-memory tier (nil when Options.HotBudget is
+	// 0). See hot.go for the caching and invalidation contract.
+	hot *hotState
 }
 
 // valuePrefix namespaces value strings away from element tags in the
@@ -226,7 +235,11 @@ func (ix *Index) finish(builder *vtrie.Builder, bs *buildStats) error {
 	if err := ix.store.Flush(); err != nil {
 		return err
 	}
-	return ix.forest.Flush()
+	if err := ix.forest.Flush(); err != nil {
+		return err
+	}
+	ix.PreloadHot()
+	return nil
 }
 
 // Open loads a previously built on-disk index. Any commit a crash
@@ -265,6 +278,8 @@ func Open(dir string, opts Options) (*Index, error) {
 	for k, v := range store.Catalog("maxgap") {
 		ix.maxGap[k] = v
 	}
+	ix.initHot()
+	ix.PreloadHot()
 	return ix, nil
 }
 

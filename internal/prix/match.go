@@ -53,6 +53,14 @@ type QueryStats struct {
 	// RecordCacheHits counts record lookups served by the per-query
 	// memoizing record cache instead of the store.
 	RecordCacheHits int
+	// HotPostingHits counts Algorithm 1 range scans (trie and docid) served
+	// from the compressed hot tier instead of a B+-tree. Each such scan is
+	// still counted in RangeQueries, so hot and cold runs report identical
+	// RangeQueries.
+	HotPostingHits int
+	// HotRecordHits counts record fetches decoded from a hot structure
+	// summary instead of the document store; still counted in RecordFetches.
+	HotRecordHits int
 	// Elapsed is wall-clock query time.
 	Elapsed time.Duration
 	// Degraded reports that at least one document was skipped because its
@@ -152,6 +160,8 @@ func (s *QueryStats) merge(o *QueryStats) {
 	s.Candidates += o.Candidates
 	s.RecordFetches += o.RecordFetches
 	s.RecordCacheHits += o.RecordCacheHits
+	s.HotPostingHits += o.HotPostingHits
+	s.HotRecordHits += o.HotRecordHits
 	s.Degraded = s.Degraded || o.Degraded
 }
 
@@ -516,12 +526,17 @@ func (ix *Index) findSubsequence(p *plan, opts MatchOptions, stats *QueryStats,
 		level       uint32
 	}
 	var hits []hit
-	err := tree.Scan(btree.KeyUint64(ql), btree.KeyUint64(qr), false, true, func(k, v []byte) bool {
+	if hp := ix.hotPostings(p.syms[i], tree); hp != nil {
+		stats.HotPostingHits++
+		hp.Scan(ql, qr, false, true, func(l, r uint64, lvl uint32) bool {
+			hits = append(hits, hit{left: l, right: r, level: lvl})
+			return true
+		})
+	} else if err := tree.Scan(btree.KeyUint64(ql), btree.KeyUint64(qr), false, true, func(k, v []byte) bool {
 		r, lvl := decodePosting(v)
 		hits = append(hits, hit{left: btree.Uint64Key(k), right: r, level: lvl})
 		return true
-	})
-	if err != nil {
+	}); err != nil {
 		return err
 	}
 	for _, h := range hits {
@@ -540,14 +555,26 @@ func (ix *Index) findSubsequence(p *plan, opts MatchOptions, stats *QueryStats,
 			// Fetch documents whose sequences end at or below this node.
 			stats.RangeQueries++
 			var emitErr error
-			scanErr := ix.docid.Scan(btree.KeyUint64(h.left), btree.KeyUint64(h.right), true, true,
-				func(k, v []byte) bool {
-					if e := emit(decodeDocID(v)); e != nil {
+			var scanErr error
+			if hd := ix.hotDocIDs(); hd != nil {
+				stats.HotPostingHits++
+				hd.Scan(h.left, h.right, true, true, func(_ uint64, id uint32) bool {
+					if e := emit(id); e != nil {
 						emitErr = e
 						return false
 					}
 					return true
 				})
+			} else {
+				scanErr = ix.docid.Scan(btree.KeyUint64(h.left), btree.KeyUint64(h.right), true, true,
+					func(k, v []byte) bool {
+						if e := emit(decodeDocID(v)); e != nil {
+							emitErr = e
+							return false
+						}
+						return true
+					})
+			}
 			if scanErr != nil {
 				return scanErr
 			}
@@ -570,15 +597,29 @@ func (ix *Index) findSubsequence(p *plan, opts MatchOptions, stats *QueryStats,
 // propagate so callers can retry.
 func (ix *Index) getRecord(docID uint32, stats *QueryStats) (*docstore.Record, error) {
 	stats.RecordFetches++
+	if s := ix.hotSummary(docID); s != nil {
+		// Quarantine is re-checked on every hit so a document degraded
+		// after admission (by a concurrent query's corruption discovery)
+		// is skipped exactly like the uncompressed path skips it.
+		if !ix.store.IsQuarantined(docID) {
+			stats.HotRecordHits++
+			return s.Record(), nil
+		}
+		ix.hotInvalidateDoc(docID)
+		stats.Degraded = true
+		return nil, nil
+	}
 	rec, err := ix.store.Get(docID)
 	switch {
 	case err == nil:
+		ix.admitHotRecord(rec)
 		return rec, nil
 	case errors.Is(err, docstore.ErrQuarantined):
 		stats.Degraded = true
 		return nil, nil
 	case IsCorruption(err):
 		ix.store.Quarantine(docID)
+		ix.hotInvalidateDoc(docID)
 		stats.Degraded = true
 		return nil, nil
 	default:

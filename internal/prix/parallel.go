@@ -288,28 +288,37 @@ func (d *descent) step(stats *QueryStats, sp *obs.Span, i int, ql, qr uint64, S,
 		return nil
 	}
 	stats.RangeQueries++
-	// Readahead: a cold Scan discovers each next leaf only from the
-	// previous one, a serial chain of device waits; warming the in-range
-	// leaves from the internal nodes first turns that chain into
-	// min(par, leaves) concurrent reads.
-	p0 := sp.Start()
-	warmed := tree.Prefetch(btree.KeyUint64(ql), btree.KeyUint64(qr), false, d.par)
-	sp.Stage(obs.StagePrefetch, p0)
-	if warmed > 0 {
-		sp.AddInt("prefetched_pages", int64(warmed))
-	}
 	type hit struct {
 		left, right uint64
 		level       uint32
 	}
 	var hits []hit
-	err := tree.Scan(btree.KeyUint64(ql), btree.KeyUint64(qr), false, true, func(k, v []byte) bool {
-		r, lvl := decodePosting(v)
-		hits = append(hits, hit{left: btree.Uint64Key(k), right: r, level: lvl})
-		return true
-	})
-	if err != nil {
-		return err
+	if hp := d.ix.hotPostings(d.p.syms[i], tree); hp != nil {
+		// A hot list is decoded from memory: no pages to prefetch.
+		stats.HotPostingHits++
+		hp.Scan(ql, qr, false, true, func(l, r uint64, lvl uint32) bool {
+			hits = append(hits, hit{left: l, right: r, level: lvl})
+			return true
+		})
+	} else {
+		// Readahead: a cold Scan discovers each next leaf only from the
+		// previous one, a serial chain of device waits; warming the in-range
+		// leaves from the internal nodes first turns that chain into
+		// min(par, leaves) concurrent reads.
+		p0 := sp.Start()
+		warmed := tree.Prefetch(btree.KeyUint64(ql), btree.KeyUint64(qr), false, d.par)
+		sp.Stage(obs.StagePrefetch, p0)
+		if warmed > 0 {
+			sp.AddInt("prefetched_pages", int64(warmed))
+		}
+		err := tree.Scan(btree.KeyUint64(ql), btree.KeyUint64(qr), false, true, func(k, v []byte) bool {
+			r, lvl := decodePosting(v)
+			hits = append(hits, hit{left: btree.Uint64Key(k), right: r, level: lvl})
+			return true
+		})
+		if err != nil {
+			return err
+		}
 	}
 	last := i == len(d.p.syms)-1
 	for hi, h := range hits {
@@ -326,23 +335,36 @@ func (d *descent) step(stats *QueryStats, sp *obs.Span, i int, ql, qr uint64, S,
 		}
 		if last {
 			stats.RangeQueries++
-			p0 := sp.Start()
-			warmed := d.ix.docid.Prefetch(btree.KeyUint64(h.left), btree.KeyUint64(h.right), true, d.par)
-			sp.Stage(obs.StagePrefetch, p0)
-			if warmed > 0 {
-				sp.AddInt("prefetched_pages", int64(warmed))
-			}
 			ord := int32(0)
 			var emitErr error
-			scanErr := d.ix.docid.Scan(btree.KeyUint64(h.left), btree.KeyUint64(h.right), true, true,
-				func(k, v []byte) bool {
-					if e := d.emit(append(path, int32(hi), ord), decodeDocID(v), S, stats, sp); e != nil {
+			var scanErr error
+			if hd := d.ix.hotDocIDs(); hd != nil {
+				stats.HotPostingHits++
+				hd.Scan(h.left, h.right, true, true, func(_ uint64, id uint32) bool {
+					if e := d.emit(append(path, int32(hi), ord), id, S, stats, sp); e != nil {
 						emitErr = e
 						return false
 					}
 					ord++
 					return true
 				})
+			} else {
+				p0 := sp.Start()
+				warmed := d.ix.docid.Prefetch(btree.KeyUint64(h.left), btree.KeyUint64(h.right), true, d.par)
+				sp.Stage(obs.StagePrefetch, p0)
+				if warmed > 0 {
+					sp.AddInt("prefetched_pages", int64(warmed))
+				}
+				scanErr = d.ix.docid.Scan(btree.KeyUint64(h.left), btree.KeyUint64(h.right), true, true,
+					func(k, v []byte) bool {
+						if e := d.emit(append(path, int32(hi), ord), decodeDocID(v), S, stats, sp); e != nil {
+							emitErr = e
+							return false
+						}
+						ord++
+						return true
+					})
+			}
 			if scanErr != nil {
 				return scanErr
 			}

@@ -66,6 +66,7 @@ func statsComparable(s *QueryStats) QueryStats {
 	c.PagesRead = 0
 	c.RecordFetches = 0
 	c.RecordCacheHits = 0
+	c.HotRecordHits = 0 // follows RecordFetches on the memoization axis
 	c.Elapsed = 0
 	c.DegradedShards = nil // slice field; engine-internal paths never set it
 	return c

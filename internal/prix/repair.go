@@ -388,6 +388,7 @@ func (ix *Index) repairDocLocked(docID uint32) (RepairAction, error) {
 				if err := ix.docid.Insert(btree.KeyUint64(left), encodeDocID(docID)); err != nil {
 					return RepairPostings, err
 				}
+				ix.hotInvalidateDocid()
 			}
 		}
 		if srec, serr := ix.readStructure(docID); serr != nil || structureMatches(rec, srec) != nil {
@@ -437,6 +438,7 @@ func (ix *Index) rewriteRecordLocked(docID uint32) error {
 	if err := ix.store.Rewrite(srec); err != nil {
 		return err
 	}
+	ix.hotInvalidateDoc(docID)
 	// Commit point: the repointed directory entry and the new record bytes
 	// land atomically via the docstore journal.
 	return ix.store.Flush()
@@ -532,6 +534,9 @@ func (ix *Index) RepairForest() ([]uint32, error) {
 }
 
 func (ix *Index) rebuildForestLocked(writeTrie func(recs []*docstore.Record) error) ([]uint32, error) {
+	// Every list and summary may describe pre-rebuild structures; start the
+	// tier over.
+	ix.hotInvalidateAll()
 	var recs []*docstore.Record
 	var skipped []uint32
 	for id := 0; id < ix.store.NumDocs(); id++ {

@@ -32,6 +32,13 @@ type inserter interface {
 	OnInsert(fn func())
 }
 
+// hotSource is the optional hot-tier interface of a Source. Indexes opened
+// with a HotBudget (prix.Index, prix.DynamicIndex, compact.Root) expose
+// their compressed-tier residency for /stats and /metrics.
+type hotSource interface {
+	HotStats() prix.HotStats
+}
+
 // epochSource is the optional topology interface of a Source. A
 // scatter-gather coordinator (internal/shard) exposes its placement epoch;
 // the executor folds it into every cache key so results computed under one

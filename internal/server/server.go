@@ -582,6 +582,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"# TYPE prix_degraded_shards gauge\nprix_degraded_shards %d\n",
 			len(sh.DegradedShards()))
 	}
+	if hs, ok := s.exec.Source().(hotSource); ok {
+		if st := hs.HotStats(); st.Enabled {
+			fmt.Fprintf(w, "# HELP prix_hot_bytes Bytes resident in the compressed in-memory hot tier.\n"+
+				"# TYPE prix_hot_bytes gauge\nprix_hot_bytes %d\n", st.Tier.Bytes)
+			fmt.Fprintf(w, "# HELP prix_hot_budget_bytes Configured hot-tier byte budget.\n"+
+				"# TYPE prix_hot_budget_bytes gauge\nprix_hot_budget_bytes %d\n", st.Tier.Budget)
+			fmt.Fprintf(w, "# HELP prix_hot_items Structures resident in the hot tier.\n"+
+				"# TYPE prix_hot_items gauge\nprix_hot_items %d\n", st.Tier.Items)
+			fmt.Fprintf(w, "# HELP prix_hot_hits_total Lookups served from the hot tier.\n"+
+				"# TYPE prix_hot_hits_total counter\nprix_hot_hits_total %d\n", st.Tier.Hits)
+			fmt.Fprintf(w, "# HELP prix_hot_misses_total Hot-tier lookups that fell back to the B+-trees or store.\n"+
+				"# TYPE prix_hot_misses_total counter\nprix_hot_misses_total %d\n", st.Tier.Misses)
+			fmt.Fprintf(w, "# HELP prix_hot_evictions_total Structures demoted from the hot tier under budget pressure.\n"+
+				"# TYPE prix_hot_evictions_total counter\nprix_hot_evictions_total %d\n", st.Tier.Evictions)
+		}
+	}
 	if s.cmp != nil {
 		st := s.cmp.Stats()
 		running := 0
@@ -638,6 +654,9 @@ type StatsSnapshot struct {
 	Shards         []shard.Stats `json:"shards,omitempty"`
 	// Compaction is present when a background compactor is attached.
 	Compaction *compact.Stats `json:"compaction,omitempty"`
+	// Hot is present when the backend serves from a compressed in-memory
+	// hot tier (prix.Options.HotBudget > 0): residency and hit counters.
+	Hot *prix.HotStats `json:"hot,omitempty"`
 }
 
 // Snapshot assembles the current stats.
@@ -675,6 +694,11 @@ func (s *Server) Snapshot() StatsSnapshot {
 	if s.cmp != nil {
 		st := s.cmp.Stats()
 		snap.Compaction = &st
+	}
+	if hs, ok := s.exec.Source().(hotSource); ok {
+		if st := hs.HotStats(); st.Enabled {
+			snap.Hot = &st
+		}
 	}
 	return snap
 }

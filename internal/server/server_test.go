@@ -562,3 +562,60 @@ func TestHistogramQuantiles(t *testing.T) {
 		t.Errorf("count = %d", h.Count())
 	}
 }
+
+// A hot-budget index surfaces its tier through /stats and /metrics; an
+// uncompressed index leaves both blocks absent.
+func TestHotTierSurfaces(t *testing.T) {
+	var docs []*xmltree.Document
+	for i := 0; i < 20; i++ {
+		docs = append(docs, xmltree.MustFromSExpr(i, `(a (b (c)) (d (e)))`))
+	}
+	hotIx, err := prix.Build(docs, prix.Options{HotBudget: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(hotIx, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if status, _, raw := doQuery(t, ts.Client(), ts.URL, `//a/b/c`); status != http.StatusOK {
+		t.Fatalf("query: status %d (%s)", status, raw)
+	}
+
+	snap := srv.Snapshot()
+	if snap.Hot == nil || !snap.Hot.Enabled {
+		t.Fatalf("snapshot missing hot block: %+v", snap.Hot)
+	}
+	if snap.Hot.Tier.Bytes == 0 || snap.Hot.Tier.Hits == 0 {
+		t.Errorf("tier unused: %+v", snap.Hot.Tier)
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s := buf.String(); !strings.Contains(s, `"hot"`) || !strings.Contains(s, `"budget_bytes"`) {
+		t.Errorf("/stats JSON missing hot residency block: %s", s)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{"prix_hot_bytes ", "prix_hot_budget_bytes 4194304", "prix_hot_hits_total "} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The uncompressed twin must not grow the surfaces.
+	coldIx := buildIndex(t, 5)
+	csrv := New(coldIx, Config{})
+	if snap := csrv.Snapshot(); snap.Hot != nil {
+		t.Errorf("uncompressed index reports hot block: %+v", snap.Hot)
+	}
+}

@@ -2,6 +2,7 @@ package vtrie
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
@@ -111,12 +112,26 @@ func (d *DynamicLabeler) Finalize() {
 		avail := (n.right - n.left) / 2
 		cur := n.left
 		for _, c := range kids {
+			if cur == n.right {
+				// Scope exhausted: drop the remaining prepared children
+				// instead of handing out inverted ranges that Validate
+				// rejects. Add recreates them from the parent's free
+				// half, or surfaces an honest underflow.
+				delete(n.children, c.sym)
+				continue
+			}
 			w := uint64(c.freq) * uint64(c.maxRest+1)
-			width := avail / totalW * w
+			// width = avail * w / totalW. The ratio must not be truncated
+			// first (avail/totalW is 0 whenever totalW > avail, collapsing
+			// the weighted allocation to uniform width-1), and the product
+			// can exceed 64 bits; w <= totalW guarantees the 128-bit
+			// quotient fits back in 64 bits.
+			hi, lo := bits.Mul64(avail, w)
+			width, _ := bits.Div64(hi, lo, totalW)
 			if width < 1 {
 				width = 1
 			}
-			if cur+width > n.right {
+			if width > n.right-cur {
 				width = n.right - cur
 			}
 			c.left = cur + 1
