@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz chaos bench bench-smoke serve clean ci cover differential shard-e2e ingest-e2e compact-e2e hot-e2e
+.PHONY: all build test race vet fuzz chaos bench bench-smoke serve clean ci cover differential shard-e2e ingest-e2e compact-e2e hot-e2e versions-e2e
 
 all: build vet test
 
 # Everything CI runs, in one target, so local and CI results agree.
-ci: build vet test race differential cover shard-e2e ingest-e2e compact-e2e hot-e2e fuzz chaos bench-smoke
+ci: build vet test race differential cover shard-e2e ingest-e2e compact-e2e hot-e2e versions-e2e fuzz chaos bench-smoke
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,8 @@ fuzz:
 	$(GO) test ./internal/docstore -run FuzzDecodeRecord -fuzz FuzzDecodeRecord -fuzztime 30s
 	$(GO) test ./internal/obs -run FuzzSpanJSON -fuzz FuzzSpanJSON -fuzztime 30s
 	$(GO) test ./internal/vtrie -run FuzzDynamicLabeler -fuzz FuzzDynamicLabeler -fuzztime 30s
+	$(GO) test ./internal/mvcc -run FuzzSeqDiffPatch -fuzz FuzzSeqDiffPatch -fuzztime 30s
+	$(GO) test ./internal/prix -run FuzzAsOfVersionMap -fuzz FuzzAsOfVersionMap -fuzztime 30s
 
 # The oracle-backed differential suite: every engine (PRIX serial/parallel,
 # MatchExhaustive, TwigStack, TwigStackXB, ViST) against the brute-force
@@ -51,12 +53,14 @@ cover:
 	$(GO) test -coverprofile=cover-ingest.out -short ./internal/ingest > /dev/null
 	$(GO) test -coverprofile=cover-compact.out ./internal/compact > /dev/null
 	$(GO) test -coverprofile=cover-hot.out ./internal/hot > /dev/null
+	$(GO) test -coverprofile=cover-mvcc.out ./internal/mvcc > /dev/null
 	@$(GO) tool cover -func=cover-prix.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/prix coverage %s%% (floor 78%%)\n", $$3; if ($$3+0 < 78.0) exit 1 }'
 	@$(GO) tool cover -func=cover-obs.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/obs coverage %s%% (floor 80%%)\n", $$3; if ($$3+0 < 80.0) exit 1 }'
 	@$(GO) tool cover -func=cover-ingest.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/ingest coverage %s%% (floor 75%%)\n", $$3; if ($$3+0 < 75.0) exit 1 }'
 	@$(GO) tool cover -func=cover-compact.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/compact coverage %s%% (floor 75%%)\n", $$3; if ($$3+0 < 75.0) exit 1 }'
 	@$(GO) tool cover -func=cover-hot.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/hot coverage %s%% (floor 75%%)\n", $$3; if ($$3+0 < 75.0) exit 1 }'
-	@rm -f cover-prix.out cover-obs.out cover-ingest.out cover-compact.out cover-hot.out
+	@$(GO) tool cover -func=cover-mvcc.out | awk '$$1=="total:" { sub("%","",$$3); printf "internal/mvcc coverage %s%% (floor 75%%)\n", $$3; if ($$3+0 < 75.0) exit 1 }'
+	@rm -f cover-prix.out cover-obs.out cover-ingest.out cover-compact.out cover-hot.out cover-mvcc.out
 
 # Multi-shard serving end to end, under the race detector: scatter-gather
 # query over a live HTTP server, quarantine one shard via a corrupt page,
@@ -97,6 +101,19 @@ hot-e2e:
 	$(GO) test -race ./internal/prix -run 'TestHot' -count=1
 	$(GO) test -race ./internal/hot -count=1
 	$(GO) test -race ./internal/server -run 'TestHotTierSurfaces' -count=1
+
+# Document versioning end to end, under the race detector: the metamorphic
+# mutation suite (insert-then-delete, update-vs-fresh-build, delete-then-
+# reinsert, scripted AS OF history replay — all against the brute-force
+# embedding oracle), power-cut sweeps over every write ordinal of a Delete/
+# Update/Patch commit (plain and 2x2 sharded), hot-tier invalidation at the
+# mutation sites, compaction tombstone GC under the retention window, the
+# version-map/diff unit suite, and the fuzz seed corpora.
+versions-e2e:
+	$(GO) test -race ./internal/prix -run 'TestMetamorphic|TestVersion|TestHotInvalidateMutations|FuzzAsOfVersionMap' -count=1
+	$(GO) test -race ./internal/shard -run 'TestVersionCrashSweepSharded' -count=1
+	$(GO) test -race ./internal/compact -run 'TestCompactVersionRetention' -count=1
+	$(GO) test -race ./internal/mvcc -count=1
 
 # Chaos stage: fault-injection and self-healing end to end. Power-cut sweeps
 # across every write point of a commit and of an online repair, bit-flip

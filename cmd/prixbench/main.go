@@ -13,6 +13,7 @@
 //	prixbench -table shards -replicas 2          # scatter-gather throughput scaling
 //	prixbench -table ingest                      # streaming bulk-load MB/s, peak heap, resume cost
 //	prixbench -table compact                     # online compaction: query speedup, pause, write amp
+//	prixbench -table versions                    # update vs delete+reinsert: patch bytes, latency
 package main
 
 import (
@@ -31,7 +32,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("prixbench: ")
 	var (
-		table     = flag.String("table", "all", "artefact: 2..9, fig6, ablation, serving, parallel, stages, shards, ingest, compact or all")
+		table     = flag.String("table", "all", "artefact: 2..9, fig6, ablation, serving, parallel, stages, shards, ingest, compact, versions or all")
 		scale     = flag.Int("scale", 1, "dataset scale factor")
 		seed      = flag.Int64("seed", 1, "dataset generator seed")
 		pool      = flag.Int("pool", 0, "buffer pool pages (default 2000)")
@@ -109,6 +110,12 @@ func main() {
 			names = strings.Split(*datasets, ",")
 		}
 		run(s.CompactBench(w, bench.CompactBenchConfig{Datasets: names}))
+	case "versions":
+		var names []string
+		if *datasets != "" {
+			names = strings.Split(*datasets, ",")
+		}
+		run(s.VersionsBench(w, bench.VersionsBenchConfig{Datasets: names}))
 	case "ingest":
 		var mbs []int
 		if *sizes != "" {

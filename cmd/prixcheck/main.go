@@ -7,7 +7,11 @@
 //   - every physical page's checksum, format version and page id;
 //   - every B+-tree invariant in the forest (key order, uniform leaf
 //     depth, separator bracketing, no cycles, entry counts);
-//   - every document-store record decodes.
+//   - every document-store record decodes;
+//   - on a versioned index, the MVCC version map: internal interval
+//     invariants, every docid-tree tombstone matched by a closed interval
+//     (and vice versa), and every superseded-record back-pointer resolving
+//     to a decodable image.
 //
 // With -repair, a corrupt index is opened for real (journal recovery runs
 // against the files) and one scrub repair pass heals what the index's
@@ -30,6 +34,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/compact"
 	"repro/internal/docstore"
+	"repro/internal/mvcc"
 	"repro/internal/pager"
 	"repro/internal/prix"
 	"repro/internal/scrub"
@@ -109,6 +114,9 @@ func run(dir string, verbose bool) int {
 	}
 	if docs != nil {
 		checkDocs(docs, verbose, report)
+	}
+	if forest != nil && docs != nil {
+		checkVersions(forest, docs, verbose, report)
 	}
 
 	switch worst {
@@ -231,6 +239,120 @@ func checkForest(mem *pager.MemFile, verbose bool, report func(int)) {
 		}
 	}
 	report(exitCorrupt)
+}
+
+// checkVersions cross-checks the MVCC version map (the docstore "mvcc"
+// blob) against the rest of the recovered image: the map's own interval
+// invariants, the docid-tree tombstones (a tombstone with no matching
+// closed interval is dangling; a tombstoned interval with no tombstone
+// left the forest and the map disagreeing about a delete), and every
+// superseded-record back-pointer, which must resolve to a decodable image
+// or AS OF reads of that version would fail. Unversioned indexes (no blob)
+// skip silently; open failures are already reported by the structural
+// checks above.
+func checkVersions(forestMem, docsMem *pager.MemFile, verbose bool, report func(int)) {
+	store, err := docstore.Open(pager.NewBufferPool(docsMem, pager.DefaultPoolPages))
+	if err != nil {
+		return
+	}
+	enc := store.Blob(prix.VersionsBlobName)
+	if enc == nil {
+		return
+	}
+	m, err := mvcc.DecodeMap(enc)
+	if err != nil {
+		fmt.Printf("versions: map undecodable: %v\n", err)
+		report(exitCorrupt)
+		return
+	}
+	if err := m.Check(); err != nil {
+		fmt.Printf("versions: %v\n", err)
+		report(exitCorrupt)
+		return
+	}
+	if m.Pending != nil {
+		// A mutation crashed between its store and forest commits; the
+		// cross-checks below would see the half-applied state. Recovery at
+		// the next open redoes the forest side idempotently.
+		fmt.Printf("versions: pending mutation of document %d (version %d); reopen the index to complete recovery\n",
+			m.Pending.DocID, m.Pending.Version)
+		return
+	}
+
+	forest, err := btree.Open(pager.NewBufferPool(forestMem, pager.DefaultPoolPages))
+	if err != nil {
+		return
+	}
+	docid, err := forest.Tree("docid")
+	if err != nil {
+		// An index built before the docid tree existed cannot be versioned;
+		// a versioned one missing it is already flagged by checkForest.
+		return
+	}
+	tombs := map[uint32]uint64{}
+	scanErr := docid.Scan(btree.KeyUint64(0), btree.KeyUint64(^uint64(0)), true, true, func(k, v []byte) bool {
+		if id, ver, ok := prix.DecodeTombstone(v); ok {
+			tombs[id] = ver
+		}
+		return true
+	})
+	if scanErr != nil {
+		fmt.Printf("versions: docid scan: %v\n", scanErr)
+		report(exitCorrupt)
+		return
+	}
+
+	bad := 0
+	flag := func(format string, args ...any) {
+		bad++
+		if verbose {
+			fmt.Printf("versions: "+format+"\n", args...)
+		}
+		report(exitCorrupt)
+	}
+	for id, ver := range tombs {
+		ivs := m.Docs[id]
+		if len(ivs) == 0 {
+			flag("dangling tombstone: document %d (version %d) has no version intervals", id, ver)
+			continue
+		}
+		last := ivs[len(ivs)-1]
+		if last.To == 0 || last.Marker() || last.To != ver {
+			flag("dangling tombstone: document %d marked deleted at version %d but its map interval is [%d,%d)", id, ver, last.From, last.To)
+		}
+	}
+	locs := 0
+	for id, ivs := range m.Docs {
+		if len(ivs) == 0 {
+			continue
+		}
+		last := ivs[len(ivs)-1]
+		if last.To != 0 && !last.Marker() {
+			if _, ok := tombs[id]; !ok {
+				// Sequence-less documents (no symbols) have no docid entry
+				// to mark; their stored record carries an empty LPS.
+				if rec, err := store.Get(id); err != nil || len(rec.LPS) > 0 {
+					flag("missing tombstone: document %d deleted at version %d in the map but live in the docid tree", id, last.To)
+				}
+			}
+		}
+		for _, iv := range ivs {
+			if iv.Loc.Zero() {
+				continue
+			}
+			locs++
+			loc := docstore.Loc{Page: pager.PageID(iv.Loc.Page), Off: iv.Loc.Off, Len: iv.Loc.Len}
+			if _, err := store.GetAtLoc(id, loc); err != nil {
+				flag("document %d version %d: superseded image unreachable at page %d: %v", id, iv.From, iv.Loc.Page, err)
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("versions: %d invariant violations (%d documents, %d tombstones)\n", bad, len(m.Docs), len(tombs))
+		return
+	}
+	fmt.Printf("versions: %d documents at version %d, %d tombstones, %d superseded images, invariants ok\n",
+		len(m.Docs), m.Counter, len(tombs), locs)
 }
 
 // checkDocs opens the document store over the recovered image and decodes

@@ -57,6 +57,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		trace     = fs.Bool("trace", false, "print the per-stage execution span tree after the results")
 		timeout   = fs.Duration("timeout", 0, "per-query deadline (0 = none)")
 		recon     = fs.Int("reconstruct", -1, "instead of querying, rebuild document N from the index and print it")
+		asOf      = fs.Uint64("as-of", 0, "answer at this MVCC version (0 = latest); requires a versioned index")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -132,6 +133,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		DisableMaxGap: *nogap,
 		Parallelism:   *par,
 		Trace:         tr,
+		AsOf:          *asOf,
 	})
 	if err != nil {
 		return fail(exitError, err)

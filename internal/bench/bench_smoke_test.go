@@ -92,3 +92,17 @@ func TestServingSmoke(t *testing.T) {
 		t.Errorf("serving table missing header:\n%s", buf.String())
 	}
 }
+
+func TestVersionsBenchSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSession(smallCfg())
+	if err := s.VersionsBench(&buf, VersionsBenchConfig{Datasets: []string{"DBLP"}, Ops: 12}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"value-patch", "tag-relabel", "delete+reinsert"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("versions table missing %q:\n%s", want, out)
+		}
+	}
+}

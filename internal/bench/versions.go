@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/prix"
+	"repro/internal/vtrie"
+	"repro/internal/xmltree"
+)
+
+// VersionsBenchConfig tunes the document-versioning benchmark.
+type VersionsBenchConfig struct {
+	// Datasets selects the corpora (default DBLP).
+	Datasets []string
+	// Ops is how many documents each mutation mode touches (default 100,
+	// capped at the dataset size).
+	Ops int
+}
+
+func (c VersionsBenchConfig) withDefaults() VersionsBenchConfig {
+	if len(c.Datasets) == 0 {
+		c.Datasets = []string{"DBLP"}
+	}
+	if c.Ops < 1 {
+		c.Ops = 100
+	}
+	return c
+}
+
+type versionsRow struct {
+	dataset  string
+	mode     string
+	ops      int
+	skips    int // mutations refused (ErrScopeUnderflow on relabel)
+	relabels int // updates that took the new-trie-path route
+	lat      time.Duration
+	patchB   float64 // mean encoded diff applied
+	fullB    float64 // mean encoded size of a from-scratch rewrite
+}
+
+// VersionsBench measures what in-place updates buy over delete+reinsert:
+// per-mutation latency and the encoded bytes a minimal Prüfer-sequence
+// diff writes versus a full record rewrite. Three modes per dataset:
+//
+//   - value-patch: one character-data value changes — the diff patches only
+//     the stored record (no new trie path);
+//   - tag-relabel: one element tag changes — the LPS changes, so the update
+//     writes new postings and a new docid entry besides the record;
+//   - delete+reinsert: the baseline a versionless index is forced into —
+//     tombstone the document and insert the mutated tree as a new one.
+func (s *Session) VersionsBench(w io.Writer, cfg VersionsBenchConfig) error {
+	cfg = cfg.withDefaults()
+	scratch, err := os.MkdirTemp("", "prix-versions-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+
+	fmt.Fprintf(w, "\nDocument versioning: update vs delete+reinsert (%d ops per mode)\n", cfg.Ops)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tmode\tops\tskips\trelabels\tmean latency\tpatch B\tfull B\tpatch/full")
+	for i, name := range cfg.Datasets {
+		ds, err := s.Dataset(name)
+		if err != nil {
+			return err
+		}
+		rows, err := s.versionsOne(filepath.Join(scratch, fmt.Sprintf("d%d", i)), name, ds.Docs, cfg)
+		if err != nil {
+			return fmt.Errorf("versions bench %s: %w", name, err)
+		}
+		for _, row := range rows {
+			ratio := "-"
+			if row.fullB > 0 && row.patchB > 0 {
+				ratio = fmt.Sprintf("%.2f", row.patchB/row.fullB)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%s\t%.0f\t%.0f\t%s\n",
+				row.dataset, row.mode, row.ops, row.skips, row.relabels,
+				row.lat.Round(time.Microsecond), row.patchB, row.fullB, ratio)
+		}
+	}
+	return tw.Flush()
+}
+
+func (s *Session) versionsOne(dir, name string, docs []*xmltree.Document, cfg VersionsBenchConfig) ([]versionsRow, error) {
+	di, err := prix.NewDynamicIndex(docs, prix.Options{
+		Dir:             dir,
+		BufferPoolPages: s.cfg.pool(),
+	}, prix.DynamicOptions{Alpha: 4})
+	if err != nil {
+		return nil, err
+	}
+	defer di.Close()
+
+	ops := cfg.Ops
+	if ops > len(docs) {
+		ops = len(docs)
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed + 41))
+
+	// The three modes mutate disjoint documents so a relabel in one mode
+	// does not inflate the record another mode diffs against.
+	pick := rng.Perm(len(docs))
+	update := func(mode string, mutate func(*xmltree.Document) bool, ids []int) (versionsRow, error) {
+		row := versionsRow{dataset: name, mode: mode}
+		t0 := time.Now()
+		for _, di2 := range ids {
+			doc := cloneNumbered(docs[di2])
+			if !mutate(doc) {
+				continue // nothing mutable in this document
+			}
+			res, err := di.Update(uint32(di2), doc)
+			if errors.Is(err, vtrie.ErrScopeUnderflow) {
+				row.skips++
+				continue
+			}
+			if err != nil {
+				return row, err
+			}
+			row.ops++
+			if res.Relabeled {
+				row.relabels++
+			}
+			row.patchB += float64(res.PatchBytes)
+			row.fullB += float64(res.FullBytes)
+		}
+		if row.ops > 0 {
+			row.lat = time.Since(t0) / time.Duration(row.ops)
+			row.patchB /= float64(row.ops)
+			row.fullB /= float64(row.ops)
+		}
+		return row, nil
+	}
+
+	third := ops / 3
+	if third == 0 {
+		third = 1
+	}
+	slice := func(k int) []int {
+		lo := k * third
+		hi := lo + third
+		if hi > len(pick) {
+			hi = len(pick)
+		}
+		if lo >= hi {
+			return nil
+		}
+		return pick[lo:hi]
+	}
+
+	var rows []versionsRow
+	row, err := update("value-patch", func(d *xmltree.Document) bool { return mutateValue(rng, d) }, slice(0))
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+	row, err = update("tag-relabel", func(d *xmltree.Document) bool { return mutateTag(rng, d) }, slice(1))
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+
+	// Baseline: the same mutation shipped the only way an unversioned index
+	// can — delete the document, insert the mutated tree as a new one.
+	base := versionsRow{dataset: name, mode: "delete+reinsert"}
+	t0 := time.Now()
+	for _, di2 := range slice(2) {
+		doc := cloneNumbered(docs[di2])
+		if !mutateValue(rng, doc) {
+			continue
+		}
+		if _, err := di.Delete(uint32(di2)); err != nil {
+			return nil, err
+		}
+		if err := di.Insert(doc); err != nil {
+			if errors.Is(err, vtrie.ErrScopeUnderflow) {
+				base.skips++
+				continue
+			}
+			return nil, err
+		}
+		base.ops++
+	}
+	if base.ops > 0 {
+		base.lat = time.Since(t0) / time.Duration(base.ops)
+	}
+	rows = append(rows, base)
+	if err := di.Flush(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// cloneNumbered deep-copies a document with its numbering rebuilt, so
+// mutations never alias the corpus the index was built from.
+func cloneNumbered(d *xmltree.Document) *xmltree.Document {
+	c := d.Clone()
+	c.Number()
+	return c
+}
+
+// mutateValue rewrites one random character-data value in place. Reports
+// false when the document has no value nodes (TREEBANK-style corpora).
+func mutateValue(rng *rand.Rand, d *xmltree.Document) bool {
+	var vals []*xmltree.Node
+	for _, n := range d.Nodes {
+		if n.IsValue {
+			vals = append(vals, n)
+		}
+	}
+	if len(vals) == 0 {
+		return false
+	}
+	n := vals[rng.Intn(len(vals))]
+	n.Label = fmt.Sprintf("%s-v%d", n.Label, rng.Intn(1_000_000))
+	return true
+}
+
+// mutateTag renames one random non-root element, forcing the update down
+// the relabel path (new LPS, new trie postings). Reports false when the
+// document is a bare root.
+func mutateTag(rng *rand.Rand, d *xmltree.Document) bool {
+	var elems []*xmltree.Node
+	for _, n := range d.Nodes {
+		if !n.IsValue && n != d.Root {
+			elems = append(elems, n)
+		}
+	}
+	if len(elems) == 0 {
+		return false
+	}
+	n := elems[rng.Intn(len(elems))]
+	n.Label = fmt.Sprintf("%s-r%d", n.Label, rng.Intn(1_000_000))
+	return true
+}

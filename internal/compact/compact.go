@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/ingest"
+	"repro/internal/mvcc"
 	"repro/internal/pager"
 	"repro/internal/prix"
 	"repro/internal/shard"
@@ -35,6 +36,13 @@ type Options struct {
 	// HotBudget enables the compressed in-memory hot tier on the source and
 	// every rebuilt epoch (see prix.Options.HotBudget); 0 disables it.
 	HotBudget int64
+	// Retain is the version-retention window: tombstones (deleted
+	// documents) younger than Counter-Retain keep their content in the new
+	// epoch for AS OF reads; older ones are reclaimed — their records
+	// become stubs and their postings are dropped. 0 reclaims every
+	// tombstone. Update back-pointer history is always folded away by a
+	// compaction (the superseded images live in the old epoch's pages).
+	Retain uint64
 }
 
 func (o *Options) withDefaults() Options {
@@ -71,6 +79,12 @@ type Report struct {
 	Elapsed time.Duration `json:"elapsed_ns"`
 	// Skipped reports that there was nothing to do (already compacted).
 	Skipped bool `json:"skipped,omitempty"`
+	// Reclaimed counts documents whose content the compaction dropped —
+	// tombstones older than the retention watermark, rewritten as stubs.
+	Reclaimed int `json:"reclaimed,omitempty"`
+	// Tombstones counts deleted documents whose content the new epoch
+	// retained for AS OF reads (tombstones inside the retention window).
+	Tombstones int `json:"tombstones,omitempty"`
 }
 
 // Aborted is the typed failure of a compaction: the phase that failed and
@@ -155,6 +169,77 @@ func (s *source) close() error {
 	return s.ix.Close()
 }
 
+// snapshot atomically pairs the source's document count with a deep copy
+// of its version map (nil when versioning is off), so the drain watermark
+// and the pinned map describe the same instant even under live writers.
+func (s *source) snapshot() (int, *mvcc.Map) {
+	if s.dyn != nil {
+		return s.dyn.VersionSnapshot()
+	}
+	return s.ix.NumDocs(), s.ix.CloneVersions()
+}
+
+// pinVersions collapses the snapshot under the retention window and pins
+// the result (plus the mutation counter it was taken at) in the manifest.
+// The returned set lists reclaimed documents — the drain spools stubs for
+// them instead of content.
+func pinVersions(m *Manifest, vm *mvcc.Map, retain uint64) map[uint32]bool {
+	if vm == nil {
+		m.Versions, m.Muts = nil, 0
+		return nil
+	}
+	wm := uint64(0)
+	if vm.Counter > retain {
+		wm = vm.Counter - retain
+	}
+	collapsed, reclaimed, _ := vm.Collapse(wm)
+	m.Versions = collapsed.Encode()
+	m.Muts = vm.MutOps
+	set := make(map[uint32]bool, len(reclaimed))
+	for _, id := range reclaimed {
+		set[id] = true
+	}
+	return set
+}
+
+// versionCounts derives the Report's reclaimed/tombstone tallies from the
+// pinned map (safe on resume paths that never recomputed the pin).
+func versionCounts(enc []byte) (reclaimed, tombstones int) {
+	if len(enc) == 0 {
+		return 0, 0
+	}
+	vm, err := mvcc.DecodeMap(enc)
+	if err != nil {
+		return 0, 0
+	}
+	for _, ivs := range vm.Docs {
+		if len(ivs) == 0 {
+			continue
+		}
+		last := ivs[len(ivs)-1]
+		switch {
+		case last.Marker():
+			reclaimed++
+		case last.To != 0:
+			tombstones++
+		}
+	}
+	return reclaimed, tombstones
+}
+
+// adoptVersions installs the manifest's pinned version map onto the freshly
+// built epoch (tombstones are re-marked at the new terminals inside).
+func adoptVersions(m *Manifest, ix *prix.Index) error {
+	if len(m.Versions) == 0 {
+		return nil
+	}
+	vm, err := mvcc.DecodeMap(m.Versions)
+	if err != nil {
+		return fmt.Errorf("compact: pinned version map: %w", err)
+	}
+	return ix.AdoptVersions(vm)
+}
+
 // docSeq re-derives one document's dictionary-free Prüfer transform: the
 // stored record reconstructs to the original document (the PR 3 repair
 // invariant), and Transform of that document is exactly what a scan worker
@@ -178,6 +263,7 @@ func manifestFor(src *source, srcEpoch uint64, o Options) *Manifest {
 		Dynamic:     src.dyn != nil,
 		Extended:    src.ix.Extended(),
 		MemBudget:   o.MemBudget,
+		Retain:      o.Retain,
 	}
 	if src.dyn != nil {
 		m.Alpha = src.dyn.Alpha()
@@ -229,6 +315,12 @@ func execute(o Options, resume bool) (*Report, error) {
 			// it, so adopt it instead of rejecting the resume over a phantom
 			// drift. An explicit caller-supplied budget is still checked.
 			o.MemBudget = m.MemBudget
+		}
+		if o.Retain == 0 {
+			// Same adoption for the retention window: it decides which
+			// documents drain as stubs, so resuming under a different value
+			// would silently change the spool's contents.
+			o.Retain = m.Retain
 		}
 	} else {
 		if err := fs.RemoveAll(workdir); err != nil {
@@ -300,14 +392,27 @@ func execute(o Options, resume bool) (*Report, error) {
 			return nil, abortf(m.Phase, err)
 		}
 		rep.Dynamic = m.Dynamic
-		rep.SourceDocs = src.ix.NumDocs()
-		total := uint32(rep.SourceDocs)
+		docs, vm := src.snapshot()
+		rep.SourceDocs = docs
+		total := uint32(docs)
+		muts := uint64(0)
+		if vm != nil {
+			muts = vm.MutOps
+		}
 		// Re-enter drain when documents landed past the watermark (an online
 		// compaction interrupted between drain and publish): the build phase
 		// restarts from scratch anyway, so extending the run spool is safe.
-		if m.Phase == phaseDrain || total > m.Docs {
+		// A drifted mutation counter invalidates every sealed run — a drained
+		// document's content (or reclaim status) may have changed — so the
+		// spool restarts from scratch under a freshly pinned map.
+		if m.Phase == phaseDrain || total > m.Docs || muts != m.Muts {
+			if muts != m.Muts {
+				m.Runs = nil
+				m.Docs = 0
+			}
+			reclaimed := pinVersions(m, vm, o.Retain)
 			m.Phase = phaseDrain
-			if err := drain(fs, workdir, m, src, total, rep, nil); err != nil {
+			if err := drain(fs, workdir, m, src, total, reclaimed, rep, nil); err != nil {
 				src.close()
 				return nil, abortf(phaseDrain, err)
 			}
@@ -338,6 +443,7 @@ func execute(o Options, resume bool) (*Report, error) {
 	}
 	rep.Docs = m.Docs
 	rep.Runs = len(m.Runs)
+	rep.Reclaimed, rep.Tombstones = versionCounts(m.Versions)
 
 	if m.Phase == phasePublish {
 		if err := publishCommit(fs, root, workdir, m); err != nil {
@@ -359,7 +465,7 @@ func execute(o Options, resume bool) (*Report, error) {
 // files, checkpointing the manifest after every seal. Runs roll over at a
 // quarter of the memory budget so the spool never needs more than one
 // run's worth of buffered bytes.
-func drain(fs ingest.FS, workdir string, m *Manifest, src *source, total uint32, rep *Report, pace func() error) error {
+func drain(fs ingest.FS, workdir string, m *Manifest, src *source, total uint32, reclaimed map[uint32]bool, rep *Report, pace func() error) error {
 	drained := uint32(0)
 	for _, r := range m.Runs {
 		drained += r.Docs
@@ -397,8 +503,14 @@ func drain(fs ingest.FS, workdir string, m *Manifest, src *source, total uint32,
 				return err
 			}
 		}
-		ds, err := src.docSeq(id)
-		if err != nil {
+		var ds *prix.DocSeq
+		var err error
+		if reclaimed[id] {
+			// Past the retention watermark: the document's content is
+			// dropped — the stub keeps the docid stable with no postings,
+			// and the marker interval keeps it invisible at every version.
+			ds = prix.ReclaimedDocSeq(id)
+		} else if ds, err = src.docSeq(id); err != nil {
 			if w != nil {
 				w.Abort()
 			}
@@ -517,6 +629,10 @@ func build(fs ingest.FS, workdir string, m *Manifest, o Options, pace func() err
 		if err != nil {
 			return nil, 0, err
 		}
+		if err := adoptVersions(m, di.Index()); err != nil {
+			di.Close()
+			return nil, 0, err
+		}
 		if err := fs.RemoveAll(spillDir); err != nil {
 			di.Close()
 			return nil, 0, err
@@ -533,6 +649,10 @@ func build(fs ingest.FS, workdir string, m *Manifest, o Options, pace func() err
 	}
 	ix, err := b.FinalizeBulk(bo)
 	if err != nil {
+		return nil, 0, err
+	}
+	if err := adoptVersions(m, ix); err != nil {
+		ix.Close()
 		return nil, 0, err
 	}
 	if err := fs.RemoveAll(spillDir); err != nil {

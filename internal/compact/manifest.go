@@ -188,6 +188,18 @@ type Manifest struct {
 	// failed publish and must re-drain instead of committing the stale
 	// build.
 	DeltaDocs uint32 `json:"delta_docs,omitempty"`
+	// Retain is the version-retention window the drain collapsed under; it
+	// decides which documents spool as stubs, so a resume adopts it like
+	// MemBudget.
+	Retain uint64 `json:"retain,omitempty"`
+	// Muts pins the source's mutation counter (MutOps) at the last drain
+	// snapshot: runs drained under a different mutation history are stale
+	// and force a full re-drain.
+	Muts uint64 `json:"muts,omitempty"`
+	// Versions is the collapsed version map captured with the drain
+	// snapshot; the built epoch adopts it wholesale. Empty when the source
+	// carries no version state.
+	Versions []byte `json:"versions,omitempty"`
 	// Runs lists the sealed drain runs in replay order.
 	Runs []RunInfo `json:"runs"`
 	// Checksum is CRC-32C over the JSON with this field zeroed.
@@ -263,6 +275,8 @@ func (m *Manifest) matches(other *Manifest) error {
 			m.Alpha, m.Spread, other.Alpha, other.Spread)
 	case m.MemBudget != other.MemBudget:
 		return fmt.Errorf("compact: resume budget mismatch (manifest %d, current %d)", m.MemBudget, other.MemBudget)
+	case m.Retain != other.Retain:
+		return fmt.Errorf("compact: resume retention mismatch (manifest %d, current %d)", m.Retain, other.Retain)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/ingest"
+	"repro/internal/mvcc"
 	"repro/internal/prix"
 	"repro/internal/twig"
 	"repro/internal/xmltree"
@@ -122,6 +123,46 @@ func (r *Root) Insert(doc *xmltree.Document) error {
 	di := r.di
 	r.mu.RUnlock()
 	return di.Insert(doc)
+}
+
+// Delete tombstones a document as of a new version. Like Insert it
+// serializes with other writers (and blocks through a swap's freeze
+// window) via insertMu, which is also what lets the compactor assume no
+// mutation lands while it holds the freeze.
+func (r *Root) Delete(docID uint32) (uint64, error) {
+	r.insertMu.Lock()
+	defer r.insertMu.Unlock()
+	r.mu.RLock()
+	di := r.di
+	r.mu.RUnlock()
+	return di.Delete(docID)
+}
+
+// Update replaces a document's content as of a new version.
+func (r *Root) Update(docID uint32, doc *xmltree.Document) (*prix.UpdateResult, error) {
+	r.insertMu.Lock()
+	defer r.insertMu.Unlock()
+	r.mu.RLock()
+	di := r.di
+	r.mu.RUnlock()
+	return di.Update(docID, doc)
+}
+
+// Patch applies a minimal sequence diff to a document.
+func (r *Root) Patch(docID uint32, p *mvcc.Patch) (*prix.UpdateResult, error) {
+	r.insertMu.Lock()
+	defer r.insertMu.Unlock()
+	r.mu.RLock()
+	di := r.di
+	r.mu.RUnlock()
+	return di.Patch(docID, p)
+}
+
+// VersionStats reports the current epoch's MVCC state.
+func (r *Root) VersionStats() prix.VersionStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.di.VersionStats()
 }
 
 // PagesRead proxies the current epoch's physical-read counter.
@@ -276,6 +317,8 @@ type CompactOptions struct {
 	// BusyBackoff instead of working (the scrubber's yield idiom).
 	Busy        func() bool
 	BusyBackoff time.Duration
+	// Retain is the version-retention window (see Options.Retain).
+	Retain uint64
 }
 
 // throttleEvery is how many documents pass between pacing checks.
@@ -320,7 +363,7 @@ func (r *Root) Compact(ctx context.Context, co CompactOptions) (*Report, error) 
 	}
 	defer r.compacting.Store(false)
 	co = co.withDefaults()
-	oo := Options{Dir: r.dir, MemBudget: co.MemBudget, BufferPoolPages: r.opts.BufferPoolPages, FS: r.fs, OpenFile: r.opts.OpenFile, HotBudget: r.opts.HotBudget}
+	oo := Options{Dir: r.dir, MemBudget: co.MemBudget, BufferPoolPages: r.opts.BufferPoolPages, FS: r.fs, OpenFile: r.opts.OpenFile, HotBudget: r.opts.HotBudget, Retain: co.Retain}
 	o := oo.withDefaults()
 	fs := o.FS
 	workdir := filepath.Join(r.dir, WorkDirName)
@@ -383,53 +426,92 @@ func (r *Root) Compact(ctx context.Context, co CompactOptions) (*Report, error) 
 	rep := &Report{Epoch: srcEpoch + 1, Dir: filepath.Join(r.dir, EpochDirName(srcEpoch+1)), Dynamic: true}
 	rep.SourceDocs = old.NumDocs()
 
-	// Phase 1: chase the live index. Each round drains up to the snapshot
-	// taken at its start; inserts landing during the round feed the next.
-	for rounds := 0; ; rounds++ {
-		total := uint32(old.NumDocs())
-		m.Phase = phaseDrain
-		if err := drain(fs, workdir, m, src, total, rep, pace); err != nil {
-			return nil, &Aborted{Phase: phaseDrain, Err: err}
+	// Phases 1–3 may restart when a versioned mutation (delete/update)
+	// lands after a document was drained: the sealed runs and the pinned
+	// map no longer describe the same history, so the spool is rebuilt
+	// from scratch. Bounded — a source mutating faster than the drain can
+	// restart aborts rather than looping forever.
+	var next *prix.DynamicIndex
+	var pauseStart time.Time
+	var unfreeze func()
+	const maxMutRestarts = 3
+	for attempt := 0; ; attempt++ {
+		// Phase 1: chase the live index. Each round drains up to the
+		// snapshot taken at its start; inserts landing during the round
+		// feed the next.
+		for rounds := 0; ; rounds++ {
+			docs, vm := src.snapshot()
+			total := uint32(docs)
+			muts := uint64(0)
+			if vm != nil {
+				muts = vm.MutOps
+			}
+			if muts != m.Muts && len(m.Runs) > 0 {
+				// A mutation may have touched an already-drained document;
+				// its run content (or reclaim status) is stale.
+				m.Runs = nil
+				m.Docs = 0
+			}
+			reclaimed := pinVersions(m, vm, o.Retain)
+			m.Phase = phaseDrain
+			if err := drain(fs, workdir, m, src, total, reclaimed, rep, pace); err != nil {
+				return nil, &Aborted{Phase: phaseDrain, Err: err}
+			}
+			m.Docs = total
+			if err := m.save(fs, workdir); err != nil {
+				return nil, &Aborted{Phase: phaseDrain, Err: err}
+			}
+			if old.NumDocs()-int(total) <= co.CatchupThreshold || rounds+1 >= co.MaxRounds {
+				break
+			}
 		}
-		m.Docs = total
+		m.Phase = phaseBuild
 		if err := m.save(fs, workdir); err != nil {
 			return nil, &Aborted{Phase: phaseDrain, Err: err}
 		}
-		if old.NumDocs()-int(total) <= co.CatchupThreshold || rounds+1 >= co.MaxRounds {
-			break
+
+		// Phase 2: bulk-load the runs. The new index stays open — its page
+		// files live in .compact/next and follow the directory through the
+		// publish rename, so the swap needs no reopen.
+		built, _, err := build(fs, workdir, m, o, pace)
+		if err != nil {
+			return nil, &Aborted{Phase: phaseBuild, Err: err}
 		}
-	}
-	m.Phase = phaseBuild
-	if err := m.save(fs, workdir); err != nil {
-		return nil, &Aborted{Phase: phaseDrain, Err: err}
+		next = built.dyn
+
+		// Phase 3: freeze. The swap gate goes pending first so a scrubber
+		// pass cannot start mid-swap (and an in-flight one finishes before
+		// the swap), without that wait inflating the insert pause.
+		r.swapPending.Store(true)
+		r.swapMu.Lock()
+		pauseStart = time.Now()
+		r.insertMu.Lock()
+		unfreeze = func() {
+			r.insertMu.Unlock()
+			r.swapMu.Unlock()
+			r.swapPending.Store(false)
+		}
+		if st := old.Index().VersionStats(); st.MutOps != m.Muts {
+			// A delete/update slipped in after the last drain round. Only
+			// inserts are allowed past the watermark (the catch-up below
+			// replays them); restart the drain under the new history.
+			unfreeze()
+			next.Close()
+			next = nil
+			if attempt+1 >= maxMutRestarts {
+				return nil, &Aborted{Phase: phaseDrain, Err: fmt.Errorf(
+					"compact: source mutated during %d consecutive drain attempts", maxMutRestarts)}
+			}
+			continue
+		}
+		break
 	}
 	rep.Docs = m.Docs
 	rep.Runs = len(m.Runs)
-
-	// Phase 2: bulk-load the runs. The new index stays open — its page files
-	// live in .compact/next and follow the directory through the publish
-	// rename, so the swap needs no reopen.
-	built, _, err := build(fs, workdir, m, o, pace)
-	if err != nil {
-		return nil, &Aborted{Phase: phaseBuild, Err: err}
-	}
-	next := built.dyn
+	rep.Reclaimed, rep.Tombstones = versionCounts(m.Versions)
 	fail := func(phase string, err error) (*Report, error) {
 		next.Close()
 		return nil, &Aborted{Phase: phase, Err: err}
-	}
-
-	// Phase 3: freeze. The swap gate goes pending first so a scrubber pass
-	// cannot start mid-swap (and an in-flight one finishes before the swap),
-	// without that wait inflating the insert pause.
-	r.swapPending.Store(true)
-	r.swapMu.Lock()
-	pauseStart := time.Now()
-	r.insertMu.Lock()
-	unfreeze := func() {
-		r.insertMu.Unlock()
-		r.swapMu.Unlock()
-		r.swapPending.Store(false)
 	}
 	for id := m.Docs; id < uint32(old.NumDocs()); id++ {
 		doc, err := old.Index().ReconstructDocument(id)

@@ -1,0 +1,160 @@
+package compact
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/prix"
+	"repro/internal/twig"
+	"repro/internal/xmltree"
+)
+
+// The compaction half of the versioning contract: a compaction folds update
+// history away and garbage-collects tombstones against the retention
+// watermark. With Retain 0 every deleted document is reclaimed (record
+// stubbed, postings dropped); with a window wider than the history every
+// tombstone keeps its content so AS OF still answers the pre-delete image.
+// Either way the latest answers must come through the epoch swap unchanged.
+
+// versionSigs renders the full result set of every test query at one
+// AS OF point.
+func versionSigs(t *testing.T, r *Root, asOf uint64) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, qs := range testQueries {
+		ms, stats, err := r.Match(twig.MustParse(qs), prix.MatchOptions{AsOf: asOf})
+		if err != nil {
+			t.Fatalf("%s asOf=%d: %v", qs, asOf, err)
+		}
+		if stats.Degraded {
+			t.Fatalf("%s asOf=%d: degraded answer", qs, asOf)
+		}
+		var b strings.Builder
+		for _, m := range ms {
+			fmt.Fprintf(&b, "%d:%d:%v;", m.DocID, m.Root, m.Positions)
+		}
+		out[qs] = b.String()
+	}
+	return out
+}
+
+func sameSigs(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCompactVersionRetention(t *testing.T) {
+	docs := corpus(24)
+	for _, tc := range []struct {
+		name   string
+		retain uint64
+	}{
+		{"reclaim-all", 0},
+		{"retain-window", 64},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			buildDynamicDir(t, dir, docs)
+			r, err := OpenRoot(dir, prix.Options{BufferPoolPages: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+
+			// One update first, so the pre-delete state has an addressable
+			// version, then two deletes to grow tombstones.
+			if _, err := r.Update(4, xmltree.MustFromSExpr(4, `(a (b (c "v2")) (x))`)); err != nil {
+				t.Fatal(err)
+			}
+			preDeleteVersion := r.VersionStats().Current
+			preDelete := versionSigs(t, r, 0)
+			for _, id := range []uint32{3, 6} {
+				if _, err := r.Delete(id); err != nil {
+					t.Fatalf("delete %d: %v", id, err)
+				}
+			}
+			latest := versionSigs(t, r, 0)
+			if sameSigs(preDelete, latest) {
+				t.Fatal("deletes changed no query answer; test would be vacuous")
+			}
+			if got := r.VersionStats().Tombstones; got != 2 {
+				t.Fatalf("tombstones before compaction = %d, want 2", got)
+			}
+
+			rep, err := r.Compact(context.Background(), CompactOptions{Retain: tc.retain})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantReclaimed, wantKept := 2, 0
+			if tc.retain > 0 {
+				wantReclaimed, wantKept = 0, 2
+			}
+			if rep.Reclaimed != wantReclaimed || rep.Tombstones != wantKept {
+				t.Fatalf("compaction reclaimed %d / retained %d tombstones, want %d / %d",
+					rep.Reclaimed, rep.Tombstones, wantReclaimed, wantKept)
+			}
+
+			// The swap must not change a single latest answer, and the deleted
+			// documents must stay gone.
+			if got := versionSigs(t, r, 0); !sameSigs(got, latest) {
+				t.Errorf("latest answers changed across compaction: %v vs %v", got, latest)
+			}
+			// Tombstone GC semantics at the pre-delete version: a retained
+			// tombstone still serves the deleted content, a reclaimed one is a
+			// stub and answers like the present.
+			asOfPre := versionSigs(t, r, preDeleteVersion)
+			if tc.retain > 0 {
+				if !sameSigs(asOfPre, preDelete) {
+					t.Errorf("AS OF %d after retaining compaction = %v, want pre-delete image %v",
+						preDeleteVersion, asOfPre, preDelete)
+				}
+			} else {
+				if !sameSigs(asOfPre, latest) {
+					t.Errorf("AS OF %d after reclaiming compaction = %v, want latest %v (content reclaimed)",
+						preDeleteVersion, asOfPre, latest)
+				}
+			}
+
+			// The new epoch keeps accepting mutations with a continuous
+			// version counter.
+			before := r.VersionStats().Current
+			if _, err := r.Delete(9); err != nil {
+				t.Fatalf("delete after compaction: %v", err)
+			}
+			if got := r.VersionStats().Current; got != before+1 {
+				t.Fatalf("version after post-compaction delete = %d, want %d", got, before+1)
+			}
+			afterDelete := versionSigs(t, r, 0)
+			if sameSigs(afterDelete, latest) {
+				t.Fatal("post-compaction delete changed no query answer")
+			}
+
+			// Durability: the epoch swap plus the extra delete survive a
+			// close/reopen.
+			if err := r.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re, err := OpenRoot(dir, prix.Options{BufferPoolPages: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			if got := versionSigs(t, re, 0); !sameSigs(got, afterDelete) {
+				t.Errorf("reopened epoch answers %v, want %v", got, afterDelete)
+			}
+		})
+	}
+}

@@ -281,6 +281,18 @@ type dirEntry struct {
 	length uint32
 }
 
+// Loc is the exported form of a heap location. The versioning layer keeps
+// Locs of superseded record images so AS OF reads can resolve them after
+// the directory has been repointed at the current image.
+type Loc struct {
+	Page pager.PageID
+	Off  uint16
+	Len  uint32
+}
+
+// Zero reports whether the Loc is the zero value (no stored image).
+func (l Loc) Zero() bool { return l == Loc{} }
+
 // Store is a collection of records plus catalogs, persisted through a
 // buffer pool. Records must be Put in strictly increasing DocID order with
 // no gaps (datasets are loaded sequentially).
@@ -294,6 +306,13 @@ type Store struct {
 	catalogs map[string]map[vtrie.Symbol]int64
 	// Stats holds named dataset statistics (Table 2 feed).
 	stats map[string]int64
+	// blobs holds named opaque payloads persisted with the meta (the MVCC
+	// version map lives here, keyed "mvcc"). Stores flushed before blobs
+	// existed simply have none — the section is only decoded when present.
+	blobs map[string][]byte
+	// extraRefs, when set, is consulted by PageReferenced so pages holding
+	// superseded-but-retained record images are not treated as garbage.
+	extraRefs func(pager.PageID) bool
 	// quarantined marks documents whose records proved unreadable or
 	// corrupt; Get refuses them and queries skip them (degraded mode).
 	quarantined map[uint32]bool
@@ -330,6 +349,7 @@ func NewStore(bp *pager.BufferPool, dict *Dict) (*Store, error) {
 		bp: bp, dict: dict,
 		catalogs:  map[string]map[vtrie.Symbol]int64{},
 		stats:     map[string]int64{},
+		blobs:     map[string][]byte{},
 		curPage:   pager.InvalidPage,
 		metaFirst: pager.InvalidPage,
 	}
@@ -390,6 +410,26 @@ func (s *Store) Rewrite(rec *Record) error {
 	}
 	s.dir[rec.DocID] = entry
 	return nil
+}
+
+// RewriteKeepOld replaces the stored record like Rewrite, but returns the
+// heap location of the superseded image so the versioning layer can keep
+// resolving it for AS OF reads. The caller must register the Loc with the
+// extra-refs hook (see SetExtraRefs) before the next sweep, or the old
+// image's pages become reclaimable garbage.
+func (s *Store) RewriteKeepOld(rec *Record) (Loc, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(rec.DocID) >= len(s.dir) {
+		return Loc{}, fmt.Errorf("docstore: RewriteKeepOld of unknown document %d (have %d)", rec.DocID, len(s.dir))
+	}
+	old := s.dir[rec.DocID]
+	entry, err := s.appendRecordLocked(rec)
+	if err != nil {
+		return Loc{}, err
+	}
+	s.dir[rec.DocID] = entry
+	return Loc{Page: old.page, Off: old.offset, Len: old.length}, nil
 }
 
 // appendRecordLocked writes rec's encoding at the append cursor, spanning
@@ -485,6 +525,15 @@ func (s *Store) readRecord(docID uint32, e dirEntry) (*Record, error) {
 		return nil, fmt.Errorf("docstore: document %d: %w: %v", docID, ErrBadRecord, err)
 	}
 	return rec, nil
+}
+
+// GetAtLoc reads a record image at an explicit heap location — a superseded
+// version kept by the MVCC layer. Quarantine does not apply: the location is
+// independent of the current directory entry, and a decode failure is
+// reported to the caller, who degrades the read rather than quarantining the
+// (healthy) current image.
+func (s *Store) GetAtLoc(docID uint32, loc Loc) (*Record, error) {
+	return s.readRecord(docID, dirEntry{page: loc.Page, offset: loc.Off, length: loc.Len})
 }
 
 // GetAny reads the record for docID ignoring quarantine. The verification
@@ -608,7 +657,51 @@ func (s *Store) PageReferenced(id pager.PageID) bool {
 			return true
 		}
 	}
+	if s.extraRefs != nil {
+		extra := s.extraRefs
+		// The hook walks versioning state guarded by other locks; release
+		// ours so the callback cannot deadlock against a concurrent Get.
+		s.mu.Unlock()
+		ref := extra(id)
+		s.mu.Lock()
+		return ref
+	}
 	return false
+}
+
+// SetExtraRefs installs a hook PageReferenced consults for pages it does not
+// itself account for (superseded record images kept for AS OF reads). A nil
+// fn removes the hook.
+func (s *Store) SetExtraRefs(fn func(pager.PageID) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.extraRefs = fn
+}
+
+// SetBlob stores a named opaque payload persisted by Flush. A nil or empty
+// payload deletes the entry.
+func (s *Store) SetBlob(name string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.blobs == nil {
+		s.blobs = map[string][]byte{}
+	}
+	if len(data) == 0 {
+		delete(s.blobs, name)
+		return
+	}
+	s.blobs[name] = append([]byte(nil), data...)
+}
+
+// Blob returns a named payload (nil if absent). The returned slice is a copy.
+func (s *Store) Blob(name string) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[name]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), b...)
 }
 
 // SetCatalog stores a named per-symbol catalog (e.g. "maxgap").
@@ -702,6 +795,21 @@ func (s *Store) Flush() error {
 		putStr(n)
 		put(uint64(s.stats[n]))
 	}
+	// Blobs, sorted for determinism. Written only when present so stores
+	// without blobs keep the pre-blob meta layout byte-for-byte.
+	if len(s.blobs) > 0 {
+		blobNames := make([]string, 0, len(s.blobs))
+		for n := range s.blobs {
+			blobNames = append(blobNames, n)
+		}
+		sort.Strings(blobNames)
+		put(uint64(len(blobNames)))
+		for _, n := range blobNames {
+			putStr(n)
+			put(uint64(len(s.blobs[n])))
+			buf.Write(s.blobs[n])
+		}
+	}
 	payload := buf.Bytes()
 	// Write the payload across fresh pages.
 	first := pager.InvalidPage
@@ -748,6 +856,7 @@ func Open(bp *pager.BufferPool) (*Store, error) {
 		bp: bp, dict: &Dict{},
 		catalogs:  map[string]map[vtrie.Symbol]int64{},
 		stats:     map[string]int64{},
+		blobs:     map[string][]byte{},
 		curPage:   pager.InvalidPage,
 		metaFirst: pager.InvalidPage,
 	}
@@ -863,6 +972,31 @@ func Open(bp *pager.BufferPool) (*Store, error) {
 			return nil, err
 		}
 		s.stats[name] = int64(v)
+	}
+	// Blob section — present only in stores flushed by versions that had
+	// blobs to write, so decode it iff bytes remain.
+	if br.Len() > 0 {
+		if n, err = get(); err != nil {
+			return nil, fmt.Errorf("docstore: meta blobs: %w", err)
+		}
+		for i := uint64(0); i < n; i++ {
+			name, err := getStr()
+			if err != nil {
+				return nil, fmt.Errorf("docstore: meta blob %d name: %w", i, err)
+			}
+			sz, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("docstore: meta blob %s size: %w", name, err)
+			}
+			if sz > uint64(br.Len()) {
+				return nil, fmt.Errorf("docstore: blob %s of %d bytes exceeds %d remaining", name, sz, br.Len())
+			}
+			b := make([]byte, sz)
+			if _, err := io.ReadFull(br, b); err != nil {
+				return nil, fmt.Errorf("docstore: meta blob %s: %w", name, err)
+			}
+			s.blobs[name] = b
+		}
 	}
 	return s, nil
 }

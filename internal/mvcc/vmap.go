@@ -1,0 +1,347 @@
+package mvcc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Loc is an opaque record location inside the document store (page,
+// intra-page offset, byte length). The map never interprets it; it is the
+// back-pointer from a closed version interval to the superseded record
+// bytes an AS OF read resolves through.
+type Loc struct {
+	Page uint32
+	Off  uint16
+	Len  uint32
+}
+
+// Zero reports an unset location.
+func (l Loc) Zero() bool { return l == Loc{} }
+
+// Interval is one version span of a document's life: visible at version v
+// iff From <= v < To (To == 0 means open — the current version). A marker
+// interval (From == To) is never visible; compaction leaves one behind
+// when it reclaims a tombstoned document so the stub record stays
+// unreachable forever.
+type Interval struct {
+	From uint64
+	To   uint64 // 0 = open
+	// Terminal is the docid-tree key (trie range Left) the document's
+	// sequence attaches to during this interval; 0 = unknown (legacy or
+	// post-compaction), which the emit filter accepts at any key.
+	Terminal uint64
+	// Label is the AddReport ordinal of the labeling event that opened this
+	// interval (0 = none: the interval did not relabel). Replay sorts
+	// labeling events by Label to reconstruct the writer's exact dynamic
+	// labeler state.
+	Label uint64
+	// Loc points at the superseded record bytes when this interval was
+	// closed by an update; zero when the current record serves this
+	// interval (open intervals, delete-closed intervals, retained
+	// tombstones after compaction).
+	Loc Loc
+}
+
+// Covers reports whether version v falls inside the interval. v == 0 asks
+// for "latest" and matches only the open interval.
+func (iv Interval) Covers(v uint64) bool {
+	if v == 0 {
+		return iv.To == 0
+	}
+	return iv.From <= v && (iv.To == 0 || v < iv.To)
+}
+
+// Marker reports a never-visible placeholder interval.
+func (iv Interval) Marker() bool { return iv.To != 0 && iv.From == iv.To }
+
+// Pending op kinds.
+const (
+	PendNone   = byte(0)
+	PendDelete = byte(1)
+	PendUpdate = byte(2)
+)
+
+// Posting is a created trie-node posting recorded in a pending update so
+// recovery can redo the forest half of the commit idempotently.
+type Posting struct {
+	Sym   uint32
+	Left  uint64
+	Right uint64
+	Level uint32
+}
+
+// PendingOp is the in-flight mutation between the store commit (A) and the
+// forest commit (B): recovery finding one redoes the forest writes and
+// clears it. It rides inside the encoded map, so commit A persists it
+// atomically with the interval change it describes.
+type PendingOp struct {
+	Kind     byte
+	DocID    uint32
+	Version  uint64
+	Terminal uint64 // tombstone key (delete) / new terminal key (update)
+	// NewTerminal (update only): the docid entry at Terminal must exist.
+	NewTerminal bool
+	// Created (update only): postings of trie nodes the relabel created.
+	Created []Posting
+}
+
+// Map is the version state of one index: the mutation counter, the
+// AddReport ordinal counter, per-document interval lists, and at most one
+// pending op. A nil *Map (or an absent document entry) means legacy
+// always-visible semantics — indexes never mutated pay nothing.
+type Map struct {
+	Counter   uint64 // last assigned version; versions start at 1
+	NextLabel uint64 // next AddReport ordinal; labels start at 1
+	MutOps    uint64 // deletes+updates (not inserts); compaction drift check
+	Pending   *PendingOp
+	Docs      map[uint32][]Interval
+}
+
+// NewMap returns an empty version map with counters initialized.
+func NewMap() *Map {
+	return &Map{NextLabel: 1, Docs: map[uint32][]Interval{}}
+}
+
+// Get returns a document's interval list (nil = legacy document).
+func (m *Map) Get(docID uint32) []Interval {
+	if m == nil {
+		return nil
+	}
+	return m.Docs[docID]
+}
+
+// At finds the interval covering version v (0 = latest). ok is false when
+// the document has an entry but no covering interval (invisible at v);
+// legacy documents (no entry) report ok with a zero interval.
+func (m *Map) At(docID uint32, v uint64) (Interval, bool) {
+	ivs, exists := m.Docs[docID]
+	if !exists {
+		return Interval{}, true
+	}
+	for _, iv := range ivs {
+		if !iv.Marker() && iv.Covers(v) {
+			return iv, true
+		}
+	}
+	return Interval{}, false
+}
+
+// Open returns the document's open interval, or ok=false if the document
+// is deleted or reclaimed. Legacy documents report ok with a zero interval.
+func (m *Map) Open(docID uint32) (Interval, bool) { return m.At(docID, 0) }
+
+// Tombstones counts documents whose latest interval is closed — deleted
+// (or reclaimed) at the current version.
+func (m *Map) Tombstones() int {
+	if m == nil {
+		return 0
+	}
+	n := 0
+	for _, ivs := range m.Docs {
+		if len(ivs) > 0 && ivs[len(ivs)-1].To != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Versioned counts documents with any version state.
+func (m *Map) Versioned() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.Docs)
+}
+
+// Clone deep-copies the map (compaction snapshots it at drain time).
+func (m *Map) Clone() *Map {
+	out := &Map{Counter: m.Counter, NextLabel: m.NextLabel, MutOps: m.MutOps, Docs: map[uint32][]Interval{}}
+	if m.Pending != nil {
+		p := *m.Pending
+		p.Created = append([]Posting(nil), m.Pending.Created...)
+		out.Pending = &p
+	}
+	for id, ivs := range m.Docs {
+		out.Docs[id] = append([]Interval(nil), ivs...)
+	}
+	return out
+}
+
+// Collapse folds history for a rebuilt epoch: live documents keep a single
+// open interval (Loc and Label dropped, Terminal reset — the rebuilt forest
+// relabels everything), tombstones older than the watermark become
+// reclaimable (the caller replaces the record with a stub; the map keeps a
+// never-visible marker), younger tombstones keep one closed interval so
+// AS OF inside it still resolves against the record the rebuild carried
+// over. It returns the collapsed map, the reclaimed docids (ascending) and
+// the count of tombstones retained.
+func (m *Map) Collapse(watermark uint64) (*Map, []uint32, int) {
+	out := NewMap()
+	out.Counter = m.Counter
+	var reclaimed []uint32
+	retained := 0
+	for id, ivs := range m.Docs {
+		if len(ivs) == 0 {
+			continue
+		}
+		last := ivs[len(ivs)-1]
+		switch {
+		case last.To == 0: // live
+			out.Docs[id] = []Interval{{From: last.From}}
+		case last.Marker() || last.To <= watermark: // reclaim (or already reclaimed)
+			out.Docs[id] = []Interval{{From: 1, To: 1}}
+			reclaimed = append(reclaimed, id)
+		default: // recent tombstone: keep the closed span, content survives
+			out.Docs[id] = []Interval{{From: last.From, To: last.To}}
+			retained++
+		}
+	}
+	sort.Slice(reclaimed, func(i, j int) bool { return reclaimed[i] < reclaimed[j] })
+	return out, reclaimed, retained
+}
+
+const mapMagic = "MVC1"
+
+// Encode renders the map deterministically (documents ascending).
+func (m *Map) Encode() []byte {
+	buf := []byte(mapMagic)
+	buf = binary.AppendUvarint(buf, m.Counter)
+	buf = binary.AppendUvarint(buf, m.NextLabel)
+	buf = binary.AppendUvarint(buf, m.MutOps)
+	if m.Pending == nil {
+		buf = append(buf, PendNone)
+	} else {
+		p := m.Pending
+		buf = append(buf, p.Kind)
+		buf = binary.AppendUvarint(buf, uint64(p.DocID))
+		buf = binary.AppendUvarint(buf, p.Version)
+		buf = binary.AppendUvarint(buf, p.Terminal)
+		if p.NewTerminal {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(p.Created)))
+		for _, c := range p.Created {
+			buf = binary.AppendUvarint(buf, uint64(c.Sym))
+			buf = binary.AppendUvarint(buf, c.Left)
+			buf = binary.AppendUvarint(buf, c.Right)
+			buf = binary.AppendUvarint(buf, uint64(c.Level))
+		}
+	}
+	ids := make([]uint32, 0, len(m.Docs))
+	for id := range m.Docs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		ivs := m.Docs[id]
+		buf = binary.AppendUvarint(buf, uint64(id))
+		buf = binary.AppendUvarint(buf, uint64(len(ivs)))
+		for _, iv := range ivs {
+			buf = binary.AppendUvarint(buf, iv.From)
+			buf = binary.AppendUvarint(buf, iv.To)
+			buf = binary.AppendUvarint(buf, iv.Terminal)
+			buf = binary.AppendUvarint(buf, iv.Label)
+			buf = binary.AppendUvarint(buf, uint64(iv.Loc.Page))
+			buf = binary.AppendUvarint(buf, uint64(iv.Loc.Off))
+			buf = binary.AppendUvarint(buf, uint64(iv.Loc.Len))
+		}
+	}
+	return buf
+}
+
+// maxMapEntries bounds decoded allocation against corrupt lengths.
+const maxMapEntries = 1 << 26
+
+// DecodeMap parses an Encode buffer.
+func DecodeMap(b []byte) (*Map, error) {
+	if len(b) < len(mapMagic) || string(b[:len(mapMagic)]) != mapMagic {
+		return nil, fmt.Errorf("mvcc: bad version-map magic")
+	}
+	r := &byteReader{b: b, pos: len(mapMagic)}
+	m := NewMap()
+	m.Counter = r.uvarint()
+	m.NextLabel = r.uvarint()
+	m.MutOps = r.uvarint()
+	kind := r.byte()
+	if kind != PendNone {
+		if kind != PendDelete && kind != PendUpdate {
+			return nil, fmt.Errorf("mvcc: unknown pending op kind %d", kind)
+		}
+		p := &PendingOp{Kind: kind}
+		p.DocID = uint32(r.uvarint())
+		p.Version = r.uvarint()
+		p.Terminal = r.uvarint()
+		p.NewTerminal = r.byte() != 0
+		n := r.uvarint()
+		if n > maxMapEntries {
+			return nil, fmt.Errorf("mvcc: %d pending postings", n)
+		}
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			p.Created = append(p.Created, Posting{
+				Sym: uint32(r.uvarint()), Left: r.uvarint(),
+				Right: r.uvarint(), Level: uint32(r.uvarint()),
+			})
+		}
+		m.Pending = p
+	}
+	nDocs := r.uvarint()
+	if nDocs > maxMapEntries {
+		return nil, fmt.Errorf("mvcc: %d versioned documents", nDocs)
+	}
+	for i := uint64(0); i < nDocs && r.err == nil; i++ {
+		id := uint32(r.uvarint())
+		n := r.uvarint()
+		if n > maxMapEntries {
+			return nil, fmt.Errorf("mvcc: doc %d has %d intervals", id, n)
+		}
+		ivs := make([]Interval, 0, n)
+		for j := uint64(0); j < n && r.err == nil; j++ {
+			ivs = append(ivs, Interval{
+				From: r.uvarint(), To: r.uvarint(), Terminal: r.uvarint(), Label: r.uvarint(),
+				Loc: Loc{Page: uint32(r.uvarint()), Off: uint16(r.uvarint()), Len: uint32(r.uvarint())},
+			})
+		}
+		m.Docs[id] = ivs
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(b) {
+		return nil, fmt.Errorf("mvcc: %d trailing version-map bytes", len(b)-r.pos)
+	}
+	if err := m.Check(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Check validates the structural invariants every well-formed map holds:
+// per document, intervals are chronological and disjoint, only the last
+// may be open, and every closed non-marker interval ends at or before the
+// counter.
+func (m *Map) Check() error {
+	for id, ivs := range m.Docs {
+		for i, iv := range ivs {
+			if iv.To == 0 && i != len(ivs)-1 {
+				return fmt.Errorf("mvcc: doc %d interval %d open before the last", id, i)
+			}
+			if iv.To != 0 && iv.From > iv.To {
+				return fmt.Errorf("mvcc: doc %d interval %d inverted (%d > %d)", id, i, iv.From, iv.To)
+			}
+			if i > 0 {
+				prev := ivs[i-1]
+				if prev.To == 0 || iv.From < prev.To {
+					return fmt.Errorf("mvcc: doc %d intervals %d/%d overlap", id, i-1, i)
+				}
+			}
+			if iv.To > m.Counter+1 && !iv.Marker() {
+				return fmt.Errorf("mvcc: doc %d interval %d ends at %d past counter %d", id, i, iv.To, m.Counter)
+			}
+		}
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/docstore"
+	"repro/internal/mvcc"
 	"repro/internal/twig"
 	"repro/internal/vtrie"
 	"repro/internal/xmltree"
@@ -141,6 +142,7 @@ func (di *DynamicIndex) insertLocked(doc *xmltree.Document) error {
 		if err := di.ix.writeStructure(rec); err != nil {
 			return err
 		}
+		di.recordInsertVersion(id, 0, false)
 		di.nextID++
 		return nil
 	}
@@ -163,8 +165,32 @@ func (di *DynamicIndex) insertLocked(doc *xmltree.Document) error {
 	if err := di.ix.writeStructure(rec); err != nil {
 		return err
 	}
+	di.recordInsertVersion(id, terminal.Left, true)
 	di.nextID++
 	return nil
+}
+
+// recordInsertVersion stamps a freshly inserted document into the version
+// map when versioning is enabled (the map only exists once the first
+// mutation ran). Labeled inserts record the AddReport order so a reopen can
+// replay the exact labeler history; structure-only documents (empty LPS)
+// have no postings, no docid entry and no replay event, so they carry
+// neither terminal nor label. The updated map rides the next store flush,
+// exactly like the record it describes.
+func (di *DynamicIndex) recordInsertVersion(id uint32, terminal uint64, labeled bool) {
+	m := di.ix.versions
+	if m == nil {
+		return
+	}
+	m.Counter++
+	iv := mvcc.Interval{From: m.Counter}
+	if labeled {
+		iv.Terminal = terminal
+		iv.Label = m.NextLabel
+		m.NextLabel++
+	}
+	m.Docs[id] = []mvcc.Interval{iv}
+	di.ix.persistVersionsLocked()
 }
 
 // writePosting inserts one trie-node posting into its Trie-Symbol tree.

@@ -59,6 +59,14 @@ func OpenDynamic(dir string, opts Options) (*DynamicIndex, error) {
 	if prep > n {
 		prep = n
 	}
+	if ix.versions != nil {
+		if err := di.replayVersioned(n, prep); err != nil {
+			ix.Close()
+			return nil, err
+		}
+		di.nextID = uint32(n)
+		return di, nil
+	}
 	for id := 0; id < prep; id++ {
 		rec, err := ix.store.GetAny(uint32(id))
 		if err != nil {
@@ -92,6 +100,80 @@ func OpenDynamic(dir string, opts Options) (*DynamicIndex, error) {
 	}
 	di.nextID = uint32(n)
 	return di, nil
+}
+
+// replayVersioned rebuilds the dynamic labeler for an index carrying
+// version history. Once mutations interleave with inserts, docid order no
+// longer matches AddReport order, so the replay follows the labels the
+// version map recorded: label 0 covers every report made before the map
+// existed (or since the last rebuild, which relabels in docid order), then
+// labeled events replay in the exact order the labeler originally consumed
+// scope. Each event's sequence is the record image of its own interval —
+// superseded images resolve through their back-pointers, so updates replay
+// with the LPS the labeler actually saw, not today's.
+func (di *DynamicIndex) replayVersioned(n, prep int) error {
+	ix := di.ix
+	vs := ix.versions
+	type event struct {
+		label uint64
+		docID uint32
+		lps   []vtrie.Symbol
+	}
+	var events []event
+	var prepLPS [][]vtrie.Symbol
+	for id := 0; id < n; id++ {
+		ivs := vs.Docs[uint32(id)]
+		if len(ivs) == 0 {
+			// Legacy document, never mutated: its one report used the
+			// current record, before any label existed.
+			rec, err := ix.store.GetAny(uint32(id))
+			if err != nil || len(rec.LPS) == 0 {
+				// Unreadable records were quarantined (and skipped) exactly
+				// like this by the rebuild; empty sequences never reported.
+				continue
+			}
+			events = append(events, event{0, uint32(id), rec.LPS})
+			if id < prep {
+				prepLPS = append(prepLPS, rec.LPS)
+			}
+			continue
+		}
+		for i, iv := range ivs {
+			if iv.Marker() {
+				continue // compaction-reclaimed: postings gone from this epoch
+			}
+			if i > 0 && iv.Label == 0 {
+				continue // record-only patch: no new trie path was carved
+			}
+			lps, ok := ix.intervalLPS(uint32(id), iv)
+			if !ok || len(lps) == 0 {
+				continue
+			}
+			events = append(events, event{iv.Label, uint32(id), lps})
+			if i == 0 && id < prep {
+				// The prepare pass at build time saw the original image.
+				prepLPS = append(prepLPS, lps)
+			}
+		}
+	}
+	for _, lps := range prepLPS {
+		if err := di.labeler.Prepare(lps); err != nil {
+			return err
+		}
+	}
+	di.labeler.Finalize()
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].label != events[j].label {
+			return events[i].label < events[j].label
+		}
+		return events[i].docID < events[j].docID
+	})
+	for _, e := range events {
+		if _, _, err := di.labeler.AddReport(e.lps, e.docID); err != nil {
+			return fmt.Errorf("prix: versioned replay of document %d (label %d): %w", e.docID, e.label, err)
+		}
+	}
+	return nil
 }
 
 // BulkLoadDynamic builds a compacted, still-insertable index from a

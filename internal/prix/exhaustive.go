@@ -62,7 +62,7 @@ func (ix *Index) MatchExhaustive(q *twig.Query, opts MatchOptions) ([]Match, *Qu
 	for _, m := range ms {
 		docSet[m.DocID] = true
 	}
-	more, err := ix.candidateDocs(q, stats)
+	more, err := ix.candidateDocs(q, opts.AsOf, stats)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -74,7 +74,7 @@ func (ix *Index) MatchExhaustive(q *twig.Query, opts MatchOptions) ([]Match, *Qu
 		if err := opts.context().Err(); err != nil {
 			return nil, nil, fmt.Errorf("prix: match canceled: %w", err)
 		}
-		doc, err := ix.ReconstructDocument(docID)
+		doc, err := ix.reconstructAsOf(docID, opts.AsOf, stats)
 		if err != nil {
 			if IsCorruption(err) {
 				ix.store.Quarantine(docID)
@@ -83,6 +83,9 @@ func (ix *Index) MatchExhaustive(q *twig.Query, opts MatchOptions) ([]Match, *Qu
 				continue
 			}
 			return nil, nil, err
+		}
+		if doc == nil {
+			continue // quarantined or invisible at the requested version
 		}
 		var embs []twig.Embedding
 		if opts.Unordered {
@@ -144,7 +147,9 @@ func imageKeyOfInts(e twig.Embedding) string {
 // the query, found by intersecting per-label document sets derived from
 // the stored records. This is a linear pass over the document store —
 // deliberately simple; the exhaustive path trades speed for completeness.
-func (ix *Index) candidateDocs(q *twig.Query, stats *QueryStats) ([]uint32, error) {
+func (ix *Index) candidateDocs(q *twig.Query, asOf uint64, stats *QueryStats) ([]uint32, error) {
+	ix.repairMu.RLock()
+	defer ix.repairMu.RUnlock()
 	dict := ix.store.Dict()
 	want := map[int64]bool{} // symbol set of the query
 	ok := true
@@ -166,7 +171,10 @@ func (ix *Index) candidateDocs(q *twig.Query, stats *QueryStats) ([]uint32, erro
 	}
 	var out []uint32
 	for docID := 0; docID < ix.store.NumDocs(); docID++ {
-		rec, err := ix.getRecord(uint32(docID), stats)
+		if !ix.docVisibleAt(uint32(docID), asOf) {
+			continue
+		}
+		rec, err := ix.getRecordAsOf(uint32(docID), asOf, stats)
 		if err != nil {
 			return nil, err
 		}

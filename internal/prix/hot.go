@@ -70,10 +70,10 @@ func (h *hotState) invalidateAll() {
 
 // Tier keys: posting lists share the forest tree's name ("s<sym>", "docid")
 // under "t:", record summaries use "r:<docid>".
-func treeKey(name string) string     { return "t:" + name }
-func recKey(docID uint32) string     { return fmt.Sprintf("r:%d", docID) }
-func (ix *Index) docidKey() string   { return treeKey(docidTreeName) }
-func symKey(s vtrie.Symbol) string   { return treeKey(symTreeName(s)) }
+func treeKey(name string) string   { return "t:" + name }
+func recKey(docID uint32) string   { return fmt.Sprintf("r:%d", docID) }
+func (ix *Index) docidKey() string { return treeKey(docidTreeName) }
+func symKey(s vtrie.Symbol) string { return treeKey(symTreeName(s)) }
 
 // initHot creates the tier when the options enable it.
 func (ix *Index) initHot() {
@@ -120,6 +120,9 @@ func buildHotPostings(tree *btree.Tree) (*hot.Postings, error) {
 func buildHotDocIDs(tree *btree.Tree) (*hot.DocIDs, error) {
 	b := hot.NewDocIDsBuilder()
 	err := tree.Scan(btree.KeyUint64(0), btree.KeyUint64(math.MaxUint64), true, true, func(k, v []byte) bool {
+		if len(v) != 4 {
+			return true // tombstones live in the same tree but are not entries
+		}
 		b.Add(btree.Uint64Key(k), decodeDocID(v))
 		return true
 	})

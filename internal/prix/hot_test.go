@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/mvcc"
 	"repro/internal/twig"
 	"repro/internal/xmltree"
 )
@@ -282,5 +283,90 @@ func TestHotStatsJSONShape(t *testing.T) {
 	}
 	if s := fmt.Sprintf("%+v", st); s == "" {
 		t.Fatal("unprintable")
+	}
+}
+
+// TestHotInvalidateMutations covers the hot tier's new mutation
+// invalidation sites: after Delete, Update and Patch, a hot-tier index
+// must answer every probe exactly like an uncompressed twin that applied
+// the same mutations — a stale compressed docid run or posting list would
+// resurrect deleted documents or serve superseded content.
+func TestHotInvalidateMutations(t *testing.T) {
+	docs := parallelCorpus()[:12]
+	hot, err := NewDynamicIndex(docs, Options{
+		Extended: true, BufferPoolPages: 64, HotBudget: 16 << 20,
+	}, DynamicOptions{Alpha: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hot.Close()
+	cold, err := NewDynamicIndex(docs, Options{
+		Extended: true, BufferPoolPages: 64,
+	}, DynamicOptions{Alpha: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+
+	probes := versionCrashQueries
+	counts := func(di *DynamicIndex, asOf uint64) []int {
+		out := make([]int, len(probes))
+		for i, src := range probes {
+			ms, _, err := di.Match(twig.MustParse(src), MatchOptions{WarmCache: true, AsOf: asOf})
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			out[i] = len(ms)
+		}
+		return out
+	}
+
+	// Warm the tier so the mutations below have something to invalidate.
+	counts(hot, 0)
+	if st := hot.Index().HotStats(); !st.Enabled || st.Tier.Items == 0 {
+		t.Fatalf("tier not resident after warmup: %+v", st)
+	}
+
+	// The patch ships doc 6 the content of doc 7; both twins intern the
+	// same dictionary (identical corpus, identical order), so one patch
+	// applies to both.
+	a, err := hot.Index().store.Get(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hot.Index().store.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patch := mvcc.Diff(recPairs(a), recPairs(b), recLeaves(a), recLeaves(b), b.NumNodes)
+
+	updated := variantDoc(docs[4], 3)
+	steps := []struct {
+		name string
+		run  func(di *DynamicIndex) error
+	}{
+		{"delete", func(di *DynamicIndex) error { _, err := di.Delete(3); return err }},
+		{"update", func(di *DynamicIndex) error { _, err := di.Update(4, updated); return err }},
+		{"patch", func(di *DynamicIndex) error { _, err := di.Patch(6, patch); return err }},
+	}
+	for _, step := range steps {
+		if err := step.run(hot); err != nil {
+			t.Fatalf("%s on hot: %v", step.name, err)
+		}
+		if err := step.run(cold); err != nil {
+			t.Fatalf("%s on cold: %v", step.name, err)
+		}
+		// Two passes: the first may rebuild tier entries, the second serves
+		// from them — both must agree with the uncompressed twin.
+		want := counts(cold, 0)
+		for pass := 0; pass < 2; pass++ {
+			if got := counts(hot, 0); !reflect.DeepEqual(got, want) {
+				t.Errorf("after %s pass %d: hot %v, cold %v", step.name, pass, got, want)
+			}
+		}
+		v := hot.VersionStats().Current
+		if got, want := counts(hot, v), counts(cold, v); !reflect.DeepEqual(got, want) {
+			t.Errorf("after %s AS OF %d: hot %v, cold %v", step.name, v, got, want)
+		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/docstore"
+	"repro/internal/mvcc"
 	"repro/internal/pager"
 	"repro/internal/vtrie"
 	"repro/internal/xmltree"
@@ -146,6 +147,11 @@ type Index struct {
 	// hot is the compressed in-memory tier (nil when Options.HotBudget is
 	// 0). See hot.go for the caching and invalidation contract.
 	hot *hotState
+	// versions is the MVCC version map (nil until the first mutation or an
+	// explicit AdoptVersions): per-document visibility intervals plus the
+	// pending-op descriptor mutation recovery redoes. Mutated only under
+	// repairMu (write); queries read it under repairMu (read). See version.go.
+	versions *mvcc.Map
 }
 
 // valuePrefix namespaces value strings away from element tags in the
@@ -277,6 +283,14 @@ func Open(dir string, opts Options) (*Index, error) {
 	ix.maxGap = map[vtrie.Symbol]int64{}
 	for k, v := range store.Catalog("maxgap") {
 		ix.maxGap[k] = v
+	}
+	if err := ix.loadVersions(); err != nil {
+		return nil, err
+	}
+	// A mutation whose store commit survived a crash but whose forest commit
+	// did not is completed here, before any query can observe the torn state.
+	if err := ix.recoverPending(); err != nil {
+		return nil, fmt.Errorf("prix: %s: mutation recovery: %w", dir, err)
 	}
 	ix.initHot()
 	ix.PreloadHot()

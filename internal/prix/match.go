@@ -99,6 +99,11 @@ type MatchOptions struct {
 	// query runs alone and a best-effort delta when queries overlap (a
 	// concurrent cold start can evict pages this query then re-reads).
 	WarmCache bool
+	// AsOf pins the query to a historical version of a mutated index: only
+	// documents visible at that version match, resolved against the record
+	// image they had then (MVCC time travel; see version.go). 0 means
+	// latest. Indexes without version state ignore it.
+	AsOf uint64
 	// Parallelism caps the workers executing the query: the Algorithm 1
 	// trie descent streams (document, subsequence) candidates into a
 	// bounded channel consumed by a pool running Algorithm 2 refinement,
@@ -463,7 +468,7 @@ func (ix *Index) matchOrdered(q *twig.Query, opts MatchOptions, stats *QueryStat
 		return ix.matchPipelined(p, opts, stats, workers, fetch, sp)
 	}
 	if fetch == nil {
-		fetch = ix.getRecord
+		fetch = ix.recordFetcher(opts.AsOf)
 	}
 	var out []Match
 	// Wildcard edges make the matched subsequence a proxy witness: one
@@ -558,7 +563,10 @@ func (ix *Index) findSubsequence(p *plan, opts MatchOptions, stats *QueryStats,
 			var scanErr error
 			if hd := ix.hotDocIDs(); hd != nil {
 				stats.HotPostingHits++
-				hd.Scan(h.left, h.right, true, true, func(_ uint64, id uint32) bool {
+				hd.Scan(h.left, h.right, true, true, func(term uint64, id uint32) bool {
+					if !ix.visibleAt(id, term, opts.AsOf) {
+						return true
+					}
 					if e := emit(id); e != nil {
 						emitErr = e
 						return false
@@ -568,7 +576,16 @@ func (ix *Index) findSubsequence(p *plan, opts MatchOptions, stats *QueryStats,
 			} else {
 				scanErr = ix.docid.Scan(btree.KeyUint64(h.left), btree.KeyUint64(h.right), true, true,
 					func(k, v []byte) bool {
-						if e := emit(decodeDocID(v)); e != nil {
+						// Tombstones and other non-entry values ride in the
+						// same tree; live docid entries are exactly 4 bytes.
+						if len(v) != 4 {
+							return true
+						}
+						id := decodeDocID(v)
+						if !ix.visibleAt(id, btree.Uint64Key(k), opts.AsOf) {
+							return true
+						}
+						if e := emit(id); e != nil {
 							emitErr = e
 							return false
 						}

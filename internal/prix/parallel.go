@@ -113,7 +113,7 @@ func (ix *Index) fanOutArrangements(queries []*twig.Query, opts MatchOptions, st
 	// waits instead of spreading them. The extra goroutines (aw·inner >
 	// workers) are I/O-parked almost always and cost no meaningful CPU.
 	inner := workers
-	cache := newRecordCache(ix)
+	cache := newRecordCache(ix, opts.AsOf)
 	astats := make([]QueryStats, len(queries))
 	errs := make([]error, len(queries))
 	idxCh := make(chan int)
@@ -340,7 +340,10 @@ func (d *descent) step(stats *QueryStats, sp *obs.Span, i int, ql, qr uint64, S,
 			var scanErr error
 			if hd := d.ix.hotDocIDs(); hd != nil {
 				stats.HotPostingHits++
-				hd.Scan(h.left, h.right, true, true, func(_ uint64, id uint32) bool {
+				hd.Scan(h.left, h.right, true, true, func(term uint64, id uint32) bool {
+					if !d.ix.visibleAt(id, term, d.opts.AsOf) {
+						return true
+					}
 					if e := d.emit(append(path, int32(hi), ord), id, S, stats, sp); e != nil {
 						emitErr = e
 						return false
@@ -357,7 +360,14 @@ func (d *descent) step(stats *QueryStats, sp *obs.Span, i int, ql, qr uint64, S,
 				}
 				scanErr = d.ix.docid.Scan(btree.KeyUint64(h.left), btree.KeyUint64(h.right), true, true,
 					func(k, v []byte) bool {
-						if e := d.emit(append(path, int32(hi), ord), decodeDocID(v), S, stats, sp); e != nil {
+						if len(v) != 4 { // tombstone or foreign value
+							return true
+						}
+						id := decodeDocID(v)
+						if !d.ix.visibleAt(id, btree.Uint64Key(k), d.opts.AsOf) {
+							return true
+						}
+						if e := d.emit(append(path, int32(hi), ord), id, S, stats, sp); e != nil {
 							emitErr = e
 							return false
 						}
@@ -439,7 +449,7 @@ func (ix *Index) matchPipelined(p *plan, opts MatchOptions, stats *QueryStats,
 	wstats := make([]QueryStats, workers)
 	wout := make([][]refined, workers)
 	if fetch == nil {
-		fetch = newRecordCache(ix).get
+		fetch = newRecordCache(ix, opts.AsOf).get
 	}
 	// Worker spans are created up front on this goroutine, keyed by the
 	// worker ordinal: their creation order (and so the trace) never
@@ -564,9 +574,9 @@ func candidateKey(docID uint32, S []int32) string {
 // outcome, which re-marks Degraded on every hitting worker's stats —
 // but transient errors are not, so a retry can still succeed.
 type recordCache struct {
-	ix *Index
-	mu sync.Mutex
-	m  map[uint32]cachedRecord
+	fetch recordSource
+	mu    sync.Mutex
+	m     map[uint32]cachedRecord
 }
 
 type cachedRecord struct {
@@ -574,8 +584,8 @@ type cachedRecord struct {
 	degraded bool
 }
 
-func newRecordCache(ix *Index) *recordCache {
-	return &recordCache{ix: ix, m: map[uint32]cachedRecord{}}
+func newRecordCache(ix *Index, asOf uint64) *recordCache {
+	return &recordCache{fetch: ix.recordFetcher(asOf), m: map[uint32]cachedRecord{}}
 }
 
 func (c *recordCache) get(docID uint32, stats *QueryStats) (*docstore.Record, error) {
@@ -592,7 +602,7 @@ func (c *recordCache) get(docID uint32, stats *QueryStats) (*docstore.Record, er
 	// Two workers missing the same doc at once both fetch (harmless: the
 	// store is internally synchronized); the cache keeps whichever lands
 	// last. Holding the mutex across the fetch would serialize the pool.
-	rec, err := c.ix.getRecord(docID, stats)
+	rec, err := c.fetch(docID, stats)
 	if err != nil {
 		return nil, err
 	}

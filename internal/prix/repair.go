@@ -570,8 +570,20 @@ func (ix *Index) rebuildForestLocked(writeTrie func(recs []*docstore.Record) err
 			return nil, err
 		}
 	}
+	// Version history references the old forest's terminals and labels,
+	// both gone: fold it down to the rebuilt world (tombstones re-marked at
+	// the new terminals) before the forest commit, so the flushed image and
+	// the map agree.
+	if err := ix.collapseVersionsAfterRebuildLocked(); err != nil {
+		return nil, err
+	}
 	if err := ix.forest.Flush(); err != nil {
 		return nil, err
+	}
+	if ix.versions != nil {
+		if err := ix.store.Flush(); err != nil {
+			return nil, err
+		}
 	}
 	// Every live page was just rewritten and committed, so any page still
 	// failing its checksum on disk is an orphan of the old forest: zero it.

@@ -92,8 +92,11 @@ func (ix *Index) scanSingleNode(q *twig.Query, opts MatchOptions, stats *QuerySt
 				return nil, fmt.Errorf("prix: match canceled: %w", err)
 			}
 		}
+		if !ix.docVisibleAt(uint32(docID), opts.AsOf) {
+			continue // deleted (or not yet inserted) at the requested version
+		}
 		t0 := sp.Start()
-		rec, err := ix.getRecord(uint32(docID), stats)
+		rec, err := ix.getRecordAsOf(uint32(docID), opts.AsOf, stats)
 		sp.Stage(obs.StageFetch, t0)
 		if err != nil {
 			return nil, err

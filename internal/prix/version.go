@@ -1,0 +1,846 @@
+package prix
+
+// Document versioning (update/delete/patch) with MVCC time travel.
+//
+// Version state lives in an mvcc.Map persisted as the "mvcc" docstore blob:
+// per document, a list of version intervals [From, To) with an optional
+// back-pointer (Loc) at the superseded record bytes and the docid-tree
+// terminal the document's sequence attached to during the interval. A nil
+// map is the legacy always-visible world — indexes that never mutate pay
+// nothing on the query path.
+//
+// Mutations commit in three steps, each atomic via its file's rollback
+// journal:
+//
+//	(A) store side: interval change + rewritten record (updates) + the
+//	    pending-op descriptor, one docstore flush;
+//	(B) forest side: tombstone / new postings / new docid entry / sidecar,
+//	    one forest flush;
+//	(C) store side again: clear the pending op.
+//
+// A crash before (A) recovers the pre-mutation image; after (A) the pending
+// op lets recovery redo (B) idempotently, converging on the post-mutation
+// image. Nothing in between is ever observable.
+//
+// Deletes additionally write a 13-byte tombstone value into the docid tree
+// at the document's terminal key — [docid LE 4][0xFF][version LE 8] — so the
+// forest itself records the deletion (prixcheck cross-checks it against the
+// map). Query scans skip any docid value whose length is not 4.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/btree"
+	"repro/internal/docstore"
+	"repro/internal/mvcc"
+	"repro/internal/pager"
+	"repro/internal/prufer"
+	"repro/internal/vtrie"
+	"repro/internal/xmltree"
+)
+
+// VersionsBlobName keys the encoded version map in the docstore blob
+// section (exported for prixcheck).
+const VersionsBlobName = "mvcc"
+
+// ErrDocDeleted reports a mutation aimed at a document whose latest version
+// is a tombstone (or a compaction-reclaimed stub).
+var ErrDocDeleted = errors.New("prix: document deleted")
+
+// tombstone codec --------------------------------------------------------------
+
+const tombstoneLen = 13
+
+func encodeTombstone(docID uint32, version uint64) []byte {
+	b := make([]byte, tombstoneLen)
+	copy(b[:4], encodeDocID(docID))
+	b[4] = 0xFF
+	for i := 0; i < 8; i++ {
+		b[5+i] = byte(version >> (8 * i))
+	}
+	return b
+}
+
+// DecodeTombstone parses a docid-tree tombstone value; ok is false for
+// anything that is not one (in particular the 4-byte live entries).
+func DecodeTombstone(v []byte) (docID uint32, version uint64, ok bool) {
+	if len(v) != tombstoneLen || v[4] != 0xFF {
+		return 0, 0, false
+	}
+	docID = decodeDocID(v[:4])
+	for i := 0; i < 8; i++ {
+		version |= uint64(v[5+i]) << (8 * i)
+	}
+	return docID, version, true
+}
+
+// version map plumbing ---------------------------------------------------------
+
+func toStoreLoc(l mvcc.Loc) docstore.Loc {
+	return docstore.Loc{Page: pager.PageID(l.Page), Off: l.Off, Len: l.Len}
+}
+
+func fromStoreLoc(l docstore.Loc) mvcc.Loc {
+	return mvcc.Loc{Page: uint32(l.Page), Off: l.Off, Len: l.Len}
+}
+
+// loadVersions decodes the persisted map at Open time (nil when absent) and
+// installs the extra-refs hook that keeps superseded record pages alive.
+func (ix *Index) loadVersions() error {
+	b := ix.store.Blob(VersionsBlobName)
+	if b == nil {
+		return nil
+	}
+	m, err := mvcc.DecodeMap(b)
+	if err != nil {
+		return fmt.Errorf("prix: version map: %w", err)
+	}
+	ix.versions = m
+	ix.installVersionRefs()
+	return nil
+}
+
+// persistVersionsLocked stages the current map into the docstore blob; the
+// caller's next store flush commits it. Held under repairMu (write).
+func (ix *Index) persistVersionsLocked() {
+	if ix.versions == nil {
+		ix.store.SetBlob(VersionsBlobName, nil)
+		return
+	}
+	ix.store.SetBlob(VersionsBlobName, ix.versions.Encode())
+}
+
+// installVersionRefs wires PageReferenced so the store sweep never zeroes
+// pages holding superseded record images an AS OF read can still resolve.
+func (ix *Index) installVersionRefs() {
+	ix.store.SetExtraRefs(func(id pager.PageID) bool {
+		// Called with the sweep holding repairMu exclusively (or at open,
+		// single-threaded), so the map is stable.
+		vs := ix.versions
+		if vs == nil {
+			return false
+		}
+		for _, ivs := range vs.Docs {
+			for _, iv := range ivs {
+				if iv.Loc.Zero() {
+					continue
+				}
+				first := pager.PageID(iv.Loc.Page)
+				end := int(iv.Loc.Off) + int(iv.Loc.Len) - 1
+				last := first + pager.PageID(end/pager.PageDataSize)
+				if first <= id && id <= last {
+					return true
+				}
+			}
+		}
+		return false
+	})
+}
+
+// AdoptVersions installs (and persists) a version map wholesale — the
+// compaction publisher moves the collapsed source map onto the freshly
+// bulk-loaded epoch with it. Retained tombstones are re-marked in this
+// forest's docid tree (the old epoch's tombstone entries, and the
+// terminals they lived at, did not survive the rewrite). A nil map
+// disables versioning.
+func (ix *Index) AdoptVersions(m *mvcc.Map) error {
+	ix.repairMu.Lock()
+	defer ix.repairMu.Unlock()
+	ix.versions = m
+	ix.installVersionRefs()
+	if m != nil {
+		terms, err := ix.terminalsByDoc()
+		if err != nil {
+			return err
+		}
+		marked := false
+		for id, ivs := range m.Docs {
+			if len(ivs) == 0 {
+				continue
+			}
+			last := ivs[len(ivs)-1]
+			if last.To == 0 || last.Marker() {
+				continue
+			}
+			left, ok := terms[id]
+			if !ok {
+				continue // sequence-less document: no entry to mark
+			}
+			if err := ix.writeTombstoneLocked(left, id, last.To); err != nil {
+				return err
+			}
+			marked = true
+		}
+		if marked {
+			if err := ix.forest.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	ix.persistVersionsLocked()
+	return ix.store.Flush()
+}
+
+// terminalsByDoc maps every document to its docid-tree terminal key in one
+// scan (first live entry wins; tombstones are skipped).
+func (ix *Index) terminalsByDoc() (map[uint32]uint64, error) {
+	out := map[uint32]uint64{}
+	err := ix.docid.Scan(btree.KeyUint64(0), btree.KeyUint64(math.MaxUint64), true, true, func(k, v []byte) bool {
+		if len(v) != 4 {
+			return true
+		}
+		id := decodeDocID(v)
+		if _, seen := out[id]; !seen {
+			out[id] = btree.Uint64Key(k)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CloneVersions returns a deep copy of the version map under the read lock
+// (nil when versioning is off) — the compactor pins it in its manifest.
+func (ix *Index) CloneVersions() *mvcc.Map {
+	ix.repairMu.RLock()
+	defer ix.repairMu.RUnlock()
+	if ix.versions == nil {
+		return nil
+	}
+	return ix.versions.Clone()
+}
+
+// VersionSnapshot atomically pairs the document count with a deep copy of
+// the version map (nil when versioning is off), so a compaction drain
+// watermark and its pinned map describe the same instant even under
+// concurrent writers.
+func (di *DynamicIndex) VersionSnapshot() (int, *mvcc.Map) {
+	di.mu.RLock()
+	defer di.mu.RUnlock()
+	di.ix.repairMu.RLock()
+	defer di.ix.repairMu.RUnlock()
+	n := di.ix.store.NumDocs()
+	if di.ix.versions == nil {
+		return n, nil
+	}
+	return n, di.ix.versions.Clone()
+}
+
+// VersionStats is the MVCC block surfaced by /stats and prixbench.
+type VersionStats struct {
+	// Enabled reports whether the index has any version state.
+	Enabled bool
+	// Current is the latest assigned version (0 until the first mutation).
+	Current uint64
+	// Tombstones counts documents deleted (or reclaimed) at latest.
+	Tombstones int
+	// Versioned counts documents carrying any version state.
+	Versioned int
+	// MutOps counts deletes + updates since the map was created.
+	MutOps uint64
+}
+
+// VersionStats reports the index's MVCC state.
+func (ix *Index) VersionStats() VersionStats {
+	ix.repairMu.RLock()
+	defer ix.repairMu.RUnlock()
+	vs := ix.versions
+	if vs == nil {
+		return VersionStats{}
+	}
+	return VersionStats{
+		Enabled:    true,
+		Current:    vs.Counter,
+		Tombstones: vs.Tombstones(),
+		Versioned:  vs.Versioned(),
+		MutOps:     vs.MutOps,
+	}
+}
+
+// Versions exposes the live map (nil when versioning is off). Callers must
+// hold the repair lock or own the index exclusively; prixcheck and the
+// compactor use it.
+func (ix *Index) Versions() *mvcc.Map { return ix.versions }
+
+// VersionStats proxies the inner index under the dynamic read lock.
+func (di *DynamicIndex) VersionStats() VersionStats {
+	di.mu.RLock()
+	defer di.mu.RUnlock()
+	return di.ix.VersionStats()
+}
+
+// visibility -------------------------------------------------------------------
+
+// visibleAt reports whether docID, reached through the docid entry at
+// terminal key termLeft, is visible at version asOf (0 = latest). The
+// terminal check is what hides an updated document's old docid entry from
+// latest reads and its new entry from historical ones.
+func (ix *Index) visibleAt(docID uint32, termLeft uint64, asOf uint64) bool {
+	if ix.versions == nil {
+		return true
+	}
+	iv, ok := ix.versions.At(docID, asOf)
+	if !ok {
+		return false
+	}
+	return iv.Terminal == 0 || iv.Terminal == termLeft
+}
+
+// docVisibleAt is visibleAt without a terminal in hand (single-node scans
+// and the exhaustive fallback, which walk docids directly).
+func (ix *Index) docVisibleAt(docID uint32, asOf uint64) bool {
+	if ix.versions == nil {
+		return true
+	}
+	_, ok := ix.versions.At(docID, asOf)
+	return ok
+}
+
+// getRecordAsOf resolves the record image visible at asOf: the current
+// record when the covering interval is open (or carries no back-pointer),
+// the superseded image at its heap location otherwise. An unreadable old
+// image degrades the read (nil, nil + stats.Degraded) without quarantining
+// the document — its current image may be perfectly healthy.
+func (ix *Index) getRecordAsOf(docID uint32, asOf uint64, stats *QueryStats) (*docstore.Record, error) {
+	if ix.versions == nil {
+		return ix.getRecord(docID, stats)
+	}
+	iv, ok := ix.versions.At(docID, asOf)
+	if !ok {
+		return nil, nil
+	}
+	if iv.Loc.Zero() {
+		return ix.getRecord(docID, stats)
+	}
+	stats.RecordFetches++
+	rec, err := ix.store.GetAtLoc(docID, toStoreLoc(iv.Loc))
+	switch {
+	case err == nil:
+		return rec, nil
+	case IsCorruption(err):
+		stats.Degraded = true
+		return nil, nil
+	default:
+		return nil, err
+	}
+}
+
+// intervalLPS resolves the label sequence of the record image an interval
+// describes: the superseded image at its back-pointer when one is recorded,
+// the current record otherwise (open intervals, and deletes, leave the
+// record in place). Used by the versioned labeler replay; a lost image is
+// reported as !ok and skipped, mirroring the quarantine semantics.
+func (ix *Index) intervalLPS(docID uint32, iv mvcc.Interval) ([]vtrie.Symbol, bool) {
+	if iv.Loc.Zero() {
+		rec, err := ix.store.GetAny(docID)
+		if err != nil {
+			return nil, false
+		}
+		return rec.LPS, true
+	}
+	rec, err := ix.store.GetAtLoc(docID, toStoreLoc(iv.Loc))
+	if err != nil {
+		return nil, false
+	}
+	return rec.LPS, true
+}
+
+// recordFetcher adapts getRecordAsOf to the recordSource shape the
+// refinement paths consume. asOf == 0 with no version map short-circuits to
+// the plain hot-tier-aware fetch.
+func (ix *Index) recordFetcher(asOf uint64) recordSource {
+	if ix.versions == nil {
+		return ix.getRecord
+	}
+	return func(docID uint32, stats *QueryStats) (*docstore.Record, error) {
+		return ix.getRecordAsOf(docID, asOf, stats)
+	}
+}
+
+// forest-side helpers ----------------------------------------------------------
+
+// writeTombstoneLocked inserts the delete marker at the terminal key,
+// idempotently (recovery may redo it).
+func (ix *Index) writeTombstoneLocked(term uint64, docID uint32, version uint64) error {
+	key := btree.KeyUint64(term)
+	tomb := encodeTombstone(docID, version)
+	vals, err := ix.docid.Get(key)
+	if err != nil {
+		return err
+	}
+	for _, v := range vals {
+		if bytes.Equal(v, tomb) {
+			return nil
+		}
+	}
+	if err := ix.docid.Insert(key, tomb); err != nil {
+		return err
+	}
+	ix.hotInvalidateDocid()
+	return nil
+}
+
+// recoverPending redoes the forest half (B) of a mutation whose store
+// commit (A) survived a crash but whose forest commit did not — or did, in
+// which case every step below no-ops. Runs at Open, before queries.
+func (ix *Index) recoverPending() error {
+	vs := ix.versions
+	if vs == nil || vs.Pending == nil {
+		return nil
+	}
+	p := vs.Pending
+	switch p.Kind {
+	case mvcc.PendDelete:
+		if p.Terminal != 0 {
+			if err := ix.writeTombstoneLocked(p.Terminal, p.DocID, p.Version); err != nil {
+				return err
+			}
+		}
+	case mvcc.PendUpdate:
+		for _, c := range p.Created {
+			tree, err := ix.forest.Tree(symTreeName(vtrie.Symbol(c.Sym)))
+			if err != nil {
+				return err
+			}
+			key := btree.KeyUint64(c.Left)
+			want := encodePosting(c.Right, c.Level)
+			vals, err := tree.Get(key)
+			if err != nil {
+				return err
+			}
+			present := false
+			for _, v := range vals {
+				if bytes.Equal(v, want) {
+					present = true
+					break
+				}
+			}
+			if !present {
+				if err := tree.Insert(key, want); err != nil {
+					return err
+				}
+			}
+		}
+		if p.NewTerminal {
+			if err := ix.checkDocidEntry(p.Terminal, p.DocID); err != nil {
+				if err := ix.docid.Insert(btree.KeyUint64(p.Terminal), encodeDocID(p.DocID)); err != nil {
+					return err
+				}
+			}
+		}
+		rec, err := ix.store.GetAny(p.DocID)
+		if err != nil {
+			return fmt.Errorf("prix: recover pending update of document %d: %w", p.DocID, err)
+		}
+		if err := ix.rewriteSidecar(rec); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("prix: unknown pending op kind %d", p.Kind)
+	}
+	if err := ix.forest.Flush(); err != nil { // commit B
+		return err
+	}
+	vs.Pending = nil
+	ix.persistVersionsLocked()
+	return ix.store.Flush() // commit C
+}
+
+// collapseVersionsAfterRebuildLocked folds version history for a rebuilt
+// forest: the rebuild relabels every surviving record in docid order, so
+// update-history back-pointers (whose postings are gone) are dropped, every
+// interval's Terminal and Label reset, and tombstones are re-marked at the
+// rebuilt terminals. Retention follows the repair semantics of a
+// Retain-0 compaction for update history while every delete span survives —
+// the deleted documents' records were rebuilt into the forest, so AS OF
+// inside a delete span still twig-matches.
+func (ix *Index) collapseVersionsAfterRebuildLocked() error {
+	vs := ix.versions
+	if vs == nil {
+		return nil
+	}
+	for id, ivs := range vs.Docs {
+		if len(ivs) == 0 {
+			continue
+		}
+		last := ivs[len(ivs)-1]
+		if !last.Marker() {
+			last.Loc = mvcc.Loc{}
+			last.Terminal = 0
+			last.Label = 0
+		}
+		vs.Docs[id] = []mvcc.Interval{last}
+	}
+	vs.NextLabel = 1
+	vs.Pending = nil
+	for id, ivs := range vs.Docs {
+		last := ivs[0]
+		if last.To == 0 || last.Marker() {
+			continue
+		}
+		left, err := ix.terminalLeftOf(id)
+		if err != nil {
+			continue // sequence-less document: nothing to mark
+		}
+		if err := ix.writeTombstoneLocked(left, id, last.To); err != nil {
+			return err
+		}
+	}
+	ix.persistVersionsLocked()
+	return nil
+}
+
+// dynamic mutations ------------------------------------------------------------
+
+// UpdateResult reports what an Update or Patch did.
+type UpdateResult struct {
+	// Version is the new version assigned to the document.
+	Version uint64
+	// Relabeled reports the LPS changed, forcing a new trie path (new
+	// postings and docid entry). An unchanged LPS patches only the record.
+	Relabeled bool
+	// PatchBytes is the encoded size of the minimal sequence diff applied.
+	PatchBytes int
+	// FullBytes is the encoded size a from-scratch rewrite would have
+	// shipped, for update-vs-reinsert accounting.
+	FullBytes int
+}
+
+// ensureVersionsLocked lazily creates the version map on the first
+// mutation. Documents inserted before it exists stay legacy (always visible
+// until their first mutation synthesizes a base interval).
+func (di *DynamicIndex) ensureVersionsLocked() *mvcc.Map {
+	if di.ix.versions == nil {
+		di.ix.versions = mvcc.NewMap()
+		di.ix.installVersionRefs()
+	}
+	return di.ix.versions
+}
+
+// openTerminalLocked resolves the terminal key of docID's current docid
+// entry: from its open interval when versioned, by scanning the docid tree
+// for legacy documents. 0 means the document has no entry (empty sequence).
+func (di *DynamicIndex) openTerminalLocked(docID uint32, iv mvcc.Interval, legacy bool) uint64 {
+	if !legacy {
+		return iv.Terminal
+	}
+	left, err := di.ix.terminalLeftOf(docID)
+	if err != nil {
+		return 0
+	}
+	return left
+}
+
+// Delete removes a document as of a new version: historical AS OF reads
+// still see it, latest reads do not. The document's record and postings
+// stay in place (compaction reclaims them past the retention watermark).
+func (di *DynamicIndex) Delete(docID uint32) (uint64, error) {
+	v, err := di.deleteLocked(docID)
+	if err != nil {
+		return 0, err
+	}
+	di.gen.Add(1)
+	di.runHooks()
+	return v, nil
+}
+
+func (di *DynamicIndex) deleteLocked(docID uint32) (uint64, error) {
+	di.mu.Lock()
+	defer di.mu.Unlock()
+	di.ix.repairMu.Lock()
+	defer di.ix.repairMu.Unlock()
+	if int(docID) >= di.ix.store.NumDocs() {
+		return 0, fmt.Errorf("prix: delete of unknown document %d", docID)
+	}
+	vs := di.ensureVersionsLocked()
+	iv, ok := vs.At(docID, 0)
+	if !ok {
+		return 0, fmt.Errorf("prix: delete of document %d: %w", docID, ErrDocDeleted)
+	}
+	legacy := len(vs.Docs[docID]) == 0
+	term := di.openTerminalLocked(docID, iv, legacy)
+	v := vs.Counter + 1
+	if legacy {
+		vs.Docs[docID] = []mvcc.Interval{{From: 0, To: v, Terminal: term}}
+	} else {
+		ivs := vs.Docs[docID]
+		ivs[len(ivs)-1].To = v
+		vs.Docs[docID] = ivs
+	}
+	vs.MutOps++
+	vs.Counter = v
+	vs.Pending = &mvcc.PendingOp{Kind: mvcc.PendDelete, DocID: docID, Version: v, Terminal: term}
+	di.ix.persistVersionsLocked()
+	if err := di.ix.store.Flush(); err != nil { // commit A
+		return 0, err
+	}
+	if term != 0 {
+		if err := di.ix.writeTombstoneLocked(term, docID, v); err != nil {
+			return 0, err
+		}
+	}
+	di.ix.hotInvalidateDocid()
+	if err := di.ix.forest.Flush(); err != nil { // commit B
+		return 0, err
+	}
+	vs.Pending = nil
+	di.ix.persistVersionsLocked()
+	if err := di.ix.store.Flush(); err != nil { // commit C
+		return 0, err
+	}
+	return v, nil
+}
+
+// Update replaces a document's content as of a new version. The old image
+// stays resolvable for AS OF reads through a back-pointer; when the new
+// Prüfer sequence differs, the dynamic labeler carves a fresh trie path and
+// the old docid entry keeps serving history.
+func (di *DynamicIndex) Update(docID uint32, doc *xmltree.Document) (*UpdateResult, error) {
+	res, err := di.updateLocked(docID, doc, nil)
+	if err != nil {
+		return nil, err
+	}
+	di.gen.Add(1)
+	di.runHooks()
+	return res, nil
+}
+
+// Patch applies a minimal sequence diff (mvcc.Diff over NPS/LPS pairs and
+// leaves) to a document, validating the patched record round-trips before
+// committing. It is Update for callers that ship deltas instead of full
+// documents.
+func (di *DynamicIndex) Patch(docID uint32, p *mvcc.Patch) (*UpdateResult, error) {
+	res, err := di.updateLocked(docID, nil, p)
+	if err != nil {
+		return nil, err
+	}
+	di.gen.Add(1)
+	di.runHooks()
+	return res, nil
+}
+
+func (di *DynamicIndex) updateLocked(docID uint32, doc *xmltree.Document, patch *mvcc.Patch) (*UpdateResult, error) {
+	di.mu.Lock()
+	defer di.mu.Unlock()
+	di.ix.repairMu.Lock()
+	defer di.ix.repairMu.Unlock()
+	if int(docID) >= di.ix.store.NumDocs() {
+		return nil, fmt.Errorf("prix: update of unknown document %d", docID)
+	}
+	vs := di.ensureVersionsLocked()
+	iv, ok := vs.At(docID, 0)
+	if !ok {
+		return nil, fmt.Errorf("prix: update of document %d: %w", docID, ErrDocDeleted)
+	}
+	oldRec, err := di.ix.store.GetAny(docID)
+	if err != nil {
+		return nil, fmt.Errorf("prix: update of document %d: current record unreadable: %w", docID, err)
+	}
+
+	var newRec *docstore.Record
+	var syms []vtrie.Symbol
+	if patch != nil {
+		pairs, leaves, err := patch.Apply(recPairs(oldRec), recLeaves(oldRec))
+		if err != nil {
+			return nil, fmt.Errorf("prix: patch of document %d: %w", docID, err)
+		}
+		newRec = recordFromPairs(docID, patch.NumNodes, pairs, leaves)
+		if err := checkRecord(di.ix.store.Dict(), newRec); err != nil {
+			return nil, fmt.Errorf("prix: patch of document %d yields an invalid record: %w", docID, err)
+		}
+		di.ix.accountRecordGaps(newRec)
+		syms = newRec.LPS
+	} else {
+		if newRec, syms, err = di.ix.prepareDocument(docID, doc); err != nil {
+			return nil, err
+		}
+	}
+	diff := mvcc.Diff(recPairs(oldRec), recPairs(newRec), recLeaves(oldRec), recLeaves(newRec), newRec.NumNodes)
+	full := mvcc.Diff(nil, recPairs(newRec), nil, recLeaves(newRec), newRec.NumNodes)
+	relabel := !lpsEqual(oldRec.LPS, newRec.LPS) && len(syms) > 0
+
+	var created []vtrie.Posting
+	newTerm := uint64(0)
+	label := uint64(0)
+	legacy := len(vs.Docs[docID]) == 0
+	oldTerm := di.openTerminalLocked(docID, iv, legacy)
+	if relabel {
+		var terminal vtrie.Posting
+		// AddReport runs before any durable write: a scope underflow aborts
+		// the whole mutation with nothing committed.
+		created, terminal, err = di.labeler.AddReport(syms, docID)
+		if err != nil {
+			return nil, fmt.Errorf("prix: dynamic update of document %d: %w", docID, err)
+		}
+		newTerm = terminal.Left
+		label = vs.NextLabel
+		vs.NextLabel++
+	} else {
+		newTerm = oldTerm
+	}
+
+	oldLoc, err := di.ix.store.RewriteKeepOld(newRec)
+	if err != nil {
+		return nil, err
+	}
+	v := vs.Counter + 1
+	closed := mvcc.Interval{From: 0, To: v, Terminal: oldTerm, Loc: fromStoreLoc(oldLoc)}
+	if legacy {
+		vs.Docs[docID] = []mvcc.Interval{closed}
+	} else {
+		ivs := vs.Docs[docID]
+		ivs[len(ivs)-1].To = v
+		ivs[len(ivs)-1].Loc = fromStoreLoc(oldLoc)
+		vs.Docs[docID] = ivs
+	}
+	vs.Docs[docID] = append(vs.Docs[docID], mvcc.Interval{From: v, Terminal: newTerm, Label: label})
+	vs.MutOps++
+	vs.Counter = v
+	pend := &mvcc.PendingOp{Kind: mvcc.PendUpdate, DocID: docID, Version: v, Terminal: newTerm, NewTerminal: relabel}
+	for _, c := range created {
+		pend.Created = append(pend.Created, mvcc.Posting{Sym: uint32(c.Symbol), Left: c.Left, Right: c.Right, Level: c.Level})
+	}
+	vs.Pending = pend
+	di.ix.persistVersionsLocked()
+	if err := di.ix.store.Flush(); err != nil { // commit A
+		return nil, err
+	}
+
+	for _, p := range created {
+		if err := di.writePosting(p); err != nil {
+			return nil, err
+		}
+	}
+	if relabel {
+		if err := di.ix.docid.Insert(btree.KeyUint64(newTerm), encodeDocID(docID)); err != nil {
+			return nil, err
+		}
+		di.ix.hotInvalidateDocid()
+	}
+	if err := di.ix.rewriteSidecar(newRec); err != nil {
+		return nil, err
+	}
+	di.ix.hotInvalidateDoc(docID)
+	if err := di.ix.forest.Flush(); err != nil { // commit B
+		return nil, err
+	}
+
+	vs.Pending = nil
+	di.ix.persistVersionsLocked()
+	if err := di.ix.store.Flush(); err != nil { // commit C
+		return nil, err
+	}
+	return &UpdateResult{
+		Version:    v,
+		Relabeled:  relabel,
+		PatchBytes: diff.Size(),
+		FullBytes:  full.Size(),
+	}, nil
+}
+
+// runHooks fires the OnInsert hooks (they are generation hooks: any
+// mutation invalidates derived caches).
+func (di *DynamicIndex) runHooks() {
+	di.hooksMu.Lock()
+	hooks := append([]func(){}, di.hooks...)
+	di.hooksMu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+}
+
+// record <-> diff shapes -------------------------------------------------------
+
+func recPairs(rec *docstore.Record) []mvcc.Pair {
+	out := make([]mvcc.Pair, len(rec.NPS))
+	for i := range rec.NPS {
+		out[i] = mvcc.Pair{N: rec.NPS[i], L: uint32(rec.LPS[i])}
+	}
+	return out
+}
+
+func recLeaves(rec *docstore.Record) []mvcc.Leaf {
+	out := make([]mvcc.Leaf, len(rec.Leaves))
+	for i, l := range rec.Leaves {
+		out[i] = mvcc.Leaf{Post: l.Post, Sym: uint32(l.Sym)}
+	}
+	return out
+}
+
+func recordFromPairs(docID uint32, numNodes int32, pairs []mvcc.Pair, leaves []mvcc.Leaf) *docstore.Record {
+	rec := &docstore.Record{DocID: docID, NumNodes: numNodes}
+	if len(pairs) > 0 {
+		rec.NPS = make([]int32, len(pairs))
+		rec.LPS = make([]vtrie.Symbol, len(pairs))
+		for i, p := range pairs {
+			rec.NPS[i] = p.N
+			rec.LPS[i] = vtrie.Symbol(p.L)
+		}
+	} else {
+		rec.NPS = []int32{}
+		rec.LPS = []vtrie.Symbol{}
+	}
+	for _, l := range leaves {
+		rec.Leaves = append(rec.Leaves, docstore.Leaf{Post: l.Post, Sym: vtrie.Symbol(l.Sym)})
+	}
+	return rec
+}
+
+func lpsEqual(a, b []vtrie.Symbol) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// accountRecordGaps folds a patched record's child gaps into the MaxGap
+// catalog — the patch path's stand-in for internDocSeq's gap pass. The
+// tree is reconstructed from the record exactly as checkRecord does.
+func (ix *Index) accountRecordGaps(rec *docstore.Record) {
+	dict := ix.store.Dict()
+	seq := &prufer.Sequence{N: int(rec.NumNodes)}
+	for i := range rec.NPS {
+		seq.Numbers = append(seq.Numbers, int(rec.NPS[i]))
+		seq.Labels = append(seq.Labels, dict.Name(rec.LPS[i]))
+	}
+	leaves := make(map[int]string, len(rec.Leaves))
+	for _, l := range rec.Leaves {
+		leaves[int(l.Post)] = dict.Name(l.Sym)
+	}
+	doc, err := prufer.Reconstruct(seq, leaves)
+	if err != nil {
+		return // checkRecord already vetted it; defensive only
+	}
+	for _, n := range doc.Nodes {
+		if len(n.Children) == 0 {
+			continue
+		}
+		sym, ok := LookupSymbol(dict, n.Label, n.IsValue)
+		if !ok {
+			continue
+		}
+		gap := int64(n.Children[len(n.Children)-1].Post - n.Children[0].Post)
+		if gap > ix.maxGap[sym] {
+			ix.maxGap[sym] = gap
+		}
+	}
+}
+
+// stub document for compaction-reclaimed slots ---------------------------------
+
+// ReclaimedDocSeq is the single-node stub a compaction drains in place of a
+// reclaimed document: no sequence, no postings, no docid entry; the marker
+// interval keeps it invisible at every version.
+func ReclaimedDocSeq(docID uint32) *DocSeq {
+	return &DocSeq{DocID: docID, NumNodes: 1}
+}

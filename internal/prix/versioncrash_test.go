@@ -1,0 +1,252 @@
+package prix
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mvcc"
+	"repro/internal/pager"
+	"repro/internal/twig"
+)
+
+// The crash-sweep-over-mutations property: a power cut at ANY write
+// ordinal of a Delete, Update or Patch commit sequence must recover, on
+// reopen, to exactly the pre-mutation or the post-mutation image — never a
+// torn in-between — and AS OF queries at the pre-mutation version must
+// answer identically on both sides of the cut. The sweep learns the total
+// write count W of each mutation on a counting run, then replays it W
+// times with a PowerClock cutting at write k (every third cut tearing the
+// final page write), reopening through journal recovery plus the pending-
+// op redo each time.
+
+// versionCrashQueries is the probe set; small so W runs stay fast while
+// still spanning exact, branch and single-node shapes.
+var versionCrashQueries = []string{`//a/b`, `//b/c`, `//a[./b][./d]`, `//a`}
+
+func versionCrashFaultOpen(clock *pager.PowerClock) func(string) (pager.File, error) {
+	return func(path string) (pager.File, error) {
+		f, err := pager.OpenOSFilePadded(path)
+		if err != nil {
+			return nil, err
+		}
+		ff := pager.NewFaultFile(f)
+		ff.SetPowerClock(clock)
+		return ff, nil
+	}
+}
+
+// copyIndexDir clones the four page/journal files of a closed index.
+func copyIndexDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{ForestFileName, DocsFileName, ForestJournalFileName, DocsJournalFileName} {
+		data, err := os.ReadFile(filepath.Join(src, name))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func versionCrashCounts(t *testing.T, di *DynamicIndex, asOf uint64) []int {
+	t.Helper()
+	counts := make([]int, len(versionCrashQueries))
+	for i, src := range versionCrashQueries {
+		ms, _, err := di.Match(twig.MustParse(src), MatchOptions{WarmCache: true, AsOf: asOf})
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		counts[i] = len(ms)
+	}
+	return counts
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// versionCrashBaseline builds the swept index: the corpus plus one update,
+// so the version map already exists and the pre-mutation state has an
+// addressable version of its own.
+func versionCrashBaseline(t *testing.T, dir string) {
+	t.Helper()
+	docs := parallelCorpus()[:12]
+	di, err := NewDynamicIndex(docs, Options{
+		Dir:             dir,
+		Extended:        true,
+		BufferPoolPages: 64,
+	}, DynamicOptions{Alpha: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := di.Update(0, variantDoc(docs[0], 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := di.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := di.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionCrashSweepMutations(t *testing.T) {
+	base := t.TempDir()
+	pristine := filepath.Join(base, "pristine")
+	versionCrashBaseline(t, pristine)
+
+	// The patch workload ships doc 6 the content of doc 7, computed offline
+	// from the baseline records so every symbol is already interned.
+	var patch *mvcc.Patch
+	{
+		ix, err := Open(pristine, Options{BufferPoolPages: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := ix.store.Get(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ix.store.Get(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patch = mvcc.Diff(recPairs(a), recPairs(b), recLeaves(a), recLeaves(b), b.NumNodes)
+		if err := ix.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	updated := variantDoc(parallelCorpus()[4], 3)
+	muts := []struct {
+		name string
+		run  func(di *DynamicIndex) error
+	}{
+		{"delete", func(di *DynamicIndex) error { _, err := di.Delete(3); return err }},
+		{"update", func(di *DynamicIndex) error { _, err := di.Update(4, updated); return err }},
+		{"patch", func(di *DynamicIndex) error { _, err := di.Patch(6, patch); return err }},
+	}
+
+	for _, mut := range muts {
+		mut := mut
+		t.Run(mut.name, func(t *testing.T) {
+			// Reference run: pre/post answers and versions, no faults.
+			refDir := filepath.Join(base, mut.name+"-ref")
+			copyIndexDir(t, pristine, refDir)
+			di, err := OpenDynamic(refDir, Options{Extended: true, BufferPoolPages: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			preVersion := di.VersionStats().Current
+			pre := versionCrashCounts(t, di, 0)
+			if err := mut.run(di); err != nil {
+				t.Fatalf("reference %s: %v", mut.name, err)
+			}
+			postVersion := di.VersionStats().Current
+			post := versionCrashCounts(t, di, 0)
+			if postVersion != preVersion+1 {
+				t.Fatalf("reference version %d -> %d, want +1", preVersion, postVersion)
+			}
+			if got := versionCrashCounts(t, di, preVersion); !intsEqual(got, pre) {
+				t.Fatalf("reference AS OF %d = %v, want pre image %v", preVersion, got, pre)
+			}
+			if err := di.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if intsEqual(pre, post) {
+				t.Fatalf("%s changed no probe answer; sweep would be vacuous", mut.name)
+			}
+
+			// Counting run: learn W, the mutation's total write ordinal count
+			// (open-time writes included; cuts there recover the pre image).
+			clock := pager.NewPowerClock(0)
+			cntDir := filepath.Join(base, mut.name+"-count")
+			copyIndexDir(t, pristine, cntDir)
+			cdi, err := OpenDynamic(cntDir, Options{
+				Extended:        true,
+				BufferPoolPages: 64,
+				OpenFile:        versionCrashFaultOpen(clock),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mut.run(cdi); err != nil {
+				t.Fatal(err)
+			}
+			W := clock.Writes()
+			if W < 3 {
+				t.Fatalf("%s performs only %d writes; sweep would be vacuous", mut.name, W)
+			}
+
+			for k := int64(1); k <= W; k++ {
+				k := k
+				t.Run(fmt.Sprintf("cut=%d", k), func(t *testing.T) {
+					clock := pager.NewPowerClock(k)
+					if k%3 == 0 {
+						clock.SetTornBytes(int(k*509) % pager.PageSize)
+					}
+					dir := filepath.Join(base, fmt.Sprintf("%s-cut%d", mut.name, k))
+					copyIndexDir(t, pristine, dir)
+					fdi, err := OpenDynamic(dir, Options{
+						Extended:        true,
+						BufferPoolPages: 64,
+						OpenFile:        versionCrashFaultOpen(clock),
+					})
+					if err == nil {
+						err = mut.run(fdi)
+					}
+					if err == nil {
+						t.Fatalf("%s survived a power cut at write %d", mut.name, k)
+					}
+					if !clock.DidCut() {
+						t.Fatalf("%s failed before the cut point: %v", mut.name, err)
+					}
+
+					// Reboot on the frozen files: journal recovery plus the
+					// pending-op redo run inside OpenDynamic.
+					rdi, err := OpenDynamic(dir, Options{Extended: true, BufferPoolPages: 64})
+					if err != nil {
+						t.Fatalf("recovery open: %v", err)
+					}
+					defer rdi.Close()
+					v := rdi.VersionStats().Current
+					got := versionCrashCounts(t, rdi, 0)
+					switch v {
+					case preVersion:
+						if !intsEqual(got, pre) {
+							t.Errorf("recovered at pre version %d but answers %v, want %v", v, got, pre)
+						}
+					case postVersion:
+						if !intsEqual(got, post) {
+							t.Errorf("recovered at post version %d but answers %v, want %v", v, got, post)
+						}
+					default:
+						t.Errorf("recovered at version %d, want %d or %d", v, preVersion, postVersion)
+					}
+					// AS OF the pre-mutation version answers the pre image on
+					// either side of the cut.
+					if gotPre := versionCrashCounts(t, rdi, preVersion); !intsEqual(gotPre, pre) {
+						t.Errorf("AS OF %d after cut %d = %v, want %v", preVersion, k, gotPre, pre)
+					}
+				})
+			}
+		})
+	}
+}

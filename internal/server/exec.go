@@ -39,6 +39,13 @@ type hotSource interface {
 	HotStats() prix.HotStats
 }
 
+// versionSource is the optional MVCC interface of a Source. Versioned
+// indexes (prix.Index, prix.DynamicIndex, compact.Root) report their
+// version counter and tombstone census for /stats and /metrics.
+type versionSource interface {
+	VersionStats() prix.VersionStats
+}
+
 // epochSource is the optional topology interface of a Source. A
 // scatter-gather coordinator (internal/shard) exposes its placement epoch;
 // the executor folds it into every cache key so results computed under one
@@ -66,6 +73,10 @@ type QueryOptions struct {
 	// which also means a cache hit (or a singleflight follower) comes back
 	// with the trace unfilled. Callers must treat those traces as absent.
 	Trace *obs.Trace
+	// AsOf answers the query at a historical version (0 = latest); see
+	// prix.MatchOptions.AsOf. Part of the cache key — different versions
+	// see different documents.
+	AsOf uint64
 }
 
 // key renders the options' contribution to the cache key.
@@ -76,6 +87,9 @@ func (o QueryOptions) key() string {
 	}
 	if o.DisableMaxGap {
 		b[1] = 'g'
+	}
+	if o.AsOf != 0 {
+		return string(b[:]) + "@" + strconv.FormatUint(o.AsOf, 16)
 	}
 	return string(b[:])
 }
@@ -185,6 +199,7 @@ func (e *Executor) run(ctx context.Context, q *twig.Query, qo QueryOptions, key 
 		DisableMaxGap: qo.DisableMaxGap,
 		Parallelism:   qo.Parallelism,
 		Trace:         qo.Trace,
+		AsOf:          qo.AsOf,
 		Ctx:           ctx,
 	}
 	ms, stats, err := e.src.Match(q, mo)

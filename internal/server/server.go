@@ -252,6 +252,10 @@ type QueryRequest struct {
 	// (0 = server default; 1 = serial). Results are identical at every
 	// setting, so it never affects result caching.
 	Parallelism int `json:"parallelism,omitempty"`
+	// AsOf answers the query at a historical version (0 = latest): the
+	// document set reflects exactly the inserts/updates/deletes whose
+	// versions are <= as_of. Requires a versioned index.
+	AsOf uint64 `json:"as_of,omitempty"`
 }
 
 // QueryResponse is the POST /query response.
@@ -415,6 +419,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		DisableMaxGap: req.NoMaxGap,
 		Parallelism:   par,
 		Trace:         tr,
+		AsOf:          req.AsOf,
 	})
 	if err != nil {
 		switch {
@@ -598,6 +603,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				"# TYPE prix_hot_evictions_total counter\nprix_hot_evictions_total %d\n", st.Tier.Evictions)
 		}
 	}
+	if vs, ok := s.exec.Source().(versionSource); ok {
+		if st := vs.VersionStats(); st.Enabled {
+			fmt.Fprintf(w, "# HELP prix_versions_total Latest assigned MVCC version (insert/update/delete counter).\n"+
+				"# TYPE prix_versions_total counter\nprix_versions_total %d\n", st.Current)
+			fmt.Fprintf(w, "# HELP prix_tombstones_total Documents deleted at the latest version.\n"+
+				"# TYPE prix_tombstones_total gauge\nprix_tombstones_total %d\n", st.Tombstones)
+		}
+	}
 	if s.cmp != nil {
 		st := s.cmp.Stats()
 		running := 0
@@ -657,6 +670,10 @@ type StatsSnapshot struct {
 	// Hot is present when the backend serves from a compressed in-memory
 	// hot tier (prix.Options.HotBudget > 0): residency and hit counters.
 	Hot *prix.HotStats `json:"hot,omitempty"`
+	// Versions is present when the backend carries MVCC version state:
+	// the current version counter and the tombstone census. AS OF queries
+	// ("as_of" in QueryRequest) resolve against any version up to Current.
+	Versions *prix.VersionStats `json:"versions,omitempty"`
 }
 
 // Snapshot assembles the current stats.
@@ -698,6 +715,11 @@ func (s *Server) Snapshot() StatsSnapshot {
 	if hs, ok := s.exec.Source().(hotSource); ok {
 		if st := hs.HotStats(); st.Enabled {
 			snap.Hot = &st
+		}
+	}
+	if vs, ok := s.exec.Source().(versionSource); ok {
+		if st := vs.VersionStats(); st.Enabled {
+			snap.Versions = &st
 		}
 	}
 	return snap
